@@ -1,0 +1,55 @@
+// Command ambench runs the reproduction's experiment suite (E1-E10 of
+// EXPERIMENTS.md) and prints one table per experiment.
+//
+//	ambench               # full run
+//	ambench -quick        # trimmed sweeps, smaller op counts
+//	ambench -only E1,E3   # a subset
+//	ambench -ops 100000   # heavier measurements
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		ops   = flag.Int("ops", 0, "operations per measurement (0 = default)")
+		quick = flag.Bool("quick", false, "trim sweeps for a fast smoke run")
+		only  = flag.String("only", "", "comma-separated experiment ids (e.g. E1,E3)")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{Ops: *ops, Quick: *quick}
+	if *quick && *ops == 0 {
+		cfg.Ops = 5000
+	}
+
+	var ids []string
+	for _, id := range strings.Split(*only, ",") {
+		id = strings.TrimSpace(strings.ToUpper(id))
+		if id != "" {
+			ids = append(ids, id)
+		}
+	}
+
+	start := time.Now()
+	tables, err := bench.All(cfg, ids...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(tables) == 0 {
+		fmt.Fprintln(os.Stderr, "no experiments matched -only filter")
+		os.Exit(2)
+	}
+	for i := range tables {
+		fmt.Println(tables[i].Render())
+	}
+	fmt.Printf("ran %d experiments in %v\n", len(tables), time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,77 @@
+// Command namingd runs the standalone naming service: components register
+// their endpoints under lease, clients resolve them by name — the
+// location-transparency substrate of the distributed deployment.
+//
+//	namingd -addr 127.0.0.1:7500
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/naming"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	var (
+		addr = flag.String("addr", "127.0.0.1:7500", "listen address")
+		dump = flag.Duration("dump", 0, "periodically log the registry (0 disables)")
+	)
+	flag.Parse()
+
+	srv := naming.NewServer(nil)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("namingd listening on %s", ln.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	stopDump := make(chan struct{})
+	dumpDone := make(chan struct{})
+	if *dump > 0 {
+		go func() {
+			defer close(dumpDone)
+			tick := time.NewTicker(*dump)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopDump:
+					return
+				case <-tick.C:
+					entries := srv.Store().List()
+					log.Printf("registry: %d live entries", len(entries))
+					for _, e := range entries {
+						log.Printf("  %-24s -> %s (expires %s)", e.Name, e.Addr,
+							e.Expires.Format(time.RFC3339))
+					}
+				}
+			}
+		}()
+	} else {
+		close(dumpDone)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("received %v, shutting down", s)
+	case err := <-serveErr:
+		if err != nil {
+			log.Printf("serve failed: %v", err)
+		}
+	}
+	close(stopDump)
+	<-dumpDone
+	srv.Close()
+	log.Printf("namingd stopped with %d live entries", srv.Store().Len())
+}

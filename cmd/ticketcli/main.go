@@ -1,0 +1,154 @@
+// Command ticketcli is a client for ticketd. The component is located
+// either directly (-addr) or through a naming service (-naming).
+//
+//	ticketcli -addr 127.0.0.1:7000 open TT-1 "printer on fire"
+//	ticketcli -addr 127.0.0.1:7000 assign
+//	ticketcli -naming 127.0.0.1:7500 -token tok-alice-0001 open TT-2 "vpn down"
+//	ticketcli -addr 127.0.0.1:7000 load -n 1000 -clients 8
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/amrpc"
+	"repro/internal/apps/ticket"
+	"repro/internal/naming"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", "", "ticketd address (or use -naming)")
+		namingAddr = flag.String("naming", "", "naming service address")
+		token      = flag.String("token", "", "bearer token (when the server authenticates)")
+		priority   = flag.Int("priority", 0, "wait-queue priority")
+		timeout    = flag.Duration("timeout", 10*time.Second, "per-call timeout")
+	)
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: ticketcli [flags] open <id> <summary> | assign | load [-n N] [-clients C]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	if err := run(*addr, *namingAddr, *token, *priority, *timeout, flag.Args()); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(addr, namingAddr, token string, priority int, timeout time.Duration, args []string) error {
+	if addr == "" {
+		if namingAddr == "" {
+			return fmt.Errorf("one of -addr or -naming is required")
+		}
+		nc, err := naming.DialClient(namingAddr)
+		if err != nil {
+			return err
+		}
+		entry, err := nc.Lookup(ticket.ComponentName)
+		_ = nc.Close()
+		if err != nil {
+			return err
+		}
+		addr = entry.Addr
+	}
+	client, err := amrpc.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = client.Close() }()
+	stub := client.Component(ticket.ComponentName,
+		amrpc.WithToken(token), amrpc.WithPriority(priority))
+
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+
+	switch args[0] {
+	case "open":
+		if len(args) != 3 {
+			return fmt.Errorf("usage: open <id> <summary>")
+		}
+		if _, err := stub.Invoke(ctx, ticket.MethodOpen, args[1], args[2]); err != nil {
+			return err
+		}
+		fmt.Printf("opened %s\n", args[1])
+		return nil
+	case "assign":
+		res, err := stub.Invoke(ctx, ticket.MethodAssign)
+		if err != nil {
+			return err
+		}
+		m, ok := res.(map[string]any)
+		if !ok {
+			return fmt.Errorf("unexpected result %T", res)
+		}
+		fmt.Printf("assigned %v: %v\n", m["id"], m["summary"])
+		return nil
+	case "load":
+		fs := flag.NewFlagSet("load", flag.ContinueOnError)
+		n := fs.Int("n", 1000, "tickets to move")
+		clients := fs.Int("clients", 4, "concurrent client pairs")
+		if err := fs.Parse(args[1:]); err != nil {
+			return err
+		}
+		return load(stub, *n, *clients, timeout)
+	default:
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+// load moves n tickets through the server with the given concurrency and
+// prints throughput.
+func load(stub *amrpc.Stub, n, clients int, timeout time.Duration) error {
+	if clients <= 0 || n <= 0 {
+		return fmt.Errorf("load: n and clients must be positive")
+	}
+	per := n / clients
+	if per == 0 {
+		per = 1
+	}
+	total := per * clients
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(2)
+		go func(c int) {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				ctx, cancel := context.WithTimeout(context.Background(), timeout)
+				_, err := stub.Invoke(ctx, ticket.MethodOpen, fmt.Sprintf("load-%d-%d", c, k), "load test")
+				cancel()
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(c)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				ctx, cancel := context.WithTimeout(context.Background(), timeout)
+				_, err := stub.Invoke(ctx, ticket.MethodAssign)
+				cancel()
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return fmt.Errorf("load worker failed: %w", err)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("moved %d tickets in %v (%.0f ops/sec)\n",
+		total, elapsed.Round(time.Millisecond), float64(2*total)/elapsed.Seconds())
+	return nil
+}

@@ -1,0 +1,166 @@
+// Command ticketd serves the framework-composed trouble-ticketing
+// component over amrpc, optionally announcing itself to a naming service
+// and optionally requiring authentication.
+//
+//	ticketd -addr :7000 -capacity 16
+//	ticketd -addr :7000 -naming 127.0.0.1:7500 -auth -issue alice:client,bob:agent
+//
+// With -auth, tokens for the principals listed in -issue are printed at
+// startup (name:role[,role...] pairs separated by commas between entries
+// are not supported; each -issue entry is name:role).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/amrpc"
+	"repro/internal/apps/ticket"
+	"repro/internal/aspects/audit"
+	"repro/internal/aspects/auth"
+	"repro/internal/aspects/metrics"
+	"repro/internal/compose"
+	"repro/internal/naming"
+)
+
+func main() {
+	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
+	var (
+		addr       = flag.String("addr", "127.0.0.1:7000", "listen address")
+		capacity   = flag.Int("capacity", 16, "ticket buffer capacity")
+		namingAddr = flag.String("naming", "", "naming service address (optional)")
+		ttl        = flag.Duration("ttl", 30*time.Second, "naming lease TTL")
+		enableAuth = flag.Bool("auth", false, "require authentication")
+		issue      = flag.String("issue", "alice:client", "comma-separated name:role principals to issue tokens for (with -auth)")
+		auditCap   = flag.Int("audit", 1024, "audit trail capacity (0 disables)")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *capacity, *namingAddr, *ttl, *enableAuth, *issue, *auditCap); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(addr string, capacity int, namingAddr string, ttl time.Duration, enableAuth bool, issue string, auditCap int) error {
+	cfg := ticket.GuardedConfig{Capacity: capacity, Metrics: metrics.NewRecorder()}
+	var trail *audit.Trail
+	if auditCap > 0 {
+		var err error
+		trail, err = audit.NewTrail(auditCap, audit.WithSink(os.Stderr))
+		if err != nil {
+			return err
+		}
+		cfg.Audit = trail
+	}
+	g, err := ticket.NewGuarded(cfg)
+	if err != nil {
+		return err
+	}
+	if enableAuth {
+		store := auth.NewTokenStore()
+		for _, entry := range strings.Split(issue, ",") {
+			entry = strings.TrimSpace(entry)
+			if entry == "" {
+				continue
+			}
+			parts := strings.SplitN(entry, ":", 2)
+			name := parts[0]
+			var roles []string
+			if len(parts) == 2 && parts[1] != "" {
+				roles = strings.Split(parts[1], "+")
+			}
+			tok := store.Issue(name, roles...)
+			fmt.Printf("issued token for %s: %s\n", name, tok)
+		}
+		if err := g.EnableAuthentication(store); err != nil {
+			return err
+		}
+		log.Print("authentication layer enabled")
+	}
+
+	log.Printf("composition:\n%s", g.Moderator().DescribeString())
+
+	// Verify the composition before accepting traffic.
+	if report := compose.Verify(g.Proxy()); !report.OK() {
+		return fmt.Errorf("composition verification failed:\n%s", report)
+	} else if len(report.Issues) > 0 {
+		log.Printf("composition warnings:\n%s", report)
+	}
+
+	srv := amrpc.NewServer()
+	if err := srv.Register(g.Proxy()); err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("ticketd serving %q on %s (capacity %d)", ticket.ComponentName, ln.Addr(), capacity)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	// Register with the naming service and keep the lease alive.
+	stopRenew := make(chan struct{})
+	renewDone := make(chan struct{})
+	if namingAddr != "" {
+		nc, err := naming.DialClient(namingAddr)
+		if err != nil {
+			srv.Close()
+			return err
+		}
+		if err := nc.Register(ticket.ComponentName, ln.Addr().String(), ttl); err != nil {
+			srv.Close()
+			return err
+		}
+		log.Printf("registered with naming service %s (ttl %v)", namingAddr, ttl)
+		go func() {
+			defer close(renewDone)
+			defer func() { _ = nc.Close() }()
+			tick := time.NewTicker(ttl / 3)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopRenew:
+					_, _ = nc.Unregister(ticket.ComponentName)
+					return
+				case <-tick.C:
+					if err := nc.Register(ticket.ComponentName, ln.Addr().String(), ttl); err != nil {
+						log.Printf("lease renewal failed: %v", err)
+					}
+				}
+			}
+		}()
+	} else {
+		close(renewDone)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("received %v, shutting down", s)
+	case err := <-serveErr:
+		if err != nil {
+			log.Printf("serve failed: %v", err)
+		}
+	}
+	close(stopRenew)
+	<-renewDone
+	srv.Close()
+
+	stats := g.Moderator().Stats()
+	log.Printf("final stats: %d admissions, %d blocks, %d aborts, buffer %d",
+		stats.Admissions, stats.Blocks, stats.Aborts, g.Server().Size())
+	if cfg.Metrics != nil {
+		fmt.Print(cfg.Metrics.Report())
+	}
+	return nil
+}

@@ -1,0 +1,13 @@
+// Package repro is a production-quality Go reproduction of "Composing
+// Concerns with a Framework Approach" (Constantinides & Elrad, ICDCS
+// 2001): the Aspect Moderator framework for composing cross-cutting
+// concerns — synchronization, scheduling, authentication, fault tolerance,
+// auditing, metrics — around plain sequential components in open
+// concurrent and distributed systems.
+//
+// The implementation lives under internal/: see internal/core for the
+// framework façade, internal/moderator for its heart, internal/aspects for
+// the concern libraries, internal/apps for the paper's applications, and
+// DESIGN.md for the full inventory. bench_test.go in this directory hosts
+// the benchmark per experiment of EXPERIMENTS.md.
+package repro

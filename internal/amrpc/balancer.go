@@ -1,0 +1,179 @@
+package amrpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// ErrNoEndpoints is returned when the balancer's resolver yields nothing.
+var ErrNoEndpoints = errors.New("amrpc: no endpoints")
+
+// Resolver yields the current endpoints of a replicated component. The
+// naming package's PrefixResolver adapts a naming client; tests may use a
+// static function.
+type Resolver func() ([]string, error)
+
+// StaticResolver returns a Resolver over a fixed endpoint list.
+func StaticResolver(addrs ...string) Resolver {
+	cp := make([]string, len(addrs))
+	copy(cp, addrs)
+	return func() ([]string, error) { return cp, nil }
+}
+
+// Balancer is a client-side load balancer over a replicated component —
+// the "load balancing" interaction requirement of the paper's Section 2,
+// provided as infrastructure rather than woven into clients. It implements
+// the same Invoker interface as a proxy or a single-connection stub:
+// invocations rotate round-robin across the resolved endpoints, transport
+// failures fail over to the next endpoint, and broken connections are
+// dropped from the pool (to be re-dialed when the endpoint reappears).
+//
+// Application-level errors — anything the remote component or its aspects
+// decided, carried as a RemoteError — are returned as-is, never retried:
+// failover is for unreachable replicas, not for aborted invocations.
+type Balancer struct {
+	component string
+	resolve   Resolver
+	opts      []StubOption
+
+	mu      sync.Mutex
+	clients map[string]*Client
+	next    int
+	closed  bool
+}
+
+// NewBalancer creates a balancer for the named component.
+func NewBalancer(component string, resolve Resolver, opts ...StubOption) (*Balancer, error) {
+	if component == "" {
+		return nil, errors.New("amrpc: balancer: empty component")
+	}
+	if resolve == nil {
+		return nil, errors.New("amrpc: balancer: nil resolver")
+	}
+	return &Balancer{
+		component: component,
+		resolve:   resolve,
+		opts:      opts,
+		clients:   make(map[string]*Client, 4),
+	}, nil
+}
+
+// Invoke performs one guarded invocation on some live replica.
+func (b *Balancer) Invoke(ctx context.Context, method string, args ...any) (any, error) {
+	addrs, err := b.resolve()
+	if err != nil {
+		return nil, fmt.Errorf("amrpc: balancer %s: resolve: %w", b.component, err)
+	}
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("amrpc: balancer %s: %w", b.component, ErrNoEndpoints)
+	}
+	b.mu.Lock()
+	start := b.next
+	b.next++
+	b.mu.Unlock()
+
+	var lastErr error
+	for k := 0; k < len(addrs); k++ {
+		addr := addrs[(start+k)%len(addrs)]
+		client, err := b.clientFor(addr)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		result, err := client.Component(b.component, b.opts...).Invoke(ctx, method, args...)
+		if err == nil {
+			return result, nil
+		}
+		var remote *RemoteError
+		if errors.As(err, &remote) {
+			// The replica was reached and answered: this is the
+			// component's (or its aspects') decision, not a transport
+			// fault. No failover.
+			return nil, err
+		}
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		// Transport-level failure: drop the connection and try the next
+		// replica.
+		b.dropClient(addr, client)
+		lastErr = err
+	}
+	return nil, fmt.Errorf("amrpc: balancer %s: all %d endpoint(s) failed: %w",
+		b.component, len(addrs), lastErr)
+}
+
+// clientFor returns (dialing if necessary) the pooled client for addr.
+func (b *Balancer) clientFor(addr string) (*Client, error) {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, ErrClientClosed
+	}
+	if c, ok := b.clients[addr]; ok {
+		b.mu.Unlock()
+		return c, nil
+	}
+	b.mu.Unlock()
+
+	// Dial outside the lock; racing dials are reconciled below.
+	c, err := Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		_ = c.Close()
+		return nil, ErrClientClosed
+	}
+	if existing, ok := b.clients[addr]; ok {
+		_ = c.Close()
+		return existing, nil
+	}
+	b.clients[addr] = c
+	return c, nil
+}
+
+// dropClient removes a broken connection from the pool.
+func (b *Balancer) dropClient(addr string, c *Client) {
+	b.mu.Lock()
+	if b.clients[addr] == c {
+		delete(b.clients, addr)
+	}
+	b.mu.Unlock()
+	_ = c.Close()
+}
+
+// Endpoints returns the addresses with live pooled connections (sorted by
+// map iteration is not guaranteed; callers needing order should sort).
+func (b *Balancer) Endpoints() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, 0, len(b.clients))
+	for addr := range b.clients {
+		out = append(out, addr)
+	}
+	return out
+}
+
+// Close tears down every pooled connection.
+func (b *Balancer) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	clients := make([]*Client, 0, len(b.clients))
+	for _, c := range b.clients {
+		clients = append(clients, c)
+	}
+	b.clients = map[string]*Client{}
+	b.mu.Unlock()
+	for _, c := range clients {
+		_ = c.Close()
+	}
+}

@@ -1,0 +1,237 @@
+package amrpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/aspect"
+	"repro/internal/aspects/auth"
+	"repro/internal/moderator"
+	"repro/internal/naming"
+	"repro/internal/proxy"
+)
+
+// startReplica serves one echo component (whose replies carry the replica
+// id) and returns its address plus a stop function.
+func startReplica(t *testing.T, id string) (string, func()) {
+	t.Helper()
+	p := proxy.New(moderator.New("svc"))
+	if err := p.Bind("who", func(*aspect.Invocation) (any, error) {
+		return id, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Bind("deny", func(*aspect.Invocation) (any, error) {
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Moderator().Register("deny", aspect.KindAuthentication,
+		auth.Authenticator("auth", auth.NewTokenStore())); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer()
+	if err := srv.Register(p); err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = srv.Serve(ln)
+	}()
+	stopped := false
+	stop := func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		srv.Close()
+		wg.Wait()
+	}
+	t.Cleanup(stop)
+	return ln.Addr().String(), stop
+}
+
+func TestNewBalancerValidation(t *testing.T) {
+	if _, err := NewBalancer("", StaticResolver("a:1")); err == nil {
+		t.Error("empty component must error")
+	}
+	if _, err := NewBalancer("svc", nil); err == nil {
+		t.Error("nil resolver must error")
+	}
+}
+
+func TestBalancerNoEndpoints(t *testing.T) {
+	b, err := NewBalancer("svc", StaticResolver())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if _, err := b.Invoke(context.Background(), "who"); !errors.Is(err, ErrNoEndpoints) {
+		t.Fatalf("want ErrNoEndpoints, got %v", err)
+	}
+}
+
+func TestBalancerRoundRobin(t *testing.T) {
+	a1, _ := startReplica(t, "r1")
+	a2, _ := startReplica(t, "r2")
+	b, err := NewBalancer("svc", StaticResolver(a1, a2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	seen := map[string]int{}
+	for k := 0; k < 10; k++ {
+		got, err := b.Invoke(context.Background(), "who")
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[got.(string)]++
+	}
+	if seen["r1"] != 5 || seen["r2"] != 5 {
+		t.Errorf("round robin uneven: %v", seen)
+	}
+	if got := len(b.Endpoints()); got != 2 {
+		t.Errorf("pooled endpoints = %d", got)
+	}
+}
+
+func TestBalancerFailover(t *testing.T) {
+	a1, stop1 := startReplica(t, "r1")
+	a2, _ := startReplica(t, "r2")
+	b, err := NewBalancer("svc", StaticResolver(a1, a2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	// Warm both connections.
+	for k := 0; k < 2; k++ {
+		if _, err := b.Invoke(context.Background(), "who"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Kill replica 1: every subsequent call must still succeed via r2.
+	stop1()
+	for k := 0; k < 6; k++ {
+		got, err := b.Invoke(context.Background(), "who")
+		if err != nil {
+			t.Fatalf("call %d after failover: %v", k, err)
+		}
+		if got != "r2" {
+			t.Fatalf("call %d answered by %v, want r2", k, got)
+		}
+	}
+}
+
+func TestBalancerAllDown(t *testing.T) {
+	a1, stop1 := startReplica(t, "r1")
+	stop1()
+	b, err := NewBalancer("svc", StaticResolver(a1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if _, err := b.Invoke(context.Background(), "who"); err == nil {
+		t.Fatal("all-down balancer must fail")
+	}
+}
+
+func TestBalancerDoesNotFailOverApplicationErrors(t *testing.T) {
+	// An aspect-rejected invocation must surface immediately, not be
+	// retried on the next replica.
+	a1, _ := startReplica(t, "r1")
+	a2, _ := startReplica(t, "r2")
+	b, err := NewBalancer("svc", StaticResolver(a1, a2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	_, err = b.Invoke(context.Background(), "deny")
+	if !errors.Is(err, auth.ErrUnauthenticated) {
+		t.Fatalf("want unauthenticated, got %v", err)
+	}
+}
+
+func TestBalancerClose(t *testing.T) {
+	a1, _ := startReplica(t, "r1")
+	b, err := NewBalancer("svc", StaticResolver(a1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Invoke(context.Background(), "who"); err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	b.Close() // idempotent
+	if _, err := b.Invoke(context.Background(), "who"); !errors.Is(err, ErrClientClosed) {
+		t.Fatalf("invoke after close: %v", err)
+	}
+}
+
+func TestBalancerWithNamingPrefixResolver(t *testing.T) {
+	// Replicas register as svc/1, svc/2 in a naming service; the balancer
+	// discovers them via PrefixResolver and spreads load.
+	nsrv := naming.NewServer(nil)
+	nln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = nsrv.Serve(nln)
+	}()
+	t.Cleanup(func() {
+		nsrv.Close()
+		wg.Wait()
+	})
+
+	a1, _ := startReplica(t, "r1")
+	a2, _ := startReplica(t, "r2")
+	announcer, err := naming.DialClient(nln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = announcer.Close() })
+	for i, addr := range []string{a1, a2} {
+		if err := announcer.Register(fmt.Sprintf("svc/%d", i+1), addr, time.Minute); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	resolver, err := naming.DialClient(nln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = resolver.Close() })
+	b, err := NewBalancer("svc", Resolver(naming.PrefixResolver(resolver, "svc/")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	seen := map[string]bool{}
+	for k := 0; k < 6; k++ {
+		got, err := b.Invoke(context.Background(), "who")
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[got.(string)] = true
+	}
+	if !seen["r1"] || !seen["r2"] {
+		t.Errorf("load not spread: %v", seen)
+	}
+}

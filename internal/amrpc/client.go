@@ -1,0 +1,235 @@
+package amrpc
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrClientClosed is returned for calls on a closed client.
+var ErrClientClosed = errors.New("amrpc: client closed")
+
+// ErrTransport marks connection-level failures (as opposed to application
+// errors the remote component returned). Load balancers fail over on it.
+var ErrTransport = errors.New("amrpc: transport failure")
+
+// codeTransportLocal is a client-internal marker used by failAll; it never
+// travels on the wire.
+const codeTransportLocal = "_local-transport"
+
+// Client is one connection to an amrpc server. Requests are pipelined:
+// many goroutines may invoke concurrently over the single connection.
+// Construct with Dial, then derive per-component stubs with Component.
+type Client struct {
+	conn net.Conn
+
+	writeMu sync.Mutex
+	enc     *json.Encoder
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan response
+	err     error
+	closed  bool
+
+	readerDone chan struct{}
+}
+
+// Dial connects to an amrpc server.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("amrpc: dial %s: %v: %w", addr, err, ErrTransport)
+	}
+	// Guard against TCP simultaneous-open self-connection: dialing a
+	// closed ephemeral port on the same host can connect the socket to
+	// itself, which would echo requests back as garbage responses.
+	if conn.LocalAddr().String() == conn.RemoteAddr().String() {
+		_ = conn.Close()
+		return nil, fmt.Errorf("amrpc: dial %s: self-connection: %w", addr, ErrTransport)
+	}
+	return NewClient(conn), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(conn net.Conn) *Client {
+	c := &Client{
+		conn:       conn,
+		enc:        json.NewEncoder(conn),
+		pending:    make(map[uint64]chan response, 16),
+		readerDone: make(chan struct{}),
+	}
+	go c.readLoop()
+	return c
+}
+
+// readLoop dispatches responses to their waiting callers.
+func (c *Client) readLoop() {
+	defer close(c.readerDone)
+	scanner := bufio.NewScanner(c.conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for scanner.Scan() {
+		var resp response
+		if err := json.Unmarshal(scanner.Bytes(), &resp); err != nil {
+			continue // tolerate one malformed line
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[resp.ID]
+		if ok {
+			delete(c.pending, resp.ID)
+		}
+		c.mu.Unlock()
+		if ok {
+			ch <- resp
+		}
+	}
+	err := scanner.Err()
+	if err == nil {
+		err = errors.New("amrpc: connection closed")
+	}
+	c.failAll(err)
+}
+
+// failAll aborts every pending call with err.
+func (c *Client) failAll(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err == nil {
+		c.err = err
+	}
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		ch <- response{Err: err.Error(), Code: codeTransportLocal}
+	}
+}
+
+// Close tears down the connection; pending calls fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	<-c.readerDone
+	return err
+}
+
+// call performs one request/response round trip.
+func (c *Client) call(ctx context.Context, component, method, token string, priority int, args []any) (any, error) {
+	rawArgs, err := encodeArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	var timeoutMS int64
+	if deadline, ok := ctx.Deadline(); ok {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil, fmt.Errorf("amrpc: %s.%s: %w", component, method, context.DeadlineExceeded)
+		}
+		timeoutMS = remaining.Milliseconds()
+		if timeoutMS == 0 {
+			timeoutMS = 1
+		}
+	}
+	ch := make(chan response, 1)
+	c.mu.Lock()
+	if c.closed || c.err != nil {
+		prev := c.err
+		c.mu.Unlock()
+		if prev != nil {
+			return nil, fmt.Errorf("amrpc: connection failed: %v: %w", prev, ErrTransport)
+		}
+		return nil, ErrClientClosed
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	req := request{
+		ID:        id,
+		Component: component,
+		Method:    method,
+		Args:      rawArgs,
+		Token:     token,
+		Priority:  priority,
+		TimeoutMS: timeoutMS,
+	}
+	c.writeMu.Lock()
+	err = c.enc.Encode(&req)
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("amrpc: send %s.%s: %v: %w", component, method, err, ErrTransport)
+	}
+
+	select {
+	case resp := <-ch:
+		if resp.Code == codeTransportLocal {
+			return nil, fmt.Errorf("amrpc: %s.%s: %s: %w", component, method, resp.Err, ErrTransport)
+		}
+		if resp.Err != "" {
+			return nil, &RemoteError{Code: resp.Code, Msg: resp.Err}
+		}
+		if len(resp.Result) == 0 {
+			return nil, nil
+		}
+		var v any
+		if err := json.Unmarshal(resp.Result, &v); err != nil {
+			return nil, fmt.Errorf("amrpc: decode result of %s.%s: %w", component, method, err)
+		}
+		return v, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("amrpc: %s.%s: %w", component, method, ctx.Err())
+	}
+}
+
+// Stub is a remote component handle implementing the same Invoker
+// interface as a local proxy.
+type Stub struct {
+	client    *Client
+	component string
+	token     string
+	priority  int
+}
+
+// StubOption configures Component.
+type StubOption func(*Stub)
+
+// WithToken attaches a bearer token to every invocation from this stub.
+func WithToken(token string) StubOption {
+	return func(s *Stub) { s.token = token }
+}
+
+// WithPriority sets the wait-queue priority of every invocation from this
+// stub.
+func WithPriority(p int) StubOption {
+	return func(s *Stub) { s.priority = p }
+}
+
+// Component returns an invoker for the named remote component.
+func (c *Client) Component(name string, opts ...StubOption) *Stub {
+	s := &Stub{client: c, component: name}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// Invoke performs a guarded invocation on the remote component.
+func (s *Stub) Invoke(ctx context.Context, method string, args ...any) (any, error) {
+	return s.client.call(ctx, s.component, method, s.token, s.priority, args)
+}

@@ -1,0 +1,152 @@
+// Package amrpc is the distribution substrate of the framework: a small
+// JSON-over-TCP RPC layer through which a remote client invokes the
+// participating methods of a guarded component. The aspects run on the
+// server, around the functional component, exactly as they do for local
+// callers — the client stub implements the same Invoker interface as the
+// local proxy, giving the location transparency the paper lists among the
+// interaction requirements (Section 2).
+//
+// The wire protocol is newline-delimited JSON. Each request carries the
+// component, the method, positional arguments, and metadata (bearer token,
+// wait-queue priority); each response carries the result or a coded error
+// that the client rehydrates so errors.Is against the framework's sentinel
+// errors keeps working across the network.
+package amrpc
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/aspect"
+	"repro/internal/aspects/auth"
+	"repro/internal/aspects/fault"
+	"repro/internal/aspects/sched"
+	"repro/internal/proxy"
+)
+
+// request is one wire request.
+type request struct {
+	ID        uint64            `json:"id"`
+	Component string            `json:"component"`
+	Method    string            `json:"method"`
+	Args      []json.RawMessage `json:"args,omitempty"`
+	Token     string            `json:"token,omitempty"`
+	Priority  int               `json:"priority,omitempty"`
+	// TimeoutMS propagates the client context's remaining deadline so a
+	// server-side invocation blocked on a wait queue is released when the
+	// caller has certainly stopped caring.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// response is one wire response.
+type response struct {
+	ID     uint64          `json:"id"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Err    string          `json:"err,omitempty"`
+	Code   string          `json:"code,omitempty"`
+}
+
+// Error codes carried on the wire so sentinel errors survive the boundary.
+const (
+	CodeAborted         = "aborted"
+	CodeUnauthenticated = "unauthenticated"
+	CodeDenied          = "permission-denied"
+	CodeShed            = "shed"
+	CodeCircuitOpen     = "circuit-open"
+	CodeBulkheadFull    = "bulkhead-full"
+	CodeNoMethod        = "no-method"
+	CodeNoComponent     = "no-component"
+	CodeCancelled       = "cancelled"
+	CodeDeadline        = "deadline"
+	CodeBadRequest      = "bad-request"
+	CodeInternal        = "internal"
+)
+
+// RemoteError is an application error transported over the RPC boundary.
+// It unwraps to the framework sentinel matching its code, so errors.Is
+// works transparently for remote callers.
+type RemoteError struct {
+	Code string
+	Msg  string
+}
+
+// Error implements error.
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("amrpc: remote error (%s): %s", e.Code, e.Msg)
+}
+
+// Unwrap maps the code back to the local sentinel.
+func (e *RemoteError) Unwrap() error {
+	if s, ok := codeToSentinel[e.Code]; ok {
+		return s
+	}
+	return nil
+}
+
+var codeToSentinel = map[string]error{
+	CodeAborted:         aspect.ErrAborted,
+	CodeUnauthenticated: auth.ErrUnauthenticated,
+	CodeDenied:          auth.ErrPermissionDenied,
+	CodeShed:            sched.ErrShed,
+	CodeCircuitOpen:     fault.ErrCircuitOpen,
+	CodeBulkheadFull:    fault.ErrBulkheadFull,
+	CodeNoMethod:        proxy.ErrNoSuchMethod,
+	CodeCancelled:       context.Canceled,
+	CodeDeadline:        context.DeadlineExceeded,
+}
+
+// codeFor classifies a server-side error for the wire.
+func codeFor(err error) string {
+	switch {
+	case errors.Is(err, auth.ErrUnauthenticated):
+		return CodeUnauthenticated
+	case errors.Is(err, auth.ErrPermissionDenied):
+		return CodeDenied
+	case errors.Is(err, sched.ErrShed):
+		return CodeShed
+	case errors.Is(err, fault.ErrCircuitOpen):
+		return CodeCircuitOpen
+	case errors.Is(err, fault.ErrBulkheadFull):
+		return CodeBulkheadFull
+	case errors.Is(err, proxy.ErrNoSuchMethod):
+		return CodeNoMethod
+	case errors.Is(err, context.Canceled):
+		return CodeCancelled
+	case errors.Is(err, context.DeadlineExceeded):
+		return CodeDeadline
+	case errors.Is(err, aspect.ErrAborted):
+		return CodeAborted
+	default:
+		return CodeInternal
+	}
+}
+
+// encodeArgs marshals positional arguments for the wire.
+func encodeArgs(args []any) ([]json.RawMessage, error) {
+	out := make([]json.RawMessage, len(args))
+	for i, a := range args {
+		b, err := json.Marshal(a)
+		if err != nil {
+			return nil, fmt.Errorf("amrpc: encode arg %d: %w", i, err)
+		}
+		out[i] = b
+	}
+	return out, nil
+}
+
+// decodeArgs unmarshals wire arguments into generic values (numbers become
+// float64, objects become map[string]any — the invocation's coercion
+// helpers absorb this).
+func decodeArgs(raw []json.RawMessage) ([]any, error) {
+	out := make([]any, len(raw))
+	for i, r := range raw {
+		var v any
+		if err := json.Unmarshal(r, &v); err != nil {
+			return nil, fmt.Errorf("amrpc: decode arg %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

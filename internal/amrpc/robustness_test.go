@@ -1,0 +1,136 @@
+package amrpc
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/aspect"
+)
+
+// TestMalformedRequestGetsBadRequest writes raw garbage at the wire level
+// and expects a coded error response rather than a dropped connection.
+func TestMalformedRequestGetsBadRequest(t *testing.T) {
+	addr := startServer(t, newEchoProxy(t, "svc"))
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+
+	if _, err := conn.Write([]byte("this is not json\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	scanner := bufio.NewScanner(conn)
+	if !scanner.Scan() {
+		t.Fatalf("no response to malformed request: %v", scanner.Err())
+	}
+	var resp response
+	if err := json.Unmarshal(scanner.Bytes(), &resp); err != nil {
+		t.Fatalf("response not json: %v", err)
+	}
+	if resp.Code != CodeBadRequest {
+		t.Errorf("code = %q, want %q", resp.Code, CodeBadRequest)
+	}
+
+	// The connection must still work for a valid request afterwards.
+	req := request{ID: 1, Component: "svc", Method: "echo", Args: []json.RawMessage{json.RawMessage(`"ok"`)}}
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(append(b, '\n')); err != nil {
+		t.Fatal(err)
+	}
+	if !scanner.Scan() {
+		t.Fatalf("no response to valid request: %v", scanner.Err())
+	}
+	var resp2 response
+	if err := json.Unmarshal(scanner.Bytes(), &resp2); err != nil {
+		t.Fatal(err)
+	}
+	if resp2.ID != 1 || resp2.Err != "" {
+		t.Errorf("valid follow-up failed: %+v", resp2)
+	}
+}
+
+// TestUndecodableArgIsBadRequest sends structurally valid JSON whose args
+// cannot decode.
+func TestUndecodableArgIsBadRequest(t *testing.T) {
+	addr := startServer(t, newEchoProxy(t, "svc"))
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = conn.Close() }()
+	// args entry is invalid JSON inside RawMessage — construct by hand.
+	line := `{"id":9,"component":"svc","method":"echo","args":[{]}` + "\n"
+	if _, err := conn.Write([]byte(line)); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.SetReadDeadline(time.Now().Add(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	scanner := bufio.NewScanner(conn)
+	if !scanner.Scan() {
+		t.Fatalf("no response: %v", scanner.Err())
+	}
+	var resp response
+	if err := json.Unmarshal(scanner.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Code != CodeBadRequest {
+		t.Errorf("code = %q, want %q", resp.Code, CodeBadRequest)
+	}
+}
+
+// TestRemoteErrorUnwrapUnknownCode ensures unknown codes do not unwrap to
+// anything (and do not panic errors.Is).
+func TestRemoteErrorUnwrapUnknownCode(t *testing.T) {
+	e := &RemoteError{Code: "alien", Msg: "??"}
+	if e.Unwrap() != nil {
+		t.Error("unknown code must unwrap to nil")
+	}
+	if e.Error() == "" {
+		t.Error("empty error text")
+	}
+}
+
+// TestServerCloseIdempotent double-closes and then rejects Serve.
+func TestServerCloseIdempotent(t *testing.T) {
+	srv := NewServer()
+	srv.Close()
+	srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ln.Close() }()
+	if err := srv.Serve(ln); err == nil {
+		t.Error("Serve after Close must error")
+	}
+}
+
+// TestUnencodableResultIsInternal returns a value JSON cannot marshal.
+func TestUnencodableResultIsInternal(t *testing.T) {
+	p := newEchoProxy(t, "svc2")
+	if err := p.Bind("chan", func(*aspect.Invocation) (any, error) {
+		return make(chan int), nil // unencodable
+	}); err != nil {
+		t.Fatal(err)
+	}
+	addr := startServer(t, p)
+	c := dialClient(t, addr)
+	_, err := c.Component("svc2").Invoke(context.Background(), "chan")
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Code != CodeInternal {
+		t.Fatalf("want internal code, got %v", err)
+	}
+}

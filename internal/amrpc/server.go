@@ -1,0 +1,214 @@
+package amrpc
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/aspect"
+	"repro/internal/aspects/auth"
+	"repro/internal/proxy"
+)
+
+// ErrNoSuchComponent is returned for requests naming an unregistered
+// component.
+var ErrNoSuchComponent = errors.New("amrpc: no such component")
+
+// Server hosts guarded components behind a TCP listener. Construct with
+// NewServer, register components, then call Serve.
+type Server struct {
+	mu         sync.Mutex
+	components map[string]*proxy.Proxy
+	listeners  map[net.Listener]struct{}
+	conns      map[net.Conn]struct{}
+	closed     bool
+	wg         sync.WaitGroup
+}
+
+// NewServer creates an empty server.
+func NewServer() *Server {
+	return &Server{
+		components: make(map[string]*proxy.Proxy, 4),
+		listeners:  make(map[net.Listener]struct{}, 1),
+		conns:      make(map[net.Conn]struct{}, 16),
+	}
+}
+
+// Register exposes a guarded component under its proxy name.
+func (s *Server) Register(p *proxy.Proxy) error {
+	if p == nil {
+		return errors.New("amrpc: register nil proxy")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.components[p.Name()]; dup {
+		return fmt.Errorf("amrpc: component %q already registered", p.Name())
+	}
+	s.components[p.Name()] = p
+	return nil
+}
+
+// Serve accepts connections on ln until Close is called or the listener
+// fails. It blocks; run it on a goroutine you own. Each connection is
+// served by one goroutine; requests on a connection are processed
+// concurrently so a blocked invocation does not stall the pipe.
+func (s *Server) Serve(ln net.Listener) error {
+	// Serve owns ln from here on (like net/http): it is closed when Serve
+	// returns, so a Close racing with Serve's startup cannot leak an open
+	// listener that nobody accepts from.
+	defer func() { _ = ln.Close() }()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("amrpc: server closed")
+	}
+	s.listeners[ln] = struct{}{}
+	s.mu.Unlock()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			delete(s.listeners, ln)
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("amrpc: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("amrpc: listen %s: %w", addr, err)
+	}
+	return s.Serve(ln)
+}
+
+// Close stops accepting, closes every live connection, and waits for
+// handlers to drain.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	for ln := range s.listeners {
+		_ = ln.Close()
+	}
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		_ = conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	// Handler goroutines of this connection are cancelled when the
+	// connection dies, so blocked invocations do not leak. Deferred calls
+	// run last-registered-first: Wait is registered before cancel so that
+	// cancellation releases any parked handler before we wait for it.
+	ctx, cancel := context.WithCancel(context.Background())
+	var handlers sync.WaitGroup
+	defer handlers.Wait()
+	defer cancel()
+
+	var writeMu sync.Mutex
+	write := func(resp response) {
+		b, err := json.Marshal(resp)
+		if err != nil {
+			return
+		}
+		writeMu.Lock()
+		defer writeMu.Unlock()
+		_, _ = conn.Write(append(b, '\n'))
+	}
+
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for scanner.Scan() {
+		line := make([]byte, len(scanner.Bytes()))
+		copy(line, scanner.Bytes())
+		var req request
+		if err := json.Unmarshal(line, &req); err != nil {
+			write(response{Err: "malformed request: " + err.Error(), Code: CodeBadRequest})
+			continue
+		}
+		handlers.Add(1)
+		go func() {
+			defer handlers.Done()
+			write(s.handle(ctx, &req))
+		}()
+	}
+}
+
+// handle executes one request against the named component's proxy.
+func (s *Server) handle(ctx context.Context, req *request) response {
+	s.mu.Lock()
+	p, ok := s.components[req.Component]
+	s.mu.Unlock()
+	if !ok {
+		return response{
+			ID:   req.ID,
+			Err:  fmt.Sprintf("component %q", req.Component),
+			Code: CodeNoComponent,
+		}
+	}
+	args, err := decodeArgs(req.Args)
+	if err != nil {
+		return response{ID: req.ID, Err: err.Error(), Code: CodeBadRequest}
+	}
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	inv := aspect.NewInvocation(ctx, p.Name(), req.Method, args)
+	inv.Priority = req.Priority
+	if req.Token != "" {
+		auth.WithToken(inv, req.Token)
+	}
+	result, err := p.Call(inv)
+	if err != nil {
+		return response{ID: req.ID, Err: err.Error(), Code: codeFor(err)}
+	}
+	raw, err := json.Marshal(result)
+	if err != nil {
+		return response{
+			ID:   req.ID,
+			Err:  fmt.Sprintf("unencodable result: %v", err),
+			Code: CodeInternal,
+		}
+	}
+	return response{ID: req.ID, Result: raw}
+}

@@ -1,0 +1,110 @@
+// Package auction implements an on-line auction — one of the applications
+// the paper's Section 2 motivates. The functional component is a plain,
+// sequential lot ledger; mutual exclusion, scheduling, and authorization
+// are composed around it by the framework in wire.go.
+package auction
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Sentinel errors of the functional component.
+var (
+	// ErrNoSuchLot is returned for an unknown lot.
+	ErrNoSuchLot = errors.New("auction: no such lot")
+	// ErrLotExists is returned when listing a duplicate lot.
+	ErrLotExists = errors.New("auction: lot exists")
+	// ErrClosed is returned when bidding on a closed lot.
+	ErrClosed = errors.New("auction: lot closed")
+	// ErrBidTooLow is returned when a bid does not beat the current best.
+	ErrBidTooLow = errors.New("auction: bid too low")
+)
+
+// Lot is one item under auction.
+type Lot struct {
+	ID         string  `json:"id"`
+	MinBid     float64 `json:"min_bid"`
+	BestBid    float64 `json:"best_bid"`
+	BestBidder string  `json:"best_bidder"`
+	Bids       int     `json:"bids"`
+	Closed     bool    `json:"closed"`
+}
+
+// House is the sequential functional component: the auction ledger. It is
+// NOT safe for unguarded concurrent use.
+type House struct {
+	lots map[string]*Lot
+}
+
+// NewHouse creates an empty auction house.
+func NewHouse() *House {
+	return &House{lots: make(map[string]*Lot, 16)}
+}
+
+// List puts a new lot under auction with the given minimum bid.
+func (h *House) List(id string, minBid float64) error {
+	if id == "" {
+		return errors.New("auction: empty lot id")
+	}
+	if minBid < 0 {
+		return fmt.Errorf("auction: negative minimum bid %v", minBid)
+	}
+	if _, dup := h.lots[id]; dup {
+		return fmt.Errorf("%w: %s", ErrLotExists, id)
+	}
+	h.lots[id] = &Lot{ID: id, MinBid: minBid}
+	return nil
+}
+
+// Bid places a bid. It must be at least the minimum and strictly beat the
+// current best.
+func (h *House) Bid(lotID, bidder string, amount float64) error {
+	lot, ok := h.lots[lotID]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchLot, lotID)
+	}
+	if lot.Closed {
+		return fmt.Errorf("%w: %s", ErrClosed, lotID)
+	}
+	if amount < lot.MinBid || amount <= lot.BestBid {
+		return fmt.Errorf("%w: %v (best %v, min %v)", ErrBidTooLow, amount, lot.BestBid, lot.MinBid)
+	}
+	lot.BestBid = amount
+	lot.BestBidder = bidder
+	lot.Bids++
+	return nil
+}
+
+// Close ends the auction for a lot and returns its final state.
+func (h *House) Close(lotID string) (Lot, error) {
+	lot, ok := h.lots[lotID]
+	if !ok {
+		return Lot{}, fmt.Errorf("%w: %s", ErrNoSuchLot, lotID)
+	}
+	if lot.Closed {
+		return Lot{}, fmt.Errorf("%w: %s", ErrClosed, lotID)
+	}
+	lot.Closed = true
+	return *lot, nil
+}
+
+// Get returns a lot's current state.
+func (h *House) Get(lotID string) (Lot, error) {
+	lot, ok := h.lots[lotID]
+	if !ok {
+		return Lot{}, fmt.Errorf("%w: %s", ErrNoSuchLot, lotID)
+	}
+	return *lot, nil
+}
+
+// Lots returns the sorted ids of all lots.
+func (h *House) Lots() []string {
+	out := make([]string, 0, len(h.lots))
+	for id := range h.lots {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,62 @@
+package auction
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// TestHouseMatchesModelProperty drives the guarded auction with random bid
+// sequences and cross-checks against an independent model of the
+// strictly-increasing-bid rule.
+func TestHouseMatchesModelProperty(t *testing.T) {
+	run := func(amounts []uint8) error {
+		g, err := NewGuarded(GuardedConfig{})
+		if err != nil {
+			return err
+		}
+		p := g.Proxy()
+		ctx := context.Background()
+		const minBid = 5.0
+		if _, err := p.Invoke(ctx, MethodList, "lot", minBid); err != nil {
+			return err
+		}
+		best := 0.0
+		bids := 0
+		for step, raw := range amounts {
+			amount := float64(raw % 32)
+			_, err := p.Invoke(ctx, MethodBid, "lot", "b", amount)
+			wantOK := amount >= minBid && amount > best
+			if wantOK != (err == nil) {
+				return fmt.Errorf("step %d: bid %v with best %v: err=%v", step, amount, best, err)
+			}
+			if wantOK {
+				best = amount
+				bids++
+			} else if !errors.Is(err, ErrBidTooLow) {
+				return fmt.Errorf("step %d: wrong error: %v", step, err)
+			}
+		}
+		res, err := p.Invoke(ctx, MethodGet, "lot")
+		if err != nil {
+			return err
+		}
+		lot := res.(Lot)
+		if lot.BestBid != best || lot.Bids != bids {
+			return fmt.Errorf("lot = %+v, model best=%v bids=%d", lot, best, bids)
+		}
+		return nil
+	}
+	f := func(amounts []uint8) bool {
+		if err := run(amounts); err != nil {
+			t.Log(err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,172 @@
+package auction
+
+import (
+	"repro/internal/aspect"
+	"repro/internal/aspects/auth"
+	"repro/internal/aspects/metrics"
+	"repro/internal/aspects/sched"
+	"repro/internal/aspects/syncguard"
+	"repro/internal/core"
+	"repro/internal/moderator"
+	"repro/internal/proxy"
+)
+
+// Method names of the participating methods.
+const (
+	MethodList  = "list"
+	MethodBid   = "bid"
+	MethodClose = "close"
+	MethodGet   = "get"
+)
+
+// ComponentName is the guarded component's registered name.
+const ComponentName = "auction-house"
+
+// Guarded is the framework-composed auction service: readers-writer
+// synchronization over the ledger, optional per-bidder fair-share
+// scheduling, authorization, and metrics.
+type Guarded struct {
+	component *core.Component
+	house     *House
+	rw        *syncguard.RWLock
+	fair      *sched.FairShare
+}
+
+// GuardedConfig configures NewGuarded.
+type GuardedConfig struct {
+	// House is the functional component (default: a fresh empty house).
+	House *House
+	// FairSharePerBidder, when positive, bounds concurrent bids per
+	// bidder with a fair-share scheduling aspect.
+	FairSharePerBidder int
+	// Authenticator, when non-nil, requires tokens from this store.
+	Authenticator *auth.TokenStore
+	// ACL, when non-nil, authorizes methods by role.
+	ACL auth.ACL
+	// Metrics, when non-nil, measures every invocation.
+	Metrics *metrics.Recorder
+	// ModeratorOptions forwards wake policy/mode to the moderator.
+	ModeratorOptions []moderator.Option
+}
+
+// NewGuarded assembles the guarded auction service.
+func NewGuarded(cfg GuardedConfig) (*Guarded, error) {
+	h := cfg.House
+	if h == nil {
+		h = NewHouse()
+	}
+	writeMethods := []string{MethodList, MethodBid, MethodClose}
+	readMethods := []string{MethodGet}
+	allMethods := append(append([]string{}, writeMethods...), readMethods...)
+	rw := syncguard.NewRWLock(allMethods...)
+
+	b := core.NewComponent(ComponentName, core.WithModeratorOptions(cfg.ModeratorOptions...))
+	b.Bind(MethodList, func(inv *aspect.Invocation) (any, error) {
+		id, err := inv.ArgString(0)
+		if err != nil {
+			return nil, err
+		}
+		minBid, err := inv.ArgFloat(1)
+		if err != nil {
+			return nil, err
+		}
+		return nil, h.List(id, minBid)
+	})
+	b.Bind(MethodBid, func(inv *aspect.Invocation) (any, error) {
+		id, err := inv.ArgString(0)
+		if err != nil {
+			return nil, err
+		}
+		bidder, err := bidderFrom(inv, 1)
+		if err != nil {
+			return nil, err
+		}
+		amount, err := inv.ArgFloat(2)
+		if err != nil {
+			return nil, err
+		}
+		return nil, h.Bid(id, bidder, amount)
+	})
+	b.Bind(MethodClose, func(inv *aspect.Invocation) (any, error) {
+		id, err := inv.ArgString(0)
+		if err != nil {
+			return nil, err
+		}
+		return h.Close(id)
+	})
+	b.Bind(MethodGet, func(inv *aspect.Invocation) (any, error) {
+		id, err := inv.ArgString(0)
+		if err != nil {
+			return nil, err
+		}
+		return h.Get(id)
+	})
+
+	if cfg.Authenticator != nil {
+		b.Layer("security", moderator.Outermost)
+		for _, m := range allMethods {
+			b.UseIn("security", m, aspect.KindAuthentication,
+				auth.Authenticator("authenticate-"+m, cfg.Authenticator))
+		}
+		if cfg.ACL != nil {
+			for _, m := range allMethods {
+				b.UseIn("security", m, aspect.KindAuthorization,
+					auth.Authorizer("authorize-"+m, cfg.ACL))
+			}
+		}
+	}
+
+	var fair *sched.FairShare
+	if cfg.FairSharePerBidder > 0 {
+		var err error
+		fair, err = sched.NewFairShare(cfg.FairSharePerBidder, func(inv *aspect.Invocation) string {
+			bidder, berr := bidderFrom(inv, 1)
+			if berr != nil {
+				return "" // anonymous bucket
+			}
+			return bidder
+		}, MethodBid)
+		if err != nil {
+			return nil, err
+		}
+		b.Use(MethodBid, aspect.KindScheduling, fair.Aspect("fair-bid"))
+	}
+
+	for _, m := range writeMethods {
+		b.Use(m, aspect.KindSynchronization, rw.WriterAspect("write-"+m))
+	}
+	for _, m := range readMethods {
+		b.Use(m, aspect.KindSynchronization, rw.ReaderAspect("read-"+m))
+	}
+	if cfg.Metrics != nil {
+		b.Layer("instrumentation", moderator.Innermost)
+		for _, m := range allMethods {
+			b.UseIn("instrumentation", m, aspect.KindMetrics, cfg.Metrics.Aspect("metrics-"+m))
+		}
+	}
+
+	comp, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Guarded{component: comp, house: h, rw: rw, fair: fair}, nil
+}
+
+// bidderFrom resolves the acting bidder: the authenticated principal when
+// present, else the explicit argument at index i.
+func bidderFrom(inv *aspect.Invocation, i int) (string, error) {
+	if p := auth.PrincipalOf(inv); p != nil {
+		return p.Name, nil
+	}
+	return inv.ArgString(i)
+}
+
+// Proxy returns the guarded entry point.
+func (g *Guarded) Proxy() *proxy.Proxy { return g.component.Proxy() }
+
+// Moderator returns the component's moderator.
+func (g *Guarded) Moderator() *moderator.Moderator { return g.component.Moderator() }
+
+// House returns the underlying functional component, for inspection. Do
+// not call its methods directly while guarded invocations are in flight.
+func (g *Guarded) House() *House { return g.house }

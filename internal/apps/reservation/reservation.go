@@ -1,0 +1,122 @@
+// Package reservation implements an on-line reservation system — one of
+// the open client/server applications the paper's Section 2 motivates. The
+// functional component is a plain, sequential seat inventory; concurrency
+// control (readers-writer), authorization, and instrumentation are composed
+// around it by the framework in wire.go.
+package reservation
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Sentinel errors of the functional component.
+var (
+	// ErrNoSuchSeat is returned for a seat outside the venue.
+	ErrNoSuchSeat = errors.New("reservation: no such seat")
+	// ErrSeatTaken is returned when reserving an already-held seat.
+	ErrSeatTaken = errors.New("reservation: seat taken")
+	// ErrNotHeld is returned when cancelling a seat held by someone else
+	// (or nobody).
+	ErrNotHeld = errors.New("reservation: seat not held by caller")
+)
+
+// Venue is the sequential functional component: a seat map with no
+// synchronization of its own. It is NOT safe for unguarded concurrent use.
+type Venue struct {
+	seats map[string]string // seat -> holder ("" = free)
+
+	reservations  uint64
+	cancellations uint64
+}
+
+// NewVenue creates a venue with the given seat identifiers.
+func NewVenue(seatIDs []string) (*Venue, error) {
+	if len(seatIDs) == 0 {
+		return nil, errors.New("reservation: venue needs at least one seat")
+	}
+	seats := make(map[string]string, len(seatIDs))
+	for _, id := range seatIDs {
+		if id == "" {
+			return nil, errors.New("reservation: empty seat id")
+		}
+		if _, dup := seats[id]; dup {
+			return nil, fmt.Errorf("reservation: duplicate seat %q", id)
+		}
+		seats[id] = ""
+	}
+	return &Venue{seats: seats}, nil
+}
+
+// GridVenue creates a venue with rows x cols seats named "R1C1".."RrCc".
+func GridVenue(rows, cols int) (*Venue, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("reservation: grid %dx%d must be positive", rows, cols)
+	}
+	ids := make([]string, 0, rows*cols)
+	for r := 1; r <= rows; r++ {
+		for c := 1; c <= cols; c++ {
+			ids = append(ids, fmt.Sprintf("R%dC%d", r, c))
+		}
+	}
+	return NewVenue(ids)
+}
+
+// Reserve books a seat for holder.
+func (v *Venue) Reserve(seat, holder string) error {
+	cur, ok := v.seats[seat]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchSeat, seat)
+	}
+	if cur != "" {
+		return fmt.Errorf("%w: %s held by %s", ErrSeatTaken, seat, cur)
+	}
+	v.seats[seat] = holder
+	v.reservations++
+	return nil
+}
+
+// Cancel releases a seat held by holder.
+func (v *Venue) Cancel(seat, holder string) error {
+	cur, ok := v.seats[seat]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoSuchSeat, seat)
+	}
+	if cur != holder || holder == "" {
+		return fmt.Errorf("%w: %s", ErrNotHeld, seat)
+	}
+	v.seats[seat] = ""
+	v.cancellations++
+	return nil
+}
+
+// Holder returns who holds a seat ("" = free).
+func (v *Venue) Holder(seat string) (string, error) {
+	cur, ok := v.seats[seat]
+	if !ok {
+		return "", fmt.Errorf("%w: %s", ErrNoSuchSeat, seat)
+	}
+	return cur, nil
+}
+
+// Available returns the sorted identifiers of free seats.
+func (v *Venue) Available() []string {
+	out := make([]string, 0, len(v.seats))
+	for id, holder := range v.seats {
+		if holder == "" {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Seats returns the total seat count.
+func (v *Venue) Seats() int { return len(v.seats) }
+
+// Reservations returns the total successful reservations ever made.
+func (v *Venue) Reservations() uint64 { return v.reservations }
+
+// Cancellations returns the total successful cancellations ever made.
+func (v *Venue) Cancellations() uint64 { return v.cancellations }

@@ -1,0 +1,95 @@
+package reservation
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// TestVenueMatchesModelProperty drives the guarded reservation component
+// with random operation sequences and cross-checks every outcome against
+// an independent map model.
+func TestVenueMatchesModelProperty(t *testing.T) {
+	seats := []string{"A", "B", "C"}
+	holders := []string{"alice", "bob"}
+
+	run := func(ops []uint8) error {
+		v, err := NewVenue(seats)
+		if err != nil {
+			return err
+		}
+		g, err := NewGuarded(GuardedConfig{Venue: v})
+		if err != nil {
+			return err
+		}
+		p := g.Proxy()
+		ctx := context.Background()
+		model := map[string]string{} // seat -> holder
+
+		for step, op := range ops {
+			seat := seats[int(op)%len(seats)]
+			holder := holders[int(op/8)%len(holders)]
+			switch op % 3 {
+			case 0: // reserve
+				_, err := p.Invoke(ctx, MethodReserve, seat, holder)
+				taken := model[seat] != ""
+				if taken != errors.Is(err, ErrSeatTaken) {
+					return fmt.Errorf("step %d: reserve %s by %s: taken=%v err=%v", step, seat, holder, taken, err)
+				}
+				if !taken {
+					if err != nil {
+						return fmt.Errorf("step %d: reserve free seat: %v", step, err)
+					}
+					model[seat] = holder
+				}
+			case 1: // cancel
+				_, err := p.Invoke(ctx, MethodCancel, seat, holder)
+				held := model[seat] == holder
+				if held != (err == nil) {
+					return fmt.Errorf("step %d: cancel %s by %s: held=%v err=%v", step, seat, holder, held, err)
+				}
+				if held {
+					delete(model, seat)
+				} else if !errors.Is(err, ErrNotHeld) {
+					return fmt.Errorf("step %d: cancel wrong error: %v", step, err)
+				}
+			case 2: // query
+				got, err := p.Invoke(ctx, MethodHolder, seat)
+				if err != nil {
+					return fmt.Errorf("step %d: holder: %v", step, err)
+				}
+				if got != model[seat] {
+					return fmt.Errorf("step %d: holder %s = %v, model %q", step, seat, got, model[seat])
+				}
+			}
+		}
+		// Final availability must match the model.
+		free := 0
+		for _, s := range seats {
+			if model[s] == "" {
+				free++
+			}
+		}
+		avail, err := p.Invoke(ctx, MethodAvailable)
+		if err != nil {
+			return err
+		}
+		if got := len(avail.([]string)); got != free {
+			return fmt.Errorf("available = %d, model %d", got, free)
+		}
+		return nil
+	}
+
+	f := func(ops []uint8) bool {
+		if err := run(ops); err != nil {
+			t.Log(err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,246 @@
+package ticket
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/aspect"
+	"repro/internal/aspects/audit"
+	"repro/internal/aspects/auth"
+	"repro/internal/aspects/metrics"
+)
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := NewServer(0); err == nil {
+		t.Error("capacity 0 must error")
+	}
+}
+
+func TestServerSequentialSemantics(t *testing.T) {
+	s, err := NewServer(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Assign(); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("assign from empty: %v", err)
+	}
+	if err := s.Open(Ticket{ID: "t1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Open(Ticket{ID: "t2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Open(Ticket{ID: "t3"}); !errors.Is(err, ErrFull) {
+		t.Fatalf("open into full: %v", err)
+	}
+	// FIFO order.
+	got, err := s.Assign()
+	if err != nil || got.ID != "t1" {
+		t.Fatalf("assign = %+v, %v", got, err)
+	}
+	got, err = s.Assign()
+	if err != nil || got.ID != "t2" {
+		t.Fatalf("assign = %+v, %v", got, err)
+	}
+	if s.Size() != 0 || s.Opened() != 2 || s.Assigned() != 2 {
+		t.Errorf("counters: size=%d opened=%d assigned=%d", s.Size(), s.Opened(), s.Assigned())
+	}
+}
+
+func TestServerWrapAround(t *testing.T) {
+	s, err := NewServer(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 5; round++ {
+		for k := 0; k < 3; k++ {
+			if err := s.Open(Ticket{ID: fmt.Sprintf("r%d-%d", round, k)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for k := 0; k < 3; k++ {
+			got, err := s.Assign()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := fmt.Sprintf("r%d-%d", round, k)
+			if got.ID != want {
+				t.Fatalf("round %d: got %s want %s", round, got.ID, want)
+			}
+		}
+	}
+}
+
+func TestGuardedBasicFlow(t *testing.T) {
+	g, err := NewGuarded(GuardedConfig{Capacity: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := g.Proxy()
+	if _, err := p.Invoke(context.Background(), MethodOpen, "t1", "printer on fire"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Invoke(context.Background(), MethodAssign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, ok := got.(Ticket)
+	if !ok || tk.ID != "t1" {
+		t.Fatalf("assign = %#v", got)
+	}
+}
+
+func TestGuardedValidatesArgs(t *testing.T) {
+	g, err := NewGuarded(GuardedConfig{Capacity: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Proxy().Invoke(context.Background(), MethodOpen, 42, "x"); err == nil {
+		t.Error("non-string id must error")
+	}
+	if _, err := g.Proxy().Invoke(context.Background(), MethodOpen, "id-only"); err == nil {
+		t.Error("missing summary must error")
+	}
+}
+
+func TestGuardedConcurrentProducersConsumers(t *testing.T) {
+	// The paper's headline scenario: concurrent clients against a small
+	// buffer, with the sequential server never seeing Full or Empty.
+	g, err := NewGuarded(GuardedConfig{Capacity: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := g.Proxy()
+	const producers, perProducer = 4, 25
+	total := producers * perProducer
+	var wg sync.WaitGroup
+	ids := make(chan string, total)
+	for w := 0; w < producers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := 0; k < perProducer; k++ {
+				id := fmt.Sprintf("t-%d-%d", w, k)
+				if _, err := p.Invoke(context.Background(), MethodOpen, id, "s"); err != nil {
+					t.Errorf("open: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < producers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < perProducer; k++ {
+				got, err := p.Invoke(context.Background(), MethodAssign)
+				if err != nil {
+					t.Errorf("assign: %v", err)
+					return
+				}
+				ids <- got.(Ticket).ID
+			}
+		}()
+	}
+	wg.Wait()
+	close(ids)
+	seen := make(map[string]bool, total)
+	for id := range ids {
+		if seen[id] {
+			t.Errorf("duplicate %s", id)
+		}
+		seen[id] = true
+	}
+	if len(seen) != total {
+		t.Errorf("got %d distinct tickets, want %d", len(seen), total)
+	}
+	if g.Server().Size() != 0 {
+		t.Errorf("final size = %d", g.Server().Size())
+	}
+	if err := g.Buffer().CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGuardedWithAuditAndMetrics(t *testing.T) {
+	trail, err := audit.NewTrail(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := metrics.NewRecorder()
+	g, err := NewGuarded(GuardedConfig{Capacity: 2, Audit: trail, Metrics: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := g.Proxy()
+	if _, err := p.Invoke(context.Background(), MethodOpen, "t1", "s"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Invoke(context.Background(), MethodAssign); err != nil {
+		t.Fatal(err)
+	}
+	if trail.Seq() != 4 { // pre+post for each invocation
+		t.Errorf("audit events = %d, want 4", trail.Seq())
+	}
+	snap := rec.Snapshot()
+	if snap[ComponentName+"."+MethodOpen].Count != 1 || snap[ComponentName+"."+MethodAssign].Count != 1 {
+		t.Errorf("metrics = %+v", snap)
+	}
+}
+
+func TestEnableAuthenticationAdaptability(t *testing.T) {
+	// Capacity must exceed the number of opens the test commits (t0, the
+	// authenticated t1, t2), or the last one blocks on a full buffer.
+	g, err := NewGuarded(GuardedConfig{Capacity: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := g.Proxy()
+	ctx := context.Background()
+
+	// Before: anonymous calls pass.
+	if _, err := p.Invoke(ctx, MethodOpen, "t0", "s"); err != nil {
+		t.Fatal(err)
+	}
+
+	store := auth.NewTokenStore()
+	tok := store.Issue("alice", "client")
+	if err := g.EnableAuthentication(store); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.EnableAuthentication(store); err == nil {
+		t.Error("double enable must error")
+	}
+
+	// Anonymous calls now abort with ErrUnauthenticated.
+	if _, err := p.Invoke(ctx, MethodOpen, "t1", "s"); !errors.Is(err, auth.ErrUnauthenticated) {
+		t.Fatalf("anonymous open after enable: %v", err)
+	}
+	// Authenticated calls pass.
+	inv := aspect.NewInvocation(ctx, p.Name(), MethodOpen, []any{"t1", "s"})
+	auth.WithToken(inv, tok)
+	if _, err := p.Call(inv); err != nil {
+		t.Fatalf("authenticated open: %v", err)
+	}
+
+	// Disable: anonymous calls pass again.
+	if err := g.DisableAuthentication(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Invoke(ctx, MethodOpen, "t2", "s"); err != nil {
+		t.Fatalf("open after disable: %v", err)
+	}
+}
+
+func TestEnableAuthenticationNilStore(t *testing.T) {
+	g, err := NewGuarded(GuardedConfig{Capacity: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.EnableAuthentication(nil); err == nil {
+		t.Error("nil store must error")
+	}
+}

@@ -1,0 +1,169 @@
+// Package timecard implements a timecard reporting system — the last of
+// the four client/server applications the paper's Section 2 motivates.
+// Employees punch in and out and submit their week; managers approve or
+// reject submissions. The Ledger is plain sequential code; synchronization,
+// authorization, fair-share scheduling, and the audit trail are composed
+// around it in wire.go.
+package timecard
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Sentinel errors of the functional component.
+var (
+	// ErrAlreadyIn is returned when punching in twice.
+	ErrAlreadyIn = errors.New("timecard: already punched in")
+	// ErrNotIn is returned when punching out without punching in.
+	ErrNotIn = errors.New("timecard: not punched in")
+	// ErrNothingToSubmit is returned when submitting an empty card.
+	ErrNothingToSubmit = errors.New("timecard: nothing to submit")
+	// ErrNotSubmitted is returned when deciding a card that is not
+	// awaiting approval.
+	ErrNotSubmitted = errors.New("timecard: not submitted")
+)
+
+// CardState is a timecard's lifecycle position.
+type CardState string
+
+// Lifecycle states.
+const (
+	StateOpen      CardState = "open"
+	StateSubmitted CardState = "submitted"
+	StateApproved  CardState = "approved"
+	StateRejected  CardState = "rejected"
+)
+
+// Card is one employee's current timecard.
+type Card struct {
+	Employee string        `json:"employee"`
+	State    CardState     `json:"state"`
+	Worked   time.Duration `json:"worked"`
+	Sessions int           `json:"sessions"`
+	openedAt time.Time
+	punched  bool
+}
+
+// Ledger is the sequential functional component. It is NOT safe for
+// unguarded concurrent use.
+type Ledger struct {
+	cards map[string]*Card
+	now   func() time.Time
+}
+
+// LedgerOption configures NewLedger.
+type LedgerOption func(*Ledger)
+
+// WithClock overrides the punch clock (tests).
+func WithClock(now func() time.Time) LedgerOption {
+	return func(l *Ledger) { l.now = now }
+}
+
+// NewLedger creates an empty ledger.
+func NewLedger(opts ...LedgerOption) *Ledger {
+	l := &Ledger{
+		cards: make(map[string]*Card, 16),
+		now:   time.Now,
+	}
+	for _, opt := range opts {
+		opt(l)
+	}
+	return l
+}
+
+// card returns (creating if needed) an employee's current card.
+func (l *Ledger) card(employee string) *Card {
+	c, ok := l.cards[employee]
+	if !ok || c.State == StateApproved || c.State == StateRejected {
+		c = &Card{Employee: employee, State: StateOpen}
+		l.cards[employee] = c
+	}
+	return c
+}
+
+// PunchIn starts a work session for the employee.
+func (l *Ledger) PunchIn(employee string) error {
+	c := l.card(employee)
+	if c.punched {
+		return fmt.Errorf("%w: %s", ErrAlreadyIn, employee)
+	}
+	if c.State != StateOpen {
+		return fmt.Errorf("%w: card is %s", ErrNotSubmitted, c.State)
+	}
+	c.punched = true
+	c.openedAt = l.now()
+	return nil
+}
+
+// PunchOut ends the current work session, accumulating worked time.
+func (l *Ledger) PunchOut(employee string) (time.Duration, error) {
+	c := l.card(employee)
+	if !c.punched {
+		return 0, fmt.Errorf("%w: %s", ErrNotIn, employee)
+	}
+	session := l.now().Sub(c.openedAt)
+	if session < 0 {
+		session = 0
+	}
+	c.punched = false
+	c.Worked += session
+	c.Sessions++
+	return session, nil
+}
+
+// Submit moves the employee's card to the submitted state.
+func (l *Ledger) Submit(employee string) (Card, error) {
+	c := l.card(employee)
+	if c.punched {
+		// An open session is closed implicitly at submission.
+		if _, err := l.PunchOut(employee); err != nil {
+			return Card{}, err
+		}
+	}
+	if c.Sessions == 0 {
+		return Card{}, fmt.Errorf("%w: %s", ErrNothingToSubmit, employee)
+	}
+	if c.State != StateOpen {
+		return Card{}, fmt.Errorf("%w: card is %s", ErrNotSubmitted, c.State)
+	}
+	c.State = StateSubmitted
+	return *c, nil
+}
+
+// Decide approves or rejects a submitted card.
+func (l *Ledger) Decide(employee string, approve bool) (Card, error) {
+	c, ok := l.cards[employee]
+	if !ok || c.State != StateSubmitted {
+		return Card{}, fmt.Errorf("%w: %s", ErrNotSubmitted, employee)
+	}
+	if approve {
+		c.State = StateApproved
+	} else {
+		c.State = StateRejected
+	}
+	return *c, nil
+}
+
+// CardOf returns a copy of an employee's current card.
+func (l *Ledger) CardOf(employee string) (Card, bool) {
+	c, ok := l.cards[employee]
+	if !ok {
+		return Card{}, false
+	}
+	return *c, true
+}
+
+// Pending returns the employees with submitted cards, sorted.
+func (l *Ledger) Pending() []string {
+	out := make([]string, 0, len(l.cards))
+	for name, c := range l.cards {
+		if c.State == StateSubmitted {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

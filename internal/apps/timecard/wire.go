@@ -1,0 +1,197 @@
+package timecard
+
+import (
+	"repro/internal/aspect"
+	"repro/internal/aspects/audit"
+	"repro/internal/aspects/auth"
+	"repro/internal/aspects/sched"
+	"repro/internal/aspects/syncguard"
+	"repro/internal/core"
+	"repro/internal/moderator"
+	"repro/internal/proxy"
+)
+
+// Method names of the participating methods.
+const (
+	MethodPunchIn  = "punch-in"
+	MethodPunchOut = "punch-out"
+	MethodSubmit   = "submit"
+	MethodDecide   = "decide"
+	MethodPending  = "pending"
+)
+
+// ComponentName is the guarded component's registered name.
+const ComponentName = "timecard"
+
+// Roles used by the default ACL.
+const (
+	RoleEmployee = "employee"
+	RoleManager  = "manager"
+)
+
+// DefaultACL authorizes employees to punch and submit, managers to decide;
+// both may list pending cards.
+func DefaultACL() auth.ACL {
+	return auth.ACL{
+		MethodPunchIn:  {RoleEmployee},
+		MethodPunchOut: {RoleEmployee},
+		MethodSubmit:   {RoleEmployee},
+		MethodDecide:   {RoleManager},
+		MethodPending:  {RoleEmployee, RoleManager},
+	}
+}
+
+// Guarded is the framework-composed timecard service: readers-writer
+// synchronization over the ledger, mandatory authentication and
+// authorization (timecards are payroll records), per-employee fair-share
+// scheduling of punches, and a mandatory audit trail.
+type Guarded struct {
+	component *core.Component
+	ledger    *Ledger
+	trail     *audit.Trail
+}
+
+// GuardedConfig configures NewGuarded. Authenticator is required: unlike
+// the ticket example, a timecard system is never anonymous.
+type GuardedConfig struct {
+	// Ledger is the functional component (default: a fresh one).
+	Ledger *Ledger
+	// Authenticator validates bearer tokens (required).
+	Authenticator *auth.TokenStore
+	// ACL overrides DefaultACL when non-nil.
+	ACL auth.ACL
+	// AuditCapacity sizes the mandatory audit trail (default 1024).
+	AuditCapacity int
+	// FairSharePerEmployee bounds concurrent punch operations per
+	// employee (default 1).
+	FairSharePerEmployee int
+	// ModeratorOptions forwards wake policy/mode to the moderator.
+	ModeratorOptions []moderator.Option
+}
+
+// NewGuarded assembles the guarded timecard service.
+func NewGuarded(cfg GuardedConfig) (*Guarded, error) {
+	if cfg.Authenticator == nil {
+		return nil, errNilAuthenticator
+	}
+	l := cfg.Ledger
+	if l == nil {
+		l = NewLedger()
+	}
+	acl := cfg.ACL
+	if acl == nil {
+		acl = DefaultACL()
+	}
+	auditCap := cfg.AuditCapacity
+	if auditCap <= 0 {
+		auditCap = 1024
+	}
+	trail, err := audit.NewTrail(auditCap)
+	if err != nil {
+		return nil, err
+	}
+	perEmployee := cfg.FairSharePerEmployee
+	if perEmployee <= 0 {
+		perEmployee = 1
+	}
+
+	writeMethods := []string{MethodPunchIn, MethodPunchOut, MethodSubmit, MethodDecide}
+	readMethods := []string{MethodPending}
+	allMethods := append(append([]string{}, writeMethods...), readMethods...)
+	rw := syncguard.NewRWLock(allMethods...)
+	fair, err := sched.NewFairShare(perEmployee, func(inv *aspect.Invocation) string {
+		if p := auth.PrincipalOf(inv); p != nil {
+			return p.Name
+		}
+		return ""
+	}, MethodPunchIn, MethodPunchOut, MethodSubmit)
+	if err != nil {
+		return nil, err
+	}
+
+	b := core.NewComponent(ComponentName, core.WithModeratorOptions(cfg.ModeratorOptions...))
+	// The acting employee is always the authenticated principal: the
+	// component never trusts a caller-supplied identity for self-service
+	// operations.
+	principalName := func(inv *aspect.Invocation) string {
+		if p := auth.PrincipalOf(inv); p != nil {
+			return p.Name
+		}
+		return ""
+	}
+	b.Bind(MethodPunchIn, func(inv *aspect.Invocation) (any, error) {
+		return nil, l.PunchIn(principalName(inv))
+	})
+	b.Bind(MethodPunchOut, func(inv *aspect.Invocation) (any, error) {
+		return l.PunchOut(principalName(inv))
+	})
+	b.Bind(MethodSubmit, func(inv *aspect.Invocation) (any, error) {
+		return l.Submit(principalName(inv))
+	})
+	b.Bind(MethodDecide, func(inv *aspect.Invocation) (any, error) {
+		employee, err := inv.ArgString(0)
+		if err != nil {
+			return nil, err
+		}
+		approve := true
+		if inv.NumArgs() > 1 {
+			if v, ok := inv.Arg(1).(bool); ok {
+				approve = v
+			}
+		}
+		return l.Decide(employee, approve)
+	})
+	b.Bind(MethodPending, func(*aspect.Invocation) (any, error) {
+		return l.Pending(), nil
+	})
+
+	// Security layer: authentication, then authorization, then audit.
+	// The audit aspect sits inside the security layer so every recorded
+	// event is attributed to an authenticated principal, and an inner
+	// layer's abort still reaches the trail through the audit aspect's
+	// cancel hook.
+	b.Layer("security", moderator.Outermost)
+	for _, m := range allMethods {
+		b.UseIn("security", m, aspect.KindAuthentication,
+			auth.Authenticator("authn-"+m, cfg.Authenticator))
+		b.UseIn("security", m, aspect.KindAuthorization,
+			auth.Authorizer("authz-"+m, acl))
+		b.UseIn("security", m, aspect.KindAudit, trail.Aspect("audit-"+m))
+	}
+	// Scheduling: one in-flight punch per employee.
+	for _, m := range []string{MethodPunchIn, MethodPunchOut, MethodSubmit} {
+		b.Use(m, aspect.KindScheduling, fair.Aspect("fair-"+m))
+	}
+	// Synchronization: readers-writer over the ledger.
+	for _, m := range writeMethods {
+		b.Use(m, aspect.KindSynchronization, rw.WriterAspect("write-"+m))
+	}
+	for _, m := range readMethods {
+		b.Use(m, aspect.KindSynchronization, rw.ReaderAspect("read-"+m))
+	}
+
+	comp, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Guarded{component: comp, ledger: l, trail: trail}, nil
+}
+
+var errNilAuthenticator = &configError{"timecard: authenticator is required"}
+
+type configError struct{ msg string }
+
+func (e *configError) Error() string { return e.msg }
+
+// Proxy returns the guarded entry point.
+func (g *Guarded) Proxy() *proxy.Proxy { return g.component.Proxy() }
+
+// Moderator returns the component's moderator.
+func (g *Guarded) Moderator() *moderator.Moderator { return g.component.Moderator() }
+
+// Ledger returns the underlying functional component, for inspection. Do
+// not call its methods directly while guarded invocations are in flight.
+func (g *Guarded) Ledger() *Ledger { return g.ledger }
+
+// Audit returns the mandatory audit trail.
+func (g *Guarded) Audit() *audit.Trail { return g.trail }

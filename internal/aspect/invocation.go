@@ -1,0 +1,204 @@
+package aspect
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync/atomic"
+	"time"
+)
+
+var invocationSeq atomic.Uint64
+
+// Invocation is the join-point record of one guarded method call. It is
+// created by a component proxy, threaded through the pre-activation phase,
+// the method body, and the post-activation phase, and carries the call's
+// arguments, attributes, principal-style metadata, and outcome.
+//
+// An Invocation is owned by the calling goroutine; it is not safe for
+// concurrent use. Aspects touch it only from moderator hooks, which the
+// moderator serializes under the component's admission lock.
+type Invocation struct {
+	ctx       context.Context
+	component string
+	method    string
+	args      []any
+
+	// Priority orders blocked callers when the moderator's wait queues
+	// use a priority wake policy. Higher values wake first.
+	Priority int
+
+	attrs   map[any]any
+	result  any
+	err     error
+	id      uint64
+	created time.Time
+}
+
+// NewInvocation builds an invocation record for one call of method on the
+// named component. A nil ctx defaults to context.Background().
+func NewInvocation(ctx context.Context, component, method string, args []any) *Invocation {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &Invocation{
+		ctx:       ctx,
+		component: component,
+		method:    method,
+		args:      args,
+		id:        invocationSeq.Add(1),
+		created:   time.Now(),
+	}
+}
+
+// Context returns the caller's context. Moderators honor its cancellation
+// while the invocation is blocked on a wait queue.
+func (inv *Invocation) Context() context.Context { return inv.ctx }
+
+// ID returns a process-unique sequence number for the invocation.
+func (inv *Invocation) ID() uint64 { return inv.id }
+
+// Component returns the name of the functional component being invoked.
+func (inv *Invocation) Component() string { return inv.component }
+
+// Method returns the participating method name.
+func (inv *Invocation) Method() string { return inv.method }
+
+// Created returns the time the invocation record was built.
+func (inv *Invocation) Created() time.Time { return inv.created }
+
+// Args returns the raw argument list. The slice is shared, not copied.
+func (inv *Invocation) Args() []any { return inv.args }
+
+// NumArgs returns the number of arguments.
+func (inv *Invocation) NumArgs() int { return len(inv.args) }
+
+// Arg returns argument i, or nil if out of range.
+func (inv *Invocation) Arg(i int) any {
+	if i < 0 || i >= len(inv.args) {
+		return nil
+	}
+	return inv.args[i]
+}
+
+// ArgString coerces argument i to a string. It returns an error if the
+// argument is missing or not a string.
+func (inv *Invocation) ArgString(i int) (string, error) {
+	v := inv.Arg(i)
+	if v == nil {
+		return "", fmt.Errorf("aspect: %s.%s arg %d: missing", inv.component, inv.method, i)
+	}
+	s, ok := v.(string)
+	if !ok {
+		return "", fmt.Errorf("aspect: %s.%s arg %d: want string, got %T", inv.component, inv.method, i, v)
+	}
+	return s, nil
+}
+
+// ArgInt coerces argument i to an int. JSON transports decode numbers as
+// float64, so float64 values that are exact integers are accepted, as are
+// the common integer widths and numeric strings.
+func (inv *Invocation) ArgInt(i int) (int, error) {
+	v := inv.Arg(i)
+	switch n := v.(type) {
+	case int:
+		return n, nil
+	case int32:
+		return int(n), nil
+	case int64:
+		return int(n), nil
+	case uint:
+		return int(n), nil
+	case float64:
+		if n != float64(int(n)) {
+			return 0, fmt.Errorf("aspect: %s.%s arg %d: non-integer number %v", inv.component, inv.method, i, n)
+		}
+		return int(n), nil
+	case string:
+		p, err := strconv.Atoi(n)
+		if err != nil {
+			return 0, fmt.Errorf("aspect: %s.%s arg %d: %w", inv.component, inv.method, i, err)
+		}
+		return p, nil
+	case nil:
+		return 0, fmt.Errorf("aspect: %s.%s arg %d: missing", inv.component, inv.method, i)
+	default:
+		return 0, fmt.Errorf("aspect: %s.%s arg %d: want int, got %T", inv.component, inv.method, i, v)
+	}
+}
+
+// ArgFloat coerces argument i to a float64.
+func (inv *Invocation) ArgFloat(i int) (float64, error) {
+	v := inv.Arg(i)
+	switch n := v.(type) {
+	case float64:
+		return n, nil
+	case float32:
+		return float64(n), nil
+	case int:
+		return float64(n), nil
+	case int64:
+		return float64(n), nil
+	case string:
+		p, err := strconv.ParseFloat(n, 64)
+		if err != nil {
+			return 0, fmt.Errorf("aspect: %s.%s arg %d: %w", inv.component, inv.method, i, err)
+		}
+		return p, nil
+	case nil:
+		return 0, fmt.Errorf("aspect: %s.%s arg %d: missing", inv.component, inv.method, i)
+	default:
+		return 0, fmt.Errorf("aspect: %s.%s arg %d: want float, got %T", inv.component, inv.method, i, v)
+	}
+}
+
+// SetAttr attaches metadata to the invocation under the given key. Packages
+// should use unexported key types, mirroring context.Context usage, so that
+// independently developed aspects cannot collide.
+func (inv *Invocation) SetAttr(key, value any) {
+	if inv.attrs == nil {
+		inv.attrs = make(map[any]any, 4)
+	}
+	inv.attrs[key] = value
+}
+
+// Attr returns the metadata stored under key, or nil.
+func (inv *Invocation) Attr(key any) any {
+	if inv.attrs == nil {
+		return nil
+	}
+	return inv.attrs[key]
+}
+
+// DeleteAttr removes the metadata stored under key.
+func (inv *Invocation) DeleteAttr(key any) {
+	if inv.attrs != nil {
+		delete(inv.attrs, key)
+	}
+}
+
+// SetResult records the method body's outcome so post-activation aspects
+// can observe it. The proxy calls this between the method body and
+// post-activation.
+func (inv *Invocation) SetResult(result any, err error) {
+	inv.result = result
+	inv.err = err
+}
+
+// Result returns the value the method body produced, if any.
+func (inv *Invocation) Result() any { return inv.result }
+
+// Err returns the error recorded on the invocation: the method body's error
+// after execution, or an abort cause recorded by an aspect during
+// pre-activation.
+func (inv *Invocation) Err() error { return inv.err }
+
+// SetErr records an error on the invocation. An aspect whose Precondition
+// returns Abort should first call SetErr with the specific cause; the
+// moderator surfaces it to the caller (falling back to ErrAborted).
+func (inv *Invocation) SetErr(err error) { inv.err = err }
+
+// String renders the invocation for diagnostics.
+func (inv *Invocation) String() string {
+	return fmt.Sprintf("%s.%s#%d", inv.component, inv.method, inv.id)
+}

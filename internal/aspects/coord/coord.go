@@ -1,0 +1,176 @@
+// Package coord provides coordination aspects — the multi-party
+// interaction property the paper lists alongside synchronization and
+// scheduling (Section 2). Where syncguard aspects condition one caller's
+// admission on component state, coordination aspects condition admission
+// on *other callers*: a Barrier releases parties in cohorts of N, a
+// Rendezvous pairs callers of two methods.
+//
+// Both are ordinary guard aspects: no coordination code enters the
+// functional component. They exercise the framework's Abandoner hook —
+// a blocked party that cancels retracts its arrival so the cohort count
+// stays truthful.
+package coord
+
+import (
+	"fmt"
+
+	"repro/internal/aspect"
+)
+
+// generationKey remembers, per invocation, which barrier generation the
+// caller arrived in.
+type generationKey struct{}
+
+// Barrier admits callers in cohorts: each caller blocks until Parties
+// callers have arrived, then the whole cohort proceeds together (a new
+// generation begins for subsequent arrivals).
+type Barrier struct {
+	parties    int
+	arrived    int
+	generation uint64
+	methods    []string
+}
+
+// NewBarrier creates a barrier for cohorts of the given size. The methods
+// list is the wake list (the participating methods the barrier guards).
+func NewBarrier(parties int, methods ...string) (*Barrier, error) {
+	if parties <= 1 {
+		return nil, fmt.Errorf("coord: barrier parties %d must be at least 2", parties)
+	}
+	return &Barrier{parties: parties, methods: methods}, nil
+}
+
+// Aspect returns the barrier's guard aspect. Register it for every
+// participating method; callers of any of them count toward the cohort.
+func (b *Barrier) Aspect(name string) aspect.Aspect {
+	return &aspect.Func{
+		AspectName: name,
+		AspectKind: aspect.KindSynchronization,
+		Pre: func(inv *aspect.Invocation) aspect.Verdict {
+			// A caller whose generation has passed was released by the
+			// cohort's completion.
+			if gen, ok := inv.Attr(generationKey{}).(uint64); ok {
+				if gen < b.generation {
+					inv.DeleteAttr(generationKey{})
+					return aspect.Resume
+				}
+				// Same generation: still waiting for the cohort to fill.
+				return aspect.Block
+			}
+			// First arrival of this invocation.
+			b.arrived++
+			if b.arrived == b.parties {
+				// Cohort complete: release everyone and proceed.
+				b.arrived = 0
+				b.generation++
+				return aspect.Resume
+			}
+			inv.SetAttr(generationKey{}, b.generation)
+			return aspect.Block
+		},
+		AbandonFn: func(inv *aspect.Invocation) {
+			// A parked party gave up: retract its arrival unless its
+			// cohort already completed (in which case its slot was
+			// consumed by the release and the generation moved on).
+			if gen, ok := inv.Attr(generationKey{}).(uint64); ok {
+				inv.DeleteAttr(generationKey{})
+				if gen == b.generation {
+					b.arrived--
+				}
+			}
+		},
+		WakeList: b.methods,
+	}
+}
+
+// Arrived returns the current cohort's arrival count (diagnostics; call
+// only under the admission lock).
+func (b *Barrier) Arrived() int { return b.arrived }
+
+// Generation returns the number of completed cohorts.
+func (b *Barrier) Generation() uint64 { return b.generation }
+
+// Rendezvous pairs callers of two methods: a caller of either side blocks
+// until a partner from the other side arrives; then both proceed. The
+// classic synchronous channel protocol, composed as an aspect pair.
+type Rendezvous struct {
+	left, right   string
+	leftWaiting   int
+	rightWaiting  int
+	leftReleases  int // partners that arrived and released a waiting left
+	rightReleases int
+}
+
+// NewRendezvous creates a rendezvous between callers of leftMethod and
+// rightMethod.
+func NewRendezvous(leftMethod, rightMethod string) (*Rendezvous, error) {
+	if leftMethod == "" || rightMethod == "" || leftMethod == rightMethod {
+		return nil, fmt.Errorf("coord: rendezvous methods %q/%q must be distinct and non-empty",
+			leftMethod, rightMethod)
+	}
+	return &Rendezvous{left: leftMethod, right: rightMethod}, nil
+}
+
+type sideKey struct{}
+
+// LeftAspect returns the guard for the left method.
+func (r *Rendezvous) LeftAspect(name string) aspect.Aspect {
+	return r.sideAspect(name, &r.leftWaiting, &r.leftReleases, &r.rightWaiting, &r.rightReleases)
+}
+
+// RightAspect returns the guard for the right method.
+func (r *Rendezvous) RightAspect(name string) aspect.Aspect {
+	return r.sideAspect(name, &r.rightWaiting, &r.rightReleases, &r.leftWaiting, &r.leftReleases)
+}
+
+// sideAspect builds one side's guard: mine/myReleases are this side's
+// counters, theirs/theirReleases the partner side's.
+func (r *Rendezvous) sideAspect(name string, mine, myReleases, theirs, theirReleases *int) aspect.Aspect {
+	return &aspect.Func{
+		AspectName: name,
+		AspectKind: aspect.KindSynchronization,
+		Pre: func(inv *aspect.Invocation) aspect.Verdict {
+			if _, waiting := inv.Attr(sideKey{}).(bool); waiting {
+				// Parked earlier; a release token from the partner side
+				// lets exactly one waiter through.
+				if *myReleases > 0 {
+					*myReleases--
+					inv.DeleteAttr(sideKey{})
+					return aspect.Resume
+				}
+				return aspect.Block
+			}
+			if *theirs > 0 {
+				// A partner is parked: release it and proceed.
+				*theirs--
+				*theirReleases++
+				return aspect.Resume
+			}
+			// No partner yet: park.
+			*mine++
+			inv.SetAttr(sideKey{}, true)
+			return aspect.Block
+		},
+		AbandonFn: func(inv *aspect.Invocation) {
+			if _, waiting := inv.Attr(sideKey{}).(bool); !waiting {
+				return
+			}
+			inv.DeleteAttr(sideKey{})
+			// Conservation: parked-goroutine count on this side always
+			// equals mine + myReleases. The abandoning goroutine leaves,
+			// so retract an unreleased slot if one exists; otherwise it
+			// must consume (and waste) a release token — its partner has
+			// already proceeded, the price of cancelling mid-rendezvous.
+			if *mine > 0 {
+				*mine--
+			} else if *myReleases > 0 {
+				*myReleases--
+			}
+		},
+		WakeList: []string{r.left, r.right},
+	}
+}
+
+// Waiting returns the number of parked callers on each side (diagnostics;
+// call only under the admission lock).
+func (r *Rendezvous) Waiting() (left, right int) { return r.leftWaiting, r.rightWaiting }

@@ -1,0 +1,291 @@
+// Package fault provides the fault-tolerance concerns of the framework —
+// one of the interaction properties the paper names in Section 1. Two
+// styles coexist:
+//
+//   - Guard aspects, evaluated by the moderator like any other concern:
+//     CircuitBreaker (shed calls to a failing component) and Bulkhead
+//     (bound in-flight work).
+//   - Invoker middleware, wrapped around a proxy or RPC stub: Retry and
+//     Timeout. Retrying must re-run the method body, which is outside a
+//     guard's power — the moderator model brackets a single execution — so
+//     these compose at the invoker boundary instead.
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/aspect"
+	"repro/internal/proxy"
+)
+
+// ErrCircuitOpen is recorded on invocations shed by an open circuit breaker.
+var ErrCircuitOpen = errors.New("fault: circuit open")
+
+// ErrBulkheadFull is recorded on invocations shed by a full bulkhead.
+var ErrBulkheadFull = errors.New("fault: bulkhead full")
+
+// breakerState is the classic three-state circuit machine.
+type breakerState int
+
+const (
+	stateClosed breakerState = iota + 1
+	stateOpen
+	stateHalfOpen
+)
+
+// CircuitBreaker sheds invocations of a component that keeps failing:
+// after Threshold consecutive failures the circuit opens and calls abort
+// immediately; after Cooldown a single probe is admitted (half-open); a
+// successful probe closes the circuit, a failed one re-opens it.
+type CircuitBreaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+
+	state         breakerState
+	failures      int
+	openedAt      time.Time
+	probeInFlight bool
+}
+
+// CircuitBreakerConfig configures NewCircuitBreaker.
+type CircuitBreakerConfig struct {
+	// Threshold is the number of consecutive failures that opens the
+	// circuit.
+	Threshold int
+	// Cooldown is how long the circuit stays open before a probe.
+	Cooldown time.Duration
+	// Now overrides the clock (tests).
+	Now func() time.Time
+}
+
+// NewCircuitBreaker creates a closed circuit breaker.
+func NewCircuitBreaker(cfg CircuitBreakerConfig) (*CircuitBreaker, error) {
+	if cfg.Threshold <= 0 {
+		return nil, fmt.Errorf("fault: breaker threshold %d must be positive", cfg.Threshold)
+	}
+	if cfg.Cooldown <= 0 {
+		return nil, fmt.Errorf("fault: breaker cooldown %v must be positive", cfg.Cooldown)
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	return &CircuitBreaker{
+		threshold: cfg.Threshold,
+		cooldown:  cfg.Cooldown,
+		now:       now,
+		state:     stateClosed,
+	}, nil
+}
+
+// State returns "closed", "open", or "half-open" (diagnostics; call only
+// under the admission lock).
+func (cb *CircuitBreaker) State() string {
+	switch cb.state {
+	case stateOpen:
+		return "open"
+	case stateHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// Aspect returns the breaker's guard aspect. Register it for every method
+// whose failures should trip (and be shed by) the breaker.
+func (cb *CircuitBreaker) Aspect(name string) aspect.Aspect {
+	return &aspect.Func{
+		AspectName: name,
+		AspectKind: aspect.KindFaultTolerance,
+		Pre: func(inv *aspect.Invocation) aspect.Verdict {
+			switch cb.state {
+			case stateOpen:
+				if cb.now().Sub(cb.openedAt) < cb.cooldown {
+					inv.SetErr(fmt.Errorf("fault: %s.%s: %w",
+						inv.Component(), inv.Method(), ErrCircuitOpen))
+					return aspect.Abort
+				}
+				cb.state = stateHalfOpen
+				cb.probeInFlight = false
+				fallthrough
+			case stateHalfOpen:
+				if cb.probeInFlight {
+					inv.SetErr(fmt.Errorf("fault: %s.%s: probe in flight: %w",
+						inv.Component(), inv.Method(), ErrCircuitOpen))
+					return aspect.Abort
+				}
+				cb.probeInFlight = true
+				return aspect.Resume
+			default:
+				return aspect.Resume
+			}
+		},
+		Post: func(inv *aspect.Invocation) {
+			failed := inv.Err() != nil
+			switch cb.state {
+			case stateHalfOpen:
+				cb.probeInFlight = false
+				if failed {
+					cb.trip()
+				} else {
+					cb.state = stateClosed
+					cb.failures = 0
+				}
+			case stateClosed:
+				if failed {
+					cb.failures++
+					if cb.failures >= cb.threshold {
+						cb.trip()
+					}
+				} else {
+					cb.failures = 0
+				}
+			}
+		},
+		CancelFn: func(*aspect.Invocation) {
+			if cb.state == stateHalfOpen {
+				cb.probeInFlight = false
+			}
+		},
+	}
+}
+
+func (cb *CircuitBreaker) trip() {
+	cb.state = stateOpen
+	cb.failures = 0
+	cb.openedAt = cb.now()
+}
+
+// Bulkhead bounds in-flight invocations, shedding the excess with
+// ErrBulkheadFull — load isolation that fails fast instead of queueing.
+type Bulkhead struct {
+	limit int
+	inUse int
+}
+
+// NewBulkhead creates a bulkhead admitting at most limit concurrent calls.
+func NewBulkhead(limit int) (*Bulkhead, error) {
+	if limit <= 0 {
+		return nil, fmt.Errorf("fault: bulkhead limit %d must be positive", limit)
+	}
+	return &Bulkhead{limit: limit}, nil
+}
+
+// Aspect returns the bulkhead's guard aspect.
+func (b *Bulkhead) Aspect(name string) aspect.Aspect {
+	return &aspect.Func{
+		AspectName: name,
+		AspectKind: aspect.KindFaultTolerance,
+		Pre: func(inv *aspect.Invocation) aspect.Verdict {
+			if b.inUse >= b.limit {
+				inv.SetErr(fmt.Errorf("fault: %s.%s: %w",
+					inv.Component(), inv.Method(), ErrBulkheadFull))
+				return aspect.Abort
+			}
+			b.inUse++
+			return aspect.Resume
+		},
+		Post:     func(*aspect.Invocation) { b.inUse-- },
+		CancelFn: func(*aspect.Invocation) { b.inUse-- },
+	}
+}
+
+// InUse returns the number of admitted invocations (diagnostics; call only
+// under the admission lock).
+func (b *Bulkhead) InUse() int { return b.inUse }
+
+// RetryPolicy configures the Retry middleware.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (>= 1).
+	MaxAttempts int
+	// ShouldRetry decides whether an error is transient. A nil function
+	// retries every error.
+	ShouldRetry func(error) bool
+	// Backoff returns the sleep before attempt n (1-based, first retry is
+	// n=1). A nil function means no backoff.
+	Backoff func(attempt int) time.Duration
+	// Sleep overrides time-based sleeping (tests). It must honor ctx.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// Retry wraps an invoker so that transient failures are re-invoked, up to
+// the policy's attempt budget. Each attempt is a full guarded invocation —
+// pre-activation, body, post-activation — so aspect state stays balanced.
+func Retry(inner proxy.Invoker, policy RetryPolicy) (proxy.Invoker, error) {
+	if inner == nil {
+		return nil, errors.New("fault: retry: nil invoker")
+	}
+	if policy.MaxAttempts < 1 {
+		return nil, fmt.Errorf("fault: retry: max attempts %d must be >= 1", policy.MaxAttempts)
+	}
+	shouldRetry := policy.ShouldRetry
+	if shouldRetry == nil {
+		shouldRetry = func(error) bool { return true }
+	}
+	sleep := policy.Sleep
+	if sleep == nil {
+		sleep = func(ctx context.Context, d time.Duration) error {
+			if d <= 0 {
+				return ctx.Err()
+			}
+			timer := time.NewTimer(d)
+			defer timer.Stop()
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-timer.C:
+				return nil
+			}
+		}
+	}
+	return invokerFunc(func(ctx context.Context, method string, args ...any) (any, error) {
+		var lastErr error
+		for attempt := 0; attempt < policy.MaxAttempts; attempt++ {
+			if attempt > 0 {
+				var d time.Duration
+				if policy.Backoff != nil {
+					d = policy.Backoff(attempt)
+				}
+				if err := sleep(ctx, d); err != nil {
+					return nil, fmt.Errorf("fault: retry %s: %w", method, err)
+				}
+			}
+			result, err := inner.Invoke(ctx, method, args...)
+			if err == nil {
+				return result, nil
+			}
+			lastErr = err
+			if !shouldRetry(err) || ctx.Err() != nil {
+				break
+			}
+		}
+		return nil, lastErr
+	}), nil
+}
+
+// Timeout wraps an invoker so every invocation carries a deadline. Blocked
+// pre-activations observe the deadline through context cancellation.
+func Timeout(inner proxy.Invoker, d time.Duration) (proxy.Invoker, error) {
+	if inner == nil {
+		return nil, errors.New("fault: timeout: nil invoker")
+	}
+	if d <= 0 {
+		return nil, fmt.Errorf("fault: timeout %v must be positive", d)
+	}
+	return invokerFunc(func(ctx context.Context, method string, args ...any) (any, error) {
+		tctx, cancel := context.WithTimeout(ctx, d)
+		defer cancel()
+		return inner.Invoke(tctx, method, args...)
+	}), nil
+}
+
+// invokerFunc adapts a function to proxy.Invoker.
+type invokerFunc func(ctx context.Context, method string, args ...any) (any, error)
+
+func (f invokerFunc) Invoke(ctx context.Context, method string, args ...any) (any, error) {
+	return f(ctx, method, args...)
+}

@@ -1,0 +1,351 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/aspect"
+	"repro/internal/moderator"
+	"repro/internal/proxy"
+)
+
+func inv(method string) *aspect.Invocation {
+	return aspect.NewInvocation(context.Background(), "comp", method, nil)
+}
+
+// fakeClock is a manually advanced clock.
+type fakeClock struct{ t time.Time }
+
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000, 0)} }
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestCircuitBreakerValidation(t *testing.T) {
+	if _, err := NewCircuitBreaker(CircuitBreakerConfig{Threshold: 0, Cooldown: time.Second}); err == nil {
+		t.Error("threshold 0 must error")
+	}
+	if _, err := NewCircuitBreaker(CircuitBreakerConfig{Threshold: 1, Cooldown: 0}); err == nil {
+		t.Error("cooldown 0 must error")
+	}
+}
+
+// run performs one admission/completion round against the breaker aspect,
+// with the given body error, and returns the pre-activation verdict.
+func run(a aspect.Aspect, bodyErr error) aspect.Verdict {
+	i := inv("m")
+	v := a.Precondition(i)
+	if v == aspect.Resume {
+		i.SetResult(nil, bodyErr)
+		a.Postaction(i)
+	}
+	return v
+}
+
+func TestCircuitBreakerTripAndRecovery(t *testing.T) {
+	clk := newFakeClock()
+	cb, err := NewCircuitBreaker(CircuitBreakerConfig{
+		Threshold: 3,
+		Cooldown:  10 * time.Second,
+		Now:       clk.now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := cb.Aspect("breaker")
+	boom := errors.New("component down")
+
+	// Two failures: still closed (threshold 3).
+	run(a, boom)
+	run(a, boom)
+	if cb.State() != "closed" {
+		t.Fatalf("state after 2 failures = %s", cb.State())
+	}
+	// A success resets the consecutive count.
+	run(a, nil)
+	run(a, boom)
+	run(a, boom)
+	if cb.State() != "closed" {
+		t.Fatalf("state after reset+2 = %s", cb.State())
+	}
+	// Third consecutive failure trips it.
+	run(a, boom)
+	if cb.State() != "open" {
+		t.Fatalf("state after 3 consecutive = %s", cb.State())
+	}
+
+	// While open, calls shed with ErrCircuitOpen.
+	i := inv("m")
+	if v := a.Precondition(i); v != aspect.Abort {
+		t.Fatalf("open breaker verdict = %v", v)
+	}
+	if !errors.Is(i.Err(), ErrCircuitOpen) {
+		t.Errorf("err = %v", i.Err())
+	}
+
+	// After cooldown: half-open admits one probe; a failure re-opens.
+	clk.advance(11 * time.Second)
+	if v := run(a, boom); v != aspect.Resume {
+		t.Fatalf("probe verdict = %v", v)
+	}
+	if cb.State() != "open" {
+		t.Fatalf("state after failed probe = %s", cb.State())
+	}
+
+	// After another cooldown: successful probe closes.
+	clk.advance(11 * time.Second)
+	if v := run(a, nil); v != aspect.Resume {
+		t.Fatalf("probe verdict = %v", v)
+	}
+	if cb.State() != "closed" {
+		t.Fatalf("state after good probe = %s", cb.State())
+	}
+	if v := run(a, nil); v != aspect.Resume {
+		t.Fatalf("closed breaker verdict = %v", v)
+	}
+}
+
+func TestCircuitBreakerSingleProbe(t *testing.T) {
+	clk := newFakeClock()
+	cb, err := NewCircuitBreaker(CircuitBreakerConfig{
+		Threshold: 1, Cooldown: time.Second, Now: clk.now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := cb.Aspect("breaker")
+	run(a, errors.New("down")) // trips immediately
+	clk.advance(2 * time.Second)
+
+	// First probe admitted but not yet completed.
+	p := inv("m")
+	if a.Precondition(p) != aspect.Resume {
+		t.Fatal("probe must be admitted")
+	}
+	// Second concurrent call while probe in flight: shed.
+	if a.Precondition(inv("m")) != aspect.Abort {
+		t.Fatal("second probe must be shed")
+	}
+	// Cancel releases the probe slot.
+	a.(aspect.Canceler).Cancel(p)
+	if a.Precondition(inv("m")) != aspect.Resume {
+		t.Fatal("probe slot must be reusable after cancel")
+	}
+}
+
+func TestBulkheadValidation(t *testing.T) {
+	if _, err := NewBulkhead(0); err == nil {
+		t.Error("limit 0 must error")
+	}
+}
+
+func TestBulkheadShedsExcess(t *testing.T) {
+	b, err := NewBulkhead(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := b.Aspect("bulkhead")
+	i1, i2 := inv("m"), inv("m")
+	if a.Precondition(i1) != aspect.Resume || a.Precondition(i2) != aspect.Resume {
+		t.Fatal("under limit must admit")
+	}
+	i3 := inv("m")
+	if a.Precondition(i3) != aspect.Abort {
+		t.Fatal("over limit must shed")
+	}
+	if !errors.Is(i3.Err(), ErrBulkheadFull) {
+		t.Errorf("err = %v", i3.Err())
+	}
+	a.Postaction(i1)
+	if a.Precondition(inv("m")) != aspect.Resume {
+		t.Fatal("freed slot must admit")
+	}
+	if b.InUse() != 2 {
+		t.Fatalf("inUse = %d", b.InUse())
+	}
+}
+
+// flakyComponent fails the first n invocations of each method.
+type flakyComponent struct {
+	failures int
+	calls    int
+}
+
+func (f *flakyComponent) body(*aspect.Invocation) (any, error) {
+	f.calls++
+	if f.calls <= f.failures {
+		return nil, errors.New("transient")
+	}
+	return "ok", nil
+}
+
+func newGuardedFlaky(t *testing.T, failures int) (*proxy.Proxy, *flakyComponent) {
+	t.Helper()
+	comp := &flakyComponent{failures: failures}
+	p := proxy.New(moderator.New("flaky"))
+	if err := p.Bind("m", comp.body); err != nil {
+		t.Fatal(err)
+	}
+	return p, comp
+}
+
+func TestRetryValidation(t *testing.T) {
+	p, _ := newGuardedFlaky(t, 0)
+	if _, err := Retry(nil, RetryPolicy{MaxAttempts: 1}); err == nil {
+		t.Error("nil invoker must error")
+	}
+	if _, err := Retry(p, RetryPolicy{MaxAttempts: 0}); err == nil {
+		t.Error("0 attempts must error")
+	}
+}
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	p, comp := newGuardedFlaky(t, 2)
+	var backoffs []int
+	r, err := Retry(p, RetryPolicy{
+		MaxAttempts: 5,
+		Backoff:     func(n int) time.Duration { backoffs = append(backoffs, n); return 0 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Invoke(context.Background(), "m")
+	if err != nil || got != "ok" {
+		t.Fatalf("retry result = %v, %v", got, err)
+	}
+	if comp.calls != 3 {
+		t.Errorf("calls = %d, want 3", comp.calls)
+	}
+	if len(backoffs) != 2 || backoffs[0] != 1 || backoffs[1] != 2 {
+		t.Errorf("backoff attempts = %v", backoffs)
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	p, comp := newGuardedFlaky(t, 100)
+	r, err := Retry(p, RetryPolicy{MaxAttempts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Invoke(context.Background(), "m"); err == nil {
+		t.Fatal("exhausted retry must fail")
+	}
+	if comp.calls != 3 {
+		t.Errorf("calls = %d, want 3", comp.calls)
+	}
+}
+
+func TestRetryHonorsShouldRetry(t *testing.T) {
+	p, comp := newGuardedFlaky(t, 100)
+	r, err := Retry(p, RetryPolicy{
+		MaxAttempts: 5,
+		ShouldRetry: func(error) bool { return false },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Invoke(context.Background(), "m"); err == nil {
+		t.Fatal("must fail")
+	}
+	if comp.calls != 1 {
+		t.Errorf("non-retryable error must not retry: calls = %d", comp.calls)
+	}
+}
+
+func TestRetryHonorsContextDuringBackoff(t *testing.T) {
+	p, _ := newGuardedFlaky(t, 100)
+	ctx, cancel := context.WithCancel(context.Background())
+	r, err := Retry(p, RetryPolicy{
+		MaxAttempts: 10,
+		Backoff:     func(int) time.Duration { return time.Hour },
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			cancel() // simulate cancellation arriving mid-backoff
+			return ctx.Err()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Invoke(ctx, "m"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestTimeoutValidation(t *testing.T) {
+	p, _ := newGuardedFlaky(t, 0)
+	if _, err := Timeout(nil, time.Second); err == nil {
+		t.Error("nil invoker must error")
+	}
+	if _, err := Timeout(p, 0); err == nil {
+		t.Error("0 duration must error")
+	}
+}
+
+func TestTimeoutUnblocksParkedCaller(t *testing.T) {
+	// A method guarded by an always-block aspect; the timeout middleware
+	// must convert the park into a deadline error.
+	mod := moderator.New("stuck")
+	gate := aspect.New("gate", aspect.KindSynchronization,
+		func(*aspect.Invocation) aspect.Verdict { return aspect.Block }, nil)
+	if err := mod.Register("m", aspect.KindSynchronization, gate); err != nil {
+		t.Fatal(err)
+	}
+	p := proxy.New(mod)
+	if err := p.Bind("m", func(*aspect.Invocation) (any, error) { return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	tp, err := Timeout(p, 30*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = tp.Invoke(context.Background(), "m")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("timeout took %v", elapsed)
+	}
+}
+
+func TestBreakerUnderProxyIntegration(t *testing.T) {
+	// Breaker + flaky component wired through the full proxy stack: the
+	// breaker must shed while open and recover after cooldown.
+	clk := newFakeClock()
+	cb, err := NewCircuitBreaker(CircuitBreakerConfig{
+		Threshold: 2, Cooldown: time.Second, Now: clk.now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := &flakyComponent{failures: 2}
+	p := proxy.New(moderator.New("svc"))
+	if err := p.Bind("m", comp.body); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Moderator().Register("m", aspect.KindFaultTolerance, cb.Aspect("breaker")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two failures trip the breaker.
+	for k := 0; k < 2; k++ {
+		if _, err := p.Invoke(context.Background(), "m"); err == nil {
+			t.Fatal("flaky call should fail")
+		}
+	}
+	// Open: shed without reaching the component.
+	callsBefore := comp.calls
+	if _, err := p.Invoke(context.Background(), "m"); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("want ErrCircuitOpen, got %v", err)
+	}
+	if comp.calls != callsBefore {
+		t.Error("shed call must not reach the component")
+	}
+	// Recover.
+	clk.advance(2 * time.Second)
+	got, err := p.Invoke(context.Background(), "m")
+	if err != nil || got != "ok" {
+		t.Fatalf("probe = %v, %v", got, err)
+	}
+}

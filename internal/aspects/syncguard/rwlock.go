@@ -1,0 +1,75 @@
+package syncguard
+
+import (
+	"fmt"
+
+	"repro/internal/aspect"
+)
+
+// RWLock provides readers-writer admission across a component's methods:
+// any number of concurrent readers, or one writer, never both. Register the
+// reader aspect for each read-only method and the writer aspect for each
+// mutating method.
+//
+// The guard is neutral between readers and writers; to avoid writer
+// starvation under sustained read load, give writer invocations a higher
+// Priority and run the moderator with the priority wake policy in
+// WakeSingle mode.
+type RWLock struct {
+	readers int
+	writing bool
+	methods []string
+}
+
+// NewRWLock creates readers-writer guard state spanning the given methods
+// (readers and writers alike; the set is used as the wake list).
+func NewRWLock(methods ...string) *RWLock {
+	return &RWLock{methods: methods}
+}
+
+// ReaderAspect returns the aspect guarding read-only methods.
+func (rw *RWLock) ReaderAspect(name string) aspect.Aspect {
+	g, err := NewGuard(name, GuardSpec{
+		Ready:   func(*aspect.Invocation) bool { return !rw.writing },
+		Admit:   func(*aspect.Invocation) { rw.readers++ },
+		Release: func(*aspect.Invocation) { rw.readers-- },
+		Wakes:   rw.methods,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// WriterAspect returns the aspect guarding mutating methods.
+func (rw *RWLock) WriterAspect(name string) aspect.Aspect {
+	g, err := NewGuard(name, GuardSpec{
+		Ready:   func(*aspect.Invocation) bool { return !rw.writing && rw.readers == 0 },
+		Admit:   func(*aspect.Invocation) { rw.writing = true },
+		Release: func(*aspect.Invocation) { rw.writing = false },
+		Wakes:   rw.methods,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Readers returns the number of admitted readers (diagnostics; call only
+// under the admission lock).
+func (rw *RWLock) Readers() int { return rw.readers }
+
+// Writing reports whether a writer is admitted (diagnostics; call only
+// under the admission lock).
+func (rw *RWLock) Writing() bool { return rw.writing }
+
+// CheckInvariants validates the readers-writer exclusion invariant.
+func (rw *RWLock) CheckInvariants() error {
+	if rw.readers < 0 {
+		return fmt.Errorf("syncguard: rwlock readers %d < 0", rw.readers)
+	}
+	if rw.writing && rw.readers > 0 {
+		return fmt.Errorf("syncguard: rwlock writer admitted with %d readers", rw.readers)
+	}
+	return nil
+}

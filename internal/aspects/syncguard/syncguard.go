@@ -1,0 +1,173 @@
+// Package syncguard provides the synchronization aspects of the framework:
+// guard-based admission controllers that keep a sequential functional
+// component correct under concurrent invocation, without any concurrency
+// code inside the component itself (the paper's OpenSynchronizationAspect
+// and AssignSynchronizationAspect, Figure 7).
+//
+// Every aspect in this package follows the moderator contract: its
+// Precondition either admits the invocation — updating the shared guard
+// state to record the admission — or returns Block; its Postaction releases
+// what the admission reserved; its Cancel undoes an admission that a later
+// aspect rolled back. All three hooks run under the moderator's admission
+// lock, so the guard state needs no locking of its own.
+package syncguard
+
+import (
+	"fmt"
+
+	"repro/internal/aspect"
+)
+
+// Guard is a generic condition/action synchronization aspect: Ready decides
+// admissibility, Admit records the admission, Release undoes it at
+// post-activation, and the wake list names the methods whose waiters the
+// release may unblock. Mutex, Semaphore, Buffer, and RWLock are all built
+// on it; applications may build their own.
+type Guard struct {
+	name  string
+	kind  aspect.Kind
+	ready func(inv *aspect.Invocation) bool
+	admit func(inv *aspect.Invocation)
+	undo  func(inv *aspect.Invocation)
+	wakes []string
+}
+
+var (
+	_ aspect.Aspect   = (*Guard)(nil)
+	_ aspect.Canceler = (*Guard)(nil)
+	_ aspect.Waker    = (*Guard)(nil)
+)
+
+// GuardSpec configures NewGuard. Ready is required; the rest may be nil.
+type GuardSpec struct {
+	// Kind overrides the aspect kind (default KindSynchronization).
+	Kind aspect.Kind
+	// Ready reports whether the invocation may be admitted now.
+	Ready func(inv *aspect.Invocation) bool
+	// Admit records the admission (reserve a slot, bump a counter).
+	Admit func(inv *aspect.Invocation)
+	// Release undoes the admission at post-activation.
+	Release func(inv *aspect.Invocation)
+	// Wakes lists methods whose blocked callers a release may unblock.
+	Wakes []string
+}
+
+// NewGuard builds a guard aspect from a spec.
+func NewGuard(name string, spec GuardSpec) (*Guard, error) {
+	if spec.Ready == nil {
+		return nil, fmt.Errorf("syncguard: guard %q: nil Ready", name)
+	}
+	kind := spec.Kind
+	if kind == "" {
+		kind = aspect.KindSynchronization
+	}
+	return &Guard{
+		name:  name,
+		kind:  kind,
+		ready: spec.Ready,
+		admit: spec.Admit,
+		undo:  spec.Release,
+		wakes: spec.Wakes,
+	}, nil
+}
+
+// Name implements aspect.Aspect.
+func (g *Guard) Name() string { return g.name }
+
+// Kind implements aspect.Aspect.
+func (g *Guard) Kind() aspect.Kind { return g.kind }
+
+// Precondition implements aspect.Aspect.
+func (g *Guard) Precondition(inv *aspect.Invocation) aspect.Verdict {
+	if !g.ready(inv) {
+		return aspect.Block
+	}
+	if g.admit != nil {
+		g.admit(inv)
+	}
+	return aspect.Resume
+}
+
+// Postaction implements aspect.Aspect.
+func (g *Guard) Postaction(inv *aspect.Invocation) {
+	if g.undo != nil {
+		g.undo(inv)
+	}
+}
+
+// Cancel implements aspect.Canceler.
+func (g *Guard) Cancel(inv *aspect.Invocation) {
+	if g.undo != nil {
+		g.undo(inv)
+	}
+}
+
+// Wakes implements aspect.Waker.
+func (g *Guard) Wakes() []string { return g.wakes }
+
+// Mutex is mutual exclusion across a set of participating methods: at most
+// one admitted invocation at a time (the paper's ActiveOpen == 0 guard).
+type Mutex struct {
+	active  bool
+	methods []string
+}
+
+// NewMutex creates a mutex spanning the given methods. Register the
+// returned Aspect for each method of the set.
+func NewMutex(methods ...string) *Mutex {
+	return &Mutex{methods: methods}
+}
+
+// Aspect returns the guard aspect enforcing the mutex.
+func (m *Mutex) Aspect(name string) aspect.Aspect {
+	g, err := NewGuard(name, GuardSpec{
+		Ready:   func(*aspect.Invocation) bool { return !m.active },
+		Admit:   func(*aspect.Invocation) { m.active = true },
+		Release: func(*aspect.Invocation) { m.active = false },
+		Wakes:   m.methods,
+	})
+	if err != nil {
+		// Unreachable: Ready is always non-nil here.
+		panic(err)
+	}
+	return g
+}
+
+// Locked reports whether an invocation is currently admitted. Callers must
+// hold the moderator's admission lock (i.e. call from aspect hooks only);
+// it exists for tests and diagnostics.
+func (m *Mutex) Locked() bool { return m.active }
+
+// Semaphore admits at most N concurrent invocations across a set of
+// methods.
+type Semaphore struct {
+	inUse   int
+	limit   int
+	methods []string
+}
+
+// NewSemaphore creates a counting semaphore guard with the given limit.
+func NewSemaphore(limit int, methods ...string) (*Semaphore, error) {
+	if limit <= 0 {
+		return nil, fmt.Errorf("syncguard: semaphore limit %d must be positive", limit)
+	}
+	return &Semaphore{limit: limit, methods: methods}, nil
+}
+
+// Aspect returns the guard aspect enforcing the semaphore.
+func (s *Semaphore) Aspect(name string) aspect.Aspect {
+	g, err := NewGuard(name, GuardSpec{
+		Ready:   func(*aspect.Invocation) bool { return s.inUse < s.limit },
+		Admit:   func(*aspect.Invocation) { s.inUse++ },
+		Release: func(*aspect.Invocation) { s.inUse-- },
+		Wakes:   s.methods,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// InUse returns the number of admitted invocations (diagnostics; call only
+// under the admission lock).
+func (s *Semaphore) InUse() int { return s.inUse }

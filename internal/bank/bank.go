@@ -1,0 +1,230 @@
+// Package bank implements the aspect bank of the Aspect Moderator
+// framework: the two-dimensional (participating method x concern kind)
+// registry in which a component's aspect objects are stored at
+// initialization time and referenced during method invocation (the paper's
+// Figure 9 registers aspects into a two-dimensional array; the "aspect
+// bank" of Figure 1 generalizes it to a hierarchical composition structure).
+//
+// The bank is copy-on-write: mutations (Register, Unregister) build a new
+// immutable snapshot, while readers take the current Snapshot once per
+// invocation and evaluate against it. This gives the framework its dynamic
+// adaptability guarantee — aspects can be added or removed while
+// invocations are in flight, and every in-flight invocation completes
+// against the composition it was admitted under.
+package bank
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/aspect"
+)
+
+// Entry is one cell occupant of the bank: an aspect object at coordinates
+// (Method, Kind). Seq records registration order, which fixes evaluation
+// order within a moderator layer.
+type Entry struct {
+	Method string
+	Kind   aspect.Kind
+	Aspect aspect.Aspect
+	Seq    uint64
+}
+
+// Snapshot is an immutable view of the bank's contents. All methods are
+// safe for concurrent use.
+type Snapshot struct {
+	// byMethod holds entries per method in registration order.
+	byMethod map[string][]Entry
+	// total is the number of entries across all methods.
+	total int
+	// version increments with every mutation of the owning bank.
+	version uint64
+}
+
+// ForMethod returns the entries registered for the given participating
+// method, in registration order. The returned slice is shared and must not
+// be modified.
+func (s *Snapshot) ForMethod(method string) []Entry {
+	if s == nil {
+		return nil
+	}
+	return s.byMethod[method]
+}
+
+// Get returns the first aspect registered at (method, kind), following the
+// paper's one-aspect-per-cell usage, and whether the cell is occupied.
+func (s *Snapshot) Get(method string, kind aspect.Kind) (aspect.Aspect, bool) {
+	if s == nil {
+		return nil, false
+	}
+	for _, e := range s.byMethod[method] {
+		if e.Kind == kind {
+			return e.Aspect, true
+		}
+	}
+	return nil, false
+}
+
+// Methods returns the sorted list of participating methods that have at
+// least one aspect registered.
+func (s *Snapshot) Methods() []string {
+	if s == nil {
+		return nil
+	}
+	out := make([]string, 0, len(s.byMethod))
+	for m := range s.byMethod {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Kinds returns the distinct kinds registered for a method, in registration
+// order of their first occurrence.
+func (s *Snapshot) Kinds(method string) []aspect.Kind {
+	if s == nil {
+		return nil
+	}
+	entries := s.byMethod[method]
+	seen := make(map[aspect.Kind]bool, len(entries))
+	out := make([]aspect.Kind, 0, len(entries))
+	for _, e := range entries {
+		if !seen[e.Kind] {
+			seen[e.Kind] = true
+			out = append(out, e.Kind)
+		}
+	}
+	return out
+}
+
+// Len returns the total number of registered entries.
+func (s *Snapshot) Len() int {
+	if s == nil {
+		return 0
+	}
+	return s.total
+}
+
+// Version returns the mutation count of the owning bank at snapshot time.
+func (s *Snapshot) Version() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.version
+}
+
+// Bank is a concurrent, copy-on-write aspect registry. The zero value is
+// an empty bank ready for use.
+type Bank struct {
+	mu      sync.Mutex // serializes writers
+	current atomic.Pointer[Snapshot]
+	nextSeq uint64
+}
+
+// New returns an empty bank. Equivalent to new(Bank); provided for symmetry.
+func New() *Bank { return new(Bank) }
+
+var emptySnapshot = &Snapshot{byMethod: map[string][]Entry{}}
+
+// Snapshot returns the current immutable view. It never returns nil.
+func (b *Bank) Snapshot() *Snapshot {
+	if s := b.current.Load(); s != nil {
+		return s
+	}
+	return emptySnapshot
+}
+
+// Register stores an aspect at (method, kind). Multiple aspects may occupy
+// one cell; they evaluate in registration order. Register returns an error
+// for an empty method, an invalid kind, or a nil aspect.
+func (b *Bank) Register(method string, kind aspect.Kind, a aspect.Aspect) error {
+	if method == "" {
+		return fmt.Errorf("bank: register %q/%q: empty method", method, kind)
+	}
+	if err := kind.Validate(); err != nil {
+		return fmt.Errorf("bank: register %q: %w", method, err)
+	}
+	if a == nil {
+		return fmt.Errorf("bank: register %s/%s: nil aspect", method, kind)
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	old := b.Snapshot()
+	next := old.clone()
+	next.byMethod[method] = append(next.byMethod[method], Entry{
+		Method: method,
+		Kind:   kind,
+		Aspect: a,
+		Seq:    b.nextSeq,
+	})
+	b.nextSeq++
+	next.total = old.total + 1
+	next.version = old.version + 1
+	b.current.Store(next)
+	return nil
+}
+
+// Unregister removes every aspect at (method, kind). It reports the number
+// of entries removed.
+func (b *Bank) Unregister(method string, kind aspect.Kind) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	old := b.Snapshot()
+	entries := old.byMethod[method]
+	keep := make([]Entry, 0, len(entries))
+	for _, e := range entries {
+		if e.Kind != kind {
+			keep = append(keep, e)
+		}
+	}
+	removed := len(entries) - len(keep)
+	if removed == 0 {
+		return 0
+	}
+	next := old.clone()
+	if len(keep) == 0 {
+		delete(next.byMethod, method)
+	} else {
+		next.byMethod[method] = keep
+	}
+	next.total = old.total - removed
+	next.version = old.version + 1
+	b.current.Store(next)
+	return removed
+}
+
+// UnregisterMethod removes every aspect of a method, reporting how many
+// entries were removed.
+func (b *Bank) UnregisterMethod(method string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	old := b.Snapshot()
+	removed := len(old.byMethod[method])
+	if removed == 0 {
+		return 0
+	}
+	next := old.clone()
+	delete(next.byMethod, method)
+	next.total = old.total - removed
+	next.version = old.version + 1
+	b.current.Store(next)
+	return removed
+}
+
+// clone copies the snapshot's method map; entry slices are re-sliced
+// defensively so appends by the writer never alias a published snapshot.
+func (s *Snapshot) clone() *Snapshot {
+	next := &Snapshot{
+		byMethod: make(map[string][]Entry, len(s.byMethod)+1),
+		total:    s.total,
+		version:  s.version,
+	}
+	for m, entries := range s.byMethod {
+		cp := make([]Entry, len(entries))
+		copy(cp, entries)
+		next.byMethod[m] = cp
+	}
+	return next
+}

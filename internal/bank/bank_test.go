@@ -1,0 +1,315 @@
+package bank
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/aspect"
+)
+
+func noop(name string, kind aspect.Kind) aspect.Aspect {
+	return aspect.New(name, kind, nil, nil)
+}
+
+func TestZeroValueBankIsEmpty(t *testing.T) {
+	var b Bank
+	s := b.Snapshot()
+	if s.Len() != 0 || len(s.Methods()) != 0 || s.Version() != 0 {
+		t.Fatalf("zero bank not empty: %d entries", s.Len())
+	}
+	if got := s.ForMethod("open"); got != nil {
+		t.Errorf("ForMethod on empty = %v", got)
+	}
+	if _, ok := s.Get("open", aspect.KindSynchronization); ok {
+		t.Error("Get on empty bank must miss")
+	}
+}
+
+func TestNilSnapshotAccessorsSafe(t *testing.T) {
+	var s *Snapshot
+	if s.Len() != 0 || s.ForMethod("m") != nil || s.Methods() != nil ||
+		s.Kinds("m") != nil || s.Version() != 0 {
+		t.Error("nil snapshot accessors must be zero-valued")
+	}
+	if _, ok := s.Get("m", "k"); ok {
+		t.Error("nil snapshot Get must miss")
+	}
+}
+
+func TestRegisterAndGet(t *testing.T) {
+	var b Bank
+	syncA := noop("open-sync", aspect.KindSynchronization)
+	if err := b.Register("open", aspect.KindSynchronization, syncA); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := b.Snapshot().Get("open", aspect.KindSynchronization)
+	if !ok || got != syncA {
+		t.Fatalf("Get = %v, %v", got, ok)
+	}
+	if _, ok := b.Snapshot().Get("open", aspect.KindAuthentication); ok {
+		t.Error("wrong kind must miss")
+	}
+	if _, ok := b.Snapshot().Get("assign", aspect.KindSynchronization); ok {
+		t.Error("wrong method must miss")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	var b Bank
+	a := noop("a", aspect.KindAudit)
+	if err := b.Register("", aspect.KindAudit, a); err == nil {
+		t.Error("empty method must error")
+	}
+	if err := b.Register("m", "", a); err == nil {
+		t.Error("empty kind must error")
+	}
+	if err := b.Register("m", aspect.KindAudit, nil); err == nil {
+		t.Error("nil aspect must error")
+	}
+	if b.Snapshot().Len() != 0 {
+		t.Error("failed registrations must not mutate the bank")
+	}
+}
+
+func TestRegistrationOrderPreserved(t *testing.T) {
+	var b Bank
+	names := []string{"first", "second", "third", "fourth"}
+	kinds := []aspect.Kind{
+		aspect.KindAuthentication, aspect.KindSynchronization,
+		aspect.KindAudit, aspect.KindSynchronization,
+	}
+	for i, n := range names {
+		if err := b.Register("open", kinds[i], noop(n, kinds[i])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries := b.Snapshot().ForMethod("open")
+	if len(entries) != 4 {
+		t.Fatalf("len = %d", len(entries))
+	}
+	for i, e := range entries {
+		if e.Aspect.Name() != names[i] {
+			t.Errorf("entry %d = %q, want %q", i, e.Aspect.Name(), names[i])
+		}
+		if i > 0 && entries[i].Seq <= entries[i-1].Seq {
+			t.Errorf("seq not increasing at %d", i)
+		}
+	}
+	// Get returns the first occupant of a multi-entry cell.
+	got, ok := b.Snapshot().Get("open", aspect.KindSynchronization)
+	if !ok || got.Name() != "second" {
+		t.Errorf("Get first-in-cell = %v", got)
+	}
+}
+
+func TestKindsFirstOccurrenceOrder(t *testing.T) {
+	var b Bank
+	mustRegister(t, &b, "m", aspect.KindAudit, "a1")
+	mustRegister(t, &b, "m", aspect.KindSynchronization, "s1")
+	mustRegister(t, &b, "m", aspect.KindAudit, "a2")
+	got := b.Snapshot().Kinds("m")
+	want := []aspect.Kind{aspect.KindAudit, aspect.KindSynchronization}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Kinds = %v, want %v", got, want)
+	}
+}
+
+func TestMethodsSorted(t *testing.T) {
+	var b Bank
+	for _, m := range []string{"zeta", "alpha", "mid"} {
+		mustRegister(t, &b, m, aspect.KindAudit, m)
+	}
+	got := b.Snapshot().Methods()
+	want := []string{"alpha", "mid", "zeta"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Methods = %v, want %v", got, want)
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	var b Bank
+	mustRegister(t, &b, "open", aspect.KindSynchronization, "s1")
+	mustRegister(t, &b, "open", aspect.KindSynchronization, "s2")
+	mustRegister(t, &b, "open", aspect.KindAudit, "a1")
+
+	if n := b.Unregister("open", aspect.KindSynchronization); n != 2 {
+		t.Fatalf("Unregister removed %d, want 2", n)
+	}
+	s := b.Snapshot()
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+	if _, ok := s.Get("open", aspect.KindSynchronization); ok {
+		t.Error("sync aspects should be gone")
+	}
+	if _, ok := s.Get("open", aspect.KindAudit); !ok {
+		t.Error("audit aspect should remain")
+	}
+	if n := b.Unregister("open", aspect.KindSynchronization); n != 0 {
+		t.Errorf("second Unregister removed %d, want 0", n)
+	}
+	// Removing the last entry of a method drops the method entirely.
+	if n := b.Unregister("open", aspect.KindAudit); n != 1 {
+		t.Fatalf("removed %d", n)
+	}
+	if got := b.Snapshot().Methods(); len(got) != 0 {
+		t.Errorf("Methods after full unregister = %v", got)
+	}
+}
+
+func TestUnregisterMethod(t *testing.T) {
+	var b Bank
+	mustRegister(t, &b, "open", aspect.KindSynchronization, "s")
+	mustRegister(t, &b, "open", aspect.KindAudit, "a")
+	mustRegister(t, &b, "assign", aspect.KindSynchronization, "s2")
+	if n := b.UnregisterMethod("open"); n != 2 {
+		t.Fatalf("removed %d, want 2", n)
+	}
+	if n := b.UnregisterMethod("open"); n != 0 {
+		t.Errorf("repeat removed %d, want 0", n)
+	}
+	if b.Snapshot().Len() != 1 {
+		t.Errorf("Len = %d, want 1", b.Snapshot().Len())
+	}
+}
+
+func TestSnapshotImmutableUnderMutation(t *testing.T) {
+	var b Bank
+	mustRegister(t, &b, "open", aspect.KindSynchronization, "s1")
+	before := b.Snapshot()
+	mustRegister(t, &b, "open", aspect.KindAudit, "a1")
+	b.Unregister("open", aspect.KindSynchronization)
+
+	// The old snapshot still sees exactly its one entry.
+	if before.Len() != 1 {
+		t.Errorf("old snapshot Len = %d, want 1", before.Len())
+	}
+	if _, ok := before.Get("open", aspect.KindSynchronization); !ok {
+		t.Error("old snapshot lost its entry")
+	}
+	if _, ok := before.Get("open", aspect.KindAudit); ok {
+		t.Error("old snapshot sees a later registration")
+	}
+	after := b.Snapshot()
+	if after.Version() <= before.Version() {
+		t.Errorf("version did not advance: %d -> %d", before.Version(), after.Version())
+	}
+}
+
+func TestConcurrentReadersAndWriters(t *testing.T) {
+	var b Bank
+	const writers, perWriter = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				m := fmt.Sprintf("m%d", w)
+				if err := b.Register(m, aspect.KindAudit, noop("x", aspect.KindAudit)); err != nil {
+					t.Errorf("register: %v", err)
+					return
+				}
+				if i%3 == 0 {
+					b.Unregister(m, aspect.KindAudit)
+				}
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := b.Snapshot()
+				// Internal consistency: total matches the sum of entries.
+				sum := 0
+				for _, m := range s.Methods() {
+					sum += len(s.ForMethod(m))
+				}
+				if sum != s.Len() {
+					t.Errorf("snapshot inconsistent: sum=%d len=%d", sum, s.Len())
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+}
+
+func TestRegisterUnregisterRoundTripProperty(t *testing.T) {
+	// Property: after registering n aspects at one cell and unregistering
+	// the cell, the bank's size returns to its prior value and the version
+	// advances by exactly n+1 mutations.
+	f := func(n uint8, method string) bool {
+		if method == "" {
+			method = "m"
+		}
+		count := int(n%10) + 1
+		var b Bank
+		base := b.Snapshot().Version()
+		for i := 0; i < count; i++ {
+			if err := b.Register(method, aspect.KindScheduling, noop("p", aspect.KindScheduling)); err != nil {
+				return false
+			}
+		}
+		if b.Snapshot().Len() != count {
+			return false
+		}
+		if removed := b.Unregister(method, aspect.KindScheduling); removed != count {
+			return false
+		}
+		s := b.Snapshot()
+		return s.Len() == 0 && s.Version() == base+uint64(count)+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCellIsolationProperty(t *testing.T) {
+	// Property: registering into one cell never changes what other cells
+	// return.
+	f := func(methods []string) bool {
+		var b Bank
+		registered := make(map[string]int)
+		for _, m := range methods {
+			if m == "" {
+				continue
+			}
+			if err := b.Register(m, aspect.KindMetrics, noop(m, aspect.KindMetrics)); err != nil {
+				return false
+			}
+			registered[m]++
+			for other, n := range registered {
+				if got := len(b.Snapshot().ForMethod(other)); got != n {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustRegister(t *testing.T, b *Bank, method string, kind aspect.Kind, name string) {
+	t.Helper()
+	if err := b.Register(method, kind, noop(name, kind)); err != nil {
+		t.Fatalf("register %s/%s: %v", method, kind, err)
+	}
+}

@@ -1,0 +1,176 @@
+// Package decorator is the second evaluation baseline: concern composition
+// by interceptor chaining around an Invoker — what a developer without the
+// Aspect Moderator's two-dimensional bank would write (and what mainstream
+// AOP-lite frameworks like servlet filters provide).
+//
+// A decorator chain is one-dimensional: interceptors wrap an invoker in
+// nesting order and see every method alike. Compared to the framework it
+// has no (method x concern) coordinates, no blocking verdicts with guarded
+// re-evaluation (an interceptor can only run code before/after or reject),
+// and recomposition means rebuilding the chain. The benchmarks quantify
+// what that structural difference costs or saves.
+package decorator
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/proxy"
+)
+
+// Interceptor surrounds an invocation: Before may reject it by returning an
+// error; After observes its outcome.
+type Interceptor interface {
+	// Name identifies the interceptor for diagnostics.
+	Name() string
+	// Before runs ahead of the call; a non-nil error rejects it.
+	Before(ctx context.Context, method string, args []any) error
+	// After runs once the call completes.
+	After(ctx context.Context, method string, result any, err error)
+}
+
+// Funcs adapts functions to Interceptor. Nil hooks are no-ops.
+type Funcs struct {
+	InterceptorName string
+	BeforeFn        func(ctx context.Context, method string, args []any) error
+	AfterFn         func(ctx context.Context, method string, result any, err error)
+}
+
+var _ Interceptor = (*Funcs)(nil)
+
+// Name implements Interceptor.
+func (f *Funcs) Name() string {
+	if f.InterceptorName == "" {
+		return "anonymous"
+	}
+	return f.InterceptorName
+}
+
+// Before implements Interceptor.
+func (f *Funcs) Before(ctx context.Context, method string, args []any) error {
+	if f.BeforeFn == nil {
+		return nil
+	}
+	return f.BeforeFn(ctx, method, args)
+}
+
+// After implements Interceptor.
+func (f *Funcs) After(ctx context.Context, method string, result any, err error) {
+	if f.AfterFn == nil {
+		return
+	}
+	f.AfterFn(ctx, method, result, err)
+}
+
+// Chain wraps an invoker with interceptors: the first interceptor is
+// outermost (its Before runs first, its After last).
+func Chain(inner proxy.Invoker, interceptors ...Interceptor) (proxy.Invoker, error) {
+	if inner == nil {
+		return nil, errors.New("decorator: nil invoker")
+	}
+	for i, ic := range interceptors {
+		if ic == nil {
+			return nil, fmt.Errorf("decorator: nil interceptor at %d", i)
+		}
+	}
+	return &chained{inner: inner, interceptors: interceptors}, nil
+}
+
+type chained struct {
+	inner        proxy.Invoker
+	interceptors []Interceptor
+}
+
+// Invoke implements proxy.Invoker.
+func (c *chained) Invoke(ctx context.Context, method string, args ...any) (any, error) {
+	for i, ic := range c.interceptors {
+		if err := ic.Before(ctx, method, args); err != nil {
+			// Rejected: unwind the already-admitted interceptors.
+			for j := i - 1; j >= 0; j-- {
+				c.interceptors[j].After(ctx, method, nil, err)
+			}
+			return nil, fmt.Errorf("decorator: %s rejected %s: %w", ic.Name(), method, err)
+		}
+	}
+	result, err := c.inner.Invoke(ctx, method, args...)
+	for i := len(c.interceptors) - 1; i >= 0; i-- {
+		c.interceptors[i].After(ctx, method, result, err)
+	}
+	return result, err
+}
+
+// MutexInterceptor serializes all invocations through the chain — the
+// closest a one-dimensional interceptor gets to the framework's
+// synchronization aspects (it cannot express per-method guarded blocking,
+// only whole-component exclusion).
+func MutexInterceptor() Interceptor {
+	var mu sync.Mutex
+	return &Funcs{
+		InterceptorName: "mutex",
+		BeforeFn: func(context.Context, string, []any) error {
+			mu.Lock()
+			return nil
+		},
+		AfterFn: func(context.Context, string, any, error) {
+			mu.Unlock()
+		},
+	}
+}
+
+// TokenInterceptor rejects invocations whose context lacks a valid token —
+// decorator-style authentication. Tokens travel on the context because the
+// interceptor API has no invocation record to attach attributes to.
+func TokenInterceptor(valid func(token string) bool) Interceptor {
+	return &Funcs{
+		InterceptorName: "token",
+		BeforeFn: func(ctx context.Context, method string, _ []any) error {
+			tok, _ := ctx.Value(tokenKey{}).(string)
+			if !valid(tok) {
+				return fmt.Errorf("token interceptor: %s: unauthenticated", method)
+			}
+			return nil
+		},
+	}
+}
+
+type tokenKey struct{}
+
+// WithToken attaches a token for TokenInterceptor.
+func WithToken(ctx context.Context, token string) context.Context {
+	return context.WithValue(ctx, tokenKey{}, token)
+}
+
+// CountingInterceptor counts invocations and errors — decorator-style
+// metrics/audit.
+type CountingInterceptor struct {
+	mu     sync.Mutex
+	Calls  uint64
+	Errors uint64
+}
+
+var _ Interceptor = (*CountingInterceptor)(nil)
+
+// Name implements Interceptor.
+func (c *CountingInterceptor) Name() string { return "counting" }
+
+// Before implements Interceptor.
+func (c *CountingInterceptor) Before(context.Context, string, []any) error { return nil }
+
+// After implements Interceptor.
+func (c *CountingInterceptor) After(_ context.Context, _ string, _ any, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.Calls++
+	if err != nil {
+		c.Errors++
+	}
+}
+
+// Snapshot returns the counters.
+func (c *CountingInterceptor) Snapshot() (calls, errs uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.Calls, c.Errors
+}

@@ -1,0 +1,199 @@
+package decorator
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/aspect"
+	"repro/internal/moderator"
+	"repro/internal/proxy"
+)
+
+func newEcho(t *testing.T) *proxy.Proxy {
+	t.Helper()
+	p := proxy.New(moderator.New("svc"))
+	if err := p.Bind("echo", func(inv *aspect.Invocation) (any, error) {
+		return inv.Arg(0), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestChainValidation(t *testing.T) {
+	if _, err := Chain(nil); err == nil {
+		t.Error("nil invoker must error")
+	}
+	if _, err := Chain(newEcho(t), nil); err == nil {
+		t.Error("nil interceptor must error")
+	}
+}
+
+func TestChainOrdering(t *testing.T) {
+	var mu sync.Mutex
+	var order []string
+	mk := func(name string) Interceptor {
+		return &Funcs{
+			InterceptorName: name,
+			BeforeFn: func(context.Context, string, []any) error {
+				mu.Lock()
+				order = append(order, name+".before")
+				mu.Unlock()
+				return nil
+			},
+			AfterFn: func(context.Context, string, any, error) {
+				mu.Lock()
+				order = append(order, name+".after")
+				mu.Unlock()
+			},
+		}
+	}
+	c, err := Chain(newEcho(t), mk("outer"), mk("inner"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Invoke(context.Background(), "echo", "x")
+	if err != nil || got != "x" {
+		t.Fatalf("invoke = %v, %v", got, err)
+	}
+	want := []string{"outer.before", "inner.before", "inner.after", "outer.after"}
+	if !reflect.DeepEqual(order, want) {
+		t.Errorf("order = %v, want %v", order, want)
+	}
+}
+
+func TestRejectionUnwinds(t *testing.T) {
+	var mu sync.Mutex
+	var order []string
+	outer := &Funcs{
+		InterceptorName: "outer",
+		BeforeFn: func(context.Context, string, []any) error {
+			mu.Lock()
+			order = append(order, "outer.before")
+			mu.Unlock()
+			return nil
+		},
+		AfterFn: func(_ context.Context, _ string, _ any, err error) {
+			mu.Lock()
+			order = append(order, "outer.after")
+			mu.Unlock()
+		},
+	}
+	boom := errors.New("denied")
+	rejecting := &Funcs{
+		InterceptorName: "reject",
+		BeforeFn: func(context.Context, string, []any) error {
+			return boom
+		},
+	}
+	c, err := Chain(newEcho(t), outer, rejecting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Invoke(context.Background(), "echo", "x")
+	if !errors.Is(err, boom) {
+		t.Fatalf("want %v, got %v", boom, err)
+	}
+	want := []string{"outer.before", "outer.after"}
+	if !reflect.DeepEqual(order, want) {
+		t.Errorf("unwind order = %v, want %v", order, want)
+	}
+}
+
+func TestMutexInterceptorSerializes(t *testing.T) {
+	active, maxActive := 0, 0
+	var stateMu sync.Mutex
+	p := proxy.New(moderator.New("svc"))
+	if err := p.Bind("work", func(*aspect.Invocation) (any, error) {
+		stateMu.Lock()
+		active++
+		if active > maxActive {
+			maxActive = active
+		}
+		stateMu.Unlock()
+		stateMu.Lock()
+		active--
+		stateMu.Unlock()
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Chain(p, MutexInterceptor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 50; k++ {
+				if _, err := c.Invoke(context.Background(), "work"); err != nil {
+					t.Errorf("invoke: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if maxActive != 1 {
+		t.Errorf("max concurrent = %d, want 1", maxActive)
+	}
+}
+
+func TestTokenInterceptor(t *testing.T) {
+	c, err := Chain(newEcho(t), TokenInterceptor(func(tok string) bool { return tok == "good" }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Invoke(context.Background(), "echo", "x"); err == nil {
+		t.Error("missing token must reject")
+	}
+	ctx := WithToken(context.Background(), "bad")
+	if _, err := c.Invoke(ctx, "echo", "x"); err == nil {
+		t.Error("bad token must reject")
+	}
+	ctx = WithToken(context.Background(), "good")
+	got, err := c.Invoke(ctx, "echo", "x")
+	if err != nil || got != "x" {
+		t.Errorf("good token = %v, %v", got, err)
+	}
+}
+
+func TestCountingInterceptor(t *testing.T) {
+	p := proxy.New(moderator.New("svc"))
+	boom := errors.New("fail")
+	if err := p.Bind("m", func(inv *aspect.Invocation) (any, error) {
+		if inv.Arg(0) == "fail" {
+			return nil, boom
+		}
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	counter := &CountingInterceptor{}
+	c, err := Chain(p, counter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = c.Invoke(context.Background(), "m", "ok")
+	_, _ = c.Invoke(context.Background(), "m", "fail")
+	calls, errs := counter.Snapshot()
+	if calls != 2 || errs != 1 {
+		t.Errorf("counters = %d/%d, want 2/1", calls, errs)
+	}
+}
+
+func TestFuncsDefaults(t *testing.T) {
+	f := &Funcs{}
+	if f.Name() != "anonymous" {
+		t.Errorf("name = %q", f.Name())
+	}
+	if err := f.Before(context.Background(), "m", nil); err != nil {
+		t.Errorf("nil Before: %v", err)
+	}
+	f.After(context.Background(), "m", nil, nil) // must not panic
+}

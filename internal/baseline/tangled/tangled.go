@@ -1,0 +1,194 @@
+// Package tangled is the paper's antagonist, implemented for the
+// evaluation: a trouble-ticketing server in which the synchronization,
+// authentication, and audit code is written directly into the functional
+// methods — the "code-tangling" of Kiczales et al. that the Aspect
+// Moderator framework exists to eliminate.
+//
+// It is functionally equivalent to the framework-composed stack
+// (apps/ticket with authentication and audit enabled), which makes it the
+// fair baseline for experiment E1/E4: any throughput difference is the
+// price (or absence of price) of separation, not of differing semantics.
+//
+// Reading this file next to apps/ticket/ticket.go is itself part of the
+// reproduction: every concern below is interleaved with buffer logic and
+// none is reusable.
+package tangled
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/apps/ticket"
+)
+
+// Sentinel errors mirroring the framework stack's behaviour.
+var (
+	// ErrUnauthenticated is returned when token checking is enabled and
+	// the caller's token is missing or unknown.
+	ErrUnauthenticated = errors.New("tangled: unauthenticated")
+)
+
+// AuditEntry is one tangled audit record.
+type AuditEntry struct {
+	Seq    uint64
+	Method string
+	Err    string
+}
+
+// Server is the tangled ticket server: one mutex, two condition variables,
+// inline token checks, inline audit — everything the framework factors out,
+// hand-woven together.
+type Server struct {
+	mu       sync.Mutex
+	notFull  *sync.Cond
+	notEmpty *sync.Cond
+
+	ring []ticket.Ticket
+	head int
+	tail int
+	size int
+
+	// tangled authentication state
+	authEnabled bool
+	tokens      map[string]string // token -> principal
+
+	// tangled audit state
+	auditEnabled bool
+	auditSeq     uint64
+	audit        []AuditEntry
+	auditCap     int
+}
+
+// Config configures New.
+type Config struct {
+	// Capacity of the ticket buffer.
+	Capacity int
+	// Authenticate enables inline token checking.
+	Authenticate bool
+	// AuditCapacity, when positive, enables the inline audit ring.
+	AuditCapacity int
+}
+
+// New creates a tangled server.
+func New(cfg Config) (*Server, error) {
+	if cfg.Capacity <= 0 {
+		return nil, fmt.Errorf("tangled: capacity %d must be positive", cfg.Capacity)
+	}
+	s := &Server{
+		ring:         make([]ticket.Ticket, cfg.Capacity),
+		authEnabled:  cfg.Authenticate,
+		tokens:       make(map[string]string, 8),
+		auditEnabled: cfg.AuditCapacity > 0,
+		auditCap:     cfg.AuditCapacity,
+	}
+	s.notFull = sync.NewCond(&s.mu)
+	s.notEmpty = sync.NewCond(&s.mu)
+	return s, nil
+}
+
+// IssueToken registers a token for a principal (when authenticating).
+func (s *Server) IssueToken(token, principal string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tokens[token] = principal
+}
+
+// Open places a ticket, blocking while the buffer is full. Note how the
+// method interleaves authentication, auditing, synchronization, and the
+// actual buffer operation — the tangling the paper's Section 1 describes.
+func (s *Server) Open(ctx context.Context, token string, t ticket.Ticket) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// ... authentication concern, tangled in:
+	if s.authEnabled {
+		if _, ok := s.tokens[token]; !ok {
+			s.recordLocked("open", ErrUnauthenticated.Error())
+			return ErrUnauthenticated
+		}
+	}
+	// ... synchronization concern, tangled in:
+	for s.size == len(s.ring) {
+		if err := ctx.Err(); err != nil {
+			s.recordLocked("open", err.Error())
+			return err
+		}
+		s.notFull.Wait()
+		// A context cancelled while waiting is only noticed on wake-up:
+		// sync.Cond has no cancellation — one of the expressiveness gaps
+		// the framework's context-aware wait queues close.
+	}
+	// ... at last, the functional concern:
+	s.ring[s.tail] = t
+	s.tail = (s.tail + 1) % len(s.ring)
+	s.size++
+	// ... audit concern, tangled in:
+	s.recordLocked("open", "")
+	s.notEmpty.Signal()
+	return nil
+}
+
+// Assign retrieves the oldest ticket, blocking while the buffer is empty.
+func (s *Server) Assign(ctx context.Context, token string) (ticket.Ticket, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	if s.authEnabled {
+		if _, ok := s.tokens[token]; !ok {
+			s.recordLocked("assign", ErrUnauthenticated.Error())
+			return ticket.Ticket{}, ErrUnauthenticated
+		}
+	}
+	for s.size == 0 {
+		if err := ctx.Err(); err != nil {
+			s.recordLocked("assign", err.Error())
+			return ticket.Ticket{}, err
+		}
+		s.notEmpty.Wait()
+	}
+	t := s.ring[s.head]
+	s.ring[s.head] = ticket.Ticket{}
+	s.head = (s.head + 1) % len(s.ring)
+	s.size--
+	s.recordLocked("assign", "")
+	s.notFull.Signal()
+	return t, nil
+}
+
+// recordLocked is the tangled audit write (mu held).
+func (s *Server) recordLocked(method, errMsg string) {
+	if !s.auditEnabled {
+		return
+	}
+	s.auditSeq++
+	s.audit = append(s.audit, AuditEntry{Seq: s.auditSeq, Method: method, Err: errMsg})
+	if len(s.audit) > s.auditCap {
+		s.audit = s.audit[len(s.audit)-s.auditCap:]
+	}
+}
+
+// Size returns the number of buffered tickets.
+func (s *Server) Size() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
+}
+
+// AuditLen returns the number of retained audit entries.
+func (s *Server) AuditLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.audit)
+}
+
+// Kick wakes all waiters so they can observe context cancellation. The
+// tangled design needs this helper precisely because sync.Cond waits are
+// not cancellable.
+func (s *Server) Kick() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.notFull.Broadcast()
+	s.notEmpty.Broadcast()
+}

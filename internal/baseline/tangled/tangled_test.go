@@ -1,0 +1,148 @@
+package tangled
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/apps/ticket"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Capacity: 0}); err == nil {
+		t.Error("capacity 0 must error")
+	}
+}
+
+func TestBasicFlow(t *testing.T) {
+	s, err := New(Config{Capacity: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := s.Open(ctx, "", ticket.Ticket{ID: "t1"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Assign(ctx, "")
+	if err != nil || got.ID != "t1" {
+		t.Fatalf("assign = %+v, %v", got, err)
+	}
+}
+
+func TestAuthenticationTangledIn(t *testing.T) {
+	s, err := New(Config{Capacity: 2, Authenticate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := s.Open(ctx, "bogus", ticket.Ticket{ID: "t1"}); !errors.Is(err, ErrUnauthenticated) {
+		t.Fatalf("bogus token: %v", err)
+	}
+	s.IssueToken("tok-1", "alice")
+	if err := s.Open(ctx, "tok-1", ticket.Ticket{ID: "t1"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Assign(ctx, "forged"); !errors.Is(err, ErrUnauthenticated) {
+		t.Fatalf("forged assign: %v", err)
+	}
+}
+
+func TestAuditTangledIn(t *testing.T) {
+	s, err := New(Config{Capacity: 2, AuditCapacity: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for k := 0; k < 2; k++ {
+		if err := s.Open(ctx, "", ticket.Ticket{ID: fmt.Sprint(k)}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Assign(ctx, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.AuditLen(); got != 3 { // ring capacity
+		t.Errorf("audit len = %d, want 3", got)
+	}
+}
+
+func TestBlockingProducerConsumer(t *testing.T) {
+	s, err := New(Config{Capacity: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	const total = 100
+	var wg sync.WaitGroup
+	got := make(chan string, total)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for k := 0; k < total; k++ {
+			if err := s.Open(ctx, "", ticket.Ticket{ID: fmt.Sprint(k)}); err != nil {
+				t.Errorf("open: %v", err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for k := 0; k < total; k++ {
+			tk, err := s.Assign(ctx, "")
+			if err != nil {
+				t.Errorf("assign: %v", err)
+				return
+			}
+			got <- tk.ID
+		}
+	}()
+	wg.Wait()
+	close(got)
+	// FIFO order must hold with one producer, one consumer.
+	k := 0
+	for id := range got {
+		if id != fmt.Sprint(k) {
+			t.Fatalf("order broken at %d: %s", k, id)
+		}
+		k++
+	}
+	if s.Size() != 0 {
+		t.Errorf("final size = %d", s.Size())
+	}
+}
+
+func TestCancellationNeedsKick(t *testing.T) {
+	// Pins the expressiveness gap the package doc describes: a caller
+	// blocked in sync.Cond.Wait only observes cancellation after a Kick.
+	s, err := New(Config{Capacity: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Open(context.Background(), "", ticket.Ticket{ID: "fill"}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- s.Open(ctx, "", ticket.Ticket{ID: "blocked"})
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+		t.Fatal("tangled open observed cancellation without a kick — test premise broken")
+	case <-time.After(50 * time.Millisecond):
+	}
+	s.Kick()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want Canceled, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("kicked waiter never returned")
+	}
+}

@@ -1,0 +1,1127 @@
+// Package bench is the experiment harness of the reproduction. The paper's
+// evaluation is qualitative (architecture and code walkthroughs, Figures
+// 1-18); this package defines the quantitative experiments its claims
+// imply — E1 through E11 of DESIGN.md / EXPERIMENTS.md — and runs each to
+// a small table of measurements. cmd/ambench prints them; the root
+// bench_test.go exposes the same scenarios as testing.B benchmarks.
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/amrpc"
+	"repro/internal/apps/auction"
+	"repro/internal/apps/reservation"
+	"repro/internal/apps/ticket"
+	"repro/internal/apps/timecard"
+	"repro/internal/aspect"
+	"repro/internal/aspects/auth"
+	"repro/internal/aspects/fault"
+	"repro/internal/aspects/metrics"
+	"repro/internal/baseline/decorator"
+	"repro/internal/baseline/tangled"
+	"repro/internal/moderator"
+	"repro/internal/proxy"
+	"repro/internal/waitq"
+)
+
+// Table is one experiment's result, printable as plain text.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  string
+}
+
+// Render formats the table for a terminal.
+func (t *Table) Render() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		out := ""
+		for i, c := range cells {
+			out += fmt.Sprintf("%-*s  ", widths[i], c)
+		}
+		return out + "\n"
+	}
+	out := fmt.Sprintf("== %s: %s ==\n", t.ID, t.Title)
+	out += line(t.Header)
+	for _, row := range t.Rows {
+		out += line(row)
+	}
+	if t.Notes != "" {
+		out += "note: " + t.Notes + "\n"
+	}
+	return out
+}
+
+// Config scales the experiments.
+type Config struct {
+	// Ops is the per-measurement operation count (default 20000).
+	Ops int
+	// Quick trims parameter sweeps for smoke runs.
+	Quick bool
+}
+
+func (c Config) ops() int {
+	if c.Ops <= 0 {
+		return 20000
+	}
+	return c.Ops
+}
+
+// Experiment pairs an id with its runner.
+type Experiment struct {
+	ID  string
+	Run func(Config) (Table, error)
+}
+
+// Experiments lists every experiment in report order.
+var Experiments = []Experiment{
+	{"E1", E1Overhead},
+	{"E2", E2Contention},
+	{"E3", E3ChainLength},
+	{"E4", E4AuthLayer},
+	{"E5", E5WakePolicy},
+	{"E6", E6Priority},
+	{"E7", E7Remote},
+	{"E8", E8Fault},
+	{"E9", E9Churn},
+	{"E10", E10Reuse},
+	{"E11", E11Coordination},
+}
+
+// All runs the experiments whose ids are listed (every experiment when ids
+// is empty), in report order.
+func All(cfg Config, ids ...string) ([]Table, error) {
+	want := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		want[id] = true
+	}
+	out := make([]Table, 0, len(Experiments))
+	for _, e := range Experiments {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		t, err := e.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench %s: %w", e.ID, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// measure times n executions of fn and returns ns/op.
+func measure(n int, fn func(i int) error) (float64, error) {
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if err := fn(i); err != nil {
+			return 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	return float64(elapsed.Nanoseconds()) / float64(n), nil
+}
+
+func fmtNs(ns float64) string {
+	switch {
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.2fus", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}
+
+func fmtOps(opsPerSec float64) string {
+	switch {
+	case opsPerSec >= 1e6:
+		return fmt.Sprintf("%.2fM/s", opsPerSec/1e6)
+	case opsPerSec >= 1e3:
+		return fmt.Sprintf("%.1fk/s", opsPerSec/1e3)
+	default:
+		return fmt.Sprintf("%.0f/s", opsPerSec)
+	}
+}
+
+// newFrameworkTicket builds a sync-only guarded ticket service.
+func newFrameworkTicket(capacity int, opts ...moderator.Option) (*ticket.Guarded, error) {
+	return ticket.NewGuarded(ticket.GuardedConfig{
+		Capacity:         capacity,
+		ModeratorOptions: opts,
+	})
+}
+
+// E1Overhead measures the uncontended cost of one open+assign pair under
+// each composition style. Claim probed: the framework's indirection is a
+// bounded constant cost over hand-tangled code.
+func E1Overhead(cfg Config) (Table, error) {
+	t := Table{
+		ID:     "E1",
+		Title:  "uncontended invocation overhead (one open+assign pair per op)",
+		Header: []string{"variant", "ns/op", "vs direct"},
+		Notes:  "direct has no concurrency protection at all; every other variant is concurrency-safe",
+	}
+	n := cfg.ops()
+	type variant struct {
+		name string
+		run  func(i int) error
+	}
+	ctx := context.Background()
+
+	// direct: the bare sequential component.
+	direct, err := ticket.NewServer(4)
+	if err != nil {
+		return t, err
+	}
+	// framework: moderator + proxy + sync aspects.
+	fw, err := newFrameworkTicket(4)
+	if err != nil {
+		return t, err
+	}
+	fwp := fw.Proxy()
+	// tangled baseline.
+	tg, err := tangled.New(tangled.Config{Capacity: 4})
+	if err != nil {
+		return t, err
+	}
+	// decorator baseline: bare proxy + mutex interceptor.
+	dcInner := proxy.New(moderator.New("ticket-dc"))
+	dcSrv, err := ticket.NewServer(4)
+	if err != nil {
+		return t, err
+	}
+	if err := dcInner.Bind("open", func(inv *aspect.Invocation) (any, error) {
+		id, _ := inv.ArgString(0)
+		return nil, dcSrv.Open(ticket.Ticket{ID: id})
+	}); err != nil {
+		return t, err
+	}
+	if err := dcInner.Bind("assign", func(*aspect.Invocation) (any, error) {
+		return dcSrv.Assign()
+	}); err != nil {
+		return t, err
+	}
+	dc, err := decorator.Chain(dcInner, decorator.MutexInterceptor())
+	if err != nil {
+		return t, err
+	}
+
+	variants := []variant{
+		{"direct (unsafe)", func(i int) error {
+			if err := direct.Open(ticket.Ticket{ID: "t"}); err != nil {
+				return err
+			}
+			_, err := direct.Assign()
+			return err
+		}},
+		{"framework (sync aspects)", func(i int) error {
+			if _, err := fwp.Invoke(ctx, ticket.MethodOpen, "t", "s"); err != nil {
+				return err
+			}
+			_, err := fwp.Invoke(ctx, ticket.MethodAssign)
+			return err
+		}},
+		{"tangled (hand-woven)", func(i int) error {
+			if err := tg.Open(ctx, "", ticket.Ticket{ID: "t"}); err != nil {
+				return err
+			}
+			_, err := tg.Assign(ctx, "")
+			return err
+		}},
+		{"decorator (mutex chain)", func(i int) error {
+			if _, err := dc.Invoke(ctx, "open", "t"); err != nil {
+				return err
+			}
+			_, err := dc.Invoke(ctx, "assign")
+			return err
+		}},
+	}
+	var base float64
+	for i, v := range variants {
+		ns, err := measure(n, v.run)
+		if err != nil {
+			return t, fmt.Errorf("%s: %w", v.name, err)
+		}
+		if i == 0 {
+			base = ns
+		}
+		t.Rows = append(t.Rows, []string{v.name, fmtNs(ns), fmt.Sprintf("%.1fx", ns/base)})
+	}
+	return t, nil
+}
+
+// runPipeline moves total tickets through an open/assign service with the
+// given producer/consumer counts and returns aggregate ops/sec (an op is
+// one open or one assign). The callbacks receive a context that is
+// cancelled on the first failure, so one failed worker cannot strand its
+// blocked counterparts.
+func runPipeline(total, producers, consumers int,
+	open func(ctx context.Context, id string) error, assign func(ctx context.Context) error) (float64, error) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	perProd := total / producers
+	perCons := total / consumers
+	realTotal := perProd * producers
+	// Adjust consumer shares to drain exactly what is produced.
+	consShare := make([]int, consumers)
+	left := realTotal
+	for i := range consShare {
+		consShare[i] = perCons
+		left -= perCons
+	}
+	for i := 0; left > 0; i = (i + 1) % consumers {
+		consShare[i]++
+		left--
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		if err == nil {
+			return
+		}
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel() // release blocked counterparts
+	}
+	start := time.Now()
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for k := 0; k < perProd; k++ {
+				if err := open(ctx, fmt.Sprintf("t-%d-%d", p, k)); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}(p)
+	}
+	for c := 0; c < consumers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for k := 0; k < consShare[c]; k++ {
+				if err := assign(ctx); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	mu.Lock()
+	defer mu.Unlock()
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	return float64(2*realTotal) / elapsed.Seconds(), nil
+}
+
+// E2Contention sweeps producer/consumer counts and buffer capacities.
+// Claim probed: separating synchronization into aspects does not cost
+// scalability relative to hand-tangled monitors.
+func E2Contention(cfg Config) (Table, error) {
+	t := Table{
+		ID:     "E2",
+		Title:  "throughput under contention (P producers, P consumers, capacity K)",
+		Header: []string{"P", "K", "framework", "tangled", "fw/tangled"},
+	}
+	ps := []int{1, 2, 4, 8}
+	ks := []int{1, 16, 256}
+	if cfg.Quick {
+		ps = []int{1, 4}
+		ks = []int{1, 16}
+	}
+	total := cfg.ops()
+	for _, p := range ps {
+		for _, k := range ks {
+			fw, err := newFrameworkTicket(k)
+			if err != nil {
+				return t, err
+			}
+			fwp := fw.Proxy()
+			fwOps, err := runPipeline(total, p, p,
+				func(ctx context.Context, id string) error {
+					_, err := fwp.Invoke(ctx, ticket.MethodOpen, id, "s")
+					return err
+				},
+				func(ctx context.Context) error {
+					_, err := fwp.Invoke(ctx, ticket.MethodAssign)
+					return err
+				})
+			if err != nil {
+				return t, err
+			}
+			tg, err := tangled.New(tangled.Config{Capacity: k})
+			if err != nil {
+				return t, err
+			}
+			tgOps, err := runPipeline(total, p, p,
+				func(ctx context.Context, id string) error { return tg.Open(ctx, "", ticket.Ticket{ID: id}) },
+				func(ctx context.Context) error {
+					_, err := tg.Assign(ctx, "")
+					return err
+				})
+			if err != nil {
+				return t, err
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprint(p), fmt.Sprint(k),
+				fmtOps(fwOps), fmtOps(tgOps),
+				fmt.Sprintf("%.2f", fwOps/tgOps),
+			})
+		}
+	}
+	return t, nil
+}
+
+// E3ChainLength measures invocation latency against the number of no-op
+// aspects guarding the method. Claim probed: evaluation cost is linear in
+// chain length with a small constant.
+func E3ChainLength(cfg Config) (Table, error) {
+	t := Table{
+		ID:     "E3",
+		Title:  "latency vs aspect chain length (no-op aspects)",
+		Header: []string{"aspects", "ns/op", "marginal ns/aspect"},
+	}
+	ctx := context.Background()
+	lengths := []int{0, 1, 2, 4, 8, 16}
+	if cfg.Quick {
+		lengths = []int{0, 4, 16}
+	}
+	n := cfg.ops()
+	var prev float64
+	var prevLen int
+	for idx, l := range lengths {
+		mod := moderator.New("chain")
+		for k := 0; k < l; k++ {
+			kind := aspect.Kind(fmt.Sprintf("noop-%d", k))
+			if err := mod.Register("m", kind, aspect.New(fmt.Sprintf("noop-%d", k), kind, nil, nil)); err != nil {
+				return t, err
+			}
+		}
+		p := proxy.New(mod)
+		if err := p.Bind("m", func(*aspect.Invocation) (any, error) { return nil, nil }); err != nil {
+			return t, err
+		}
+		ns, err := measure(n, func(int) error {
+			_, err := p.Invoke(ctx, "m")
+			return err
+		})
+		if err != nil {
+			return t, err
+		}
+		marginal := "-"
+		if idx > 0 && l > prevLen {
+			marginal = fmtNs((ns - prev) / float64(l-prevLen))
+		}
+		t.Rows = append(t.Rows, []string{fmt.Sprint(l), fmtNs(ns), marginal})
+		prev, prevLen = ns, l
+	}
+	return t, nil
+}
+
+// E4AuthLayer measures the cost of the paper's adaptability scenario: the
+// authentication layer added at runtime, versus re-engineering the tangled
+// server. Claim probed: composed extension costs no more than invasive
+// extension.
+func E4AuthLayer(cfg Config) (Table, error) {
+	t := Table{
+		ID:     "E4",
+		Title:  "adaptability: authentication layered on vs tangled-in (open+assign pair)",
+		Header: []string{"variant", "ns/op", "auth delta"},
+	}
+	ctx := context.Background()
+	n := cfg.ops()
+
+	// Framework without and with the auth layer.
+	fwPlain, err := newFrameworkTicket(4)
+	if err != nil {
+		return t, err
+	}
+	fwAuth, err := newFrameworkTicket(4)
+	if err != nil {
+		return t, err
+	}
+	store := auth.NewTokenStore()
+	tok := store.Issue("alice", "client")
+	if err := fwAuth.EnableAuthentication(store); err != nil {
+		return t, err
+	}
+
+	// Tangled without and with inline auth.
+	tgPlain, err := tangled.New(tangled.Config{Capacity: 4})
+	if err != nil {
+		return t, err
+	}
+	tgAuth, err := tangled.New(tangled.Config{Capacity: 4, Authenticate: true})
+	if err != nil {
+		return t, err
+	}
+	tgAuth.IssueToken("tok", "alice")
+
+	fwRun := func(g *ticket.Guarded, useToken bool) func(int) error {
+		p := g.Proxy()
+		return func(int) error {
+			inv := aspect.NewInvocation(ctx, p.Name(), ticket.MethodOpen, []any{"t", "s"})
+			if useToken {
+				auth.WithToken(inv, tok)
+			}
+			if _, err := p.Call(inv); err != nil {
+				return err
+			}
+			inv2 := aspect.NewInvocation(ctx, p.Name(), ticket.MethodAssign, nil)
+			if useToken {
+				auth.WithToken(inv2, tok)
+			}
+			_, err := p.Call(inv2)
+			return err
+		}
+	}
+	tgRun := func(s *tangled.Server, token string) func(int) error {
+		return func(int) error {
+			if err := s.Open(ctx, token, ticket.Ticket{ID: "t"}); err != nil {
+				return err
+			}
+			_, err := s.Assign(ctx, token)
+			return err
+		}
+	}
+
+	fwPlainNs, err := measure(n, fwRun(fwPlain, false))
+	if err != nil {
+		return t, err
+	}
+	fwAuthNs, err := measure(n, fwRun(fwAuth, true))
+	if err != nil {
+		return t, err
+	}
+	tgPlainNs, err := measure(n, tgRun(tgPlain, ""))
+	if err != nil {
+		return t, err
+	}
+	tgAuthNs, err := measure(n, tgRun(tgAuth, "tok"))
+	if err != nil {
+		return t, err
+	}
+	t.Rows = [][]string{
+		{"framework sync-only", fmtNs(fwPlainNs), "-"},
+		{"framework +auth layer", fmtNs(fwAuthNs), fmtNs(fwAuthNs - fwPlainNs)},
+		{"tangled sync-only", fmtNs(tgPlainNs), "-"},
+		{"tangled +auth inline", fmtNs(tgAuthNs), fmtNs(tgAuthNs - tgPlainNs)},
+	}
+	t.Notes = "framework auth required zero functional-code change; tangled auth required editing both methods"
+	return t, nil
+}
+
+// E5WakePolicy observes which parked caller each wake policy admits
+// first. N producers park, in a known order, on a full capacity-1 buffer;
+// a consumer then releases slots one at a time; the admission order is
+// recorded. Claim probed: the wake policy is a pluggable scheduling
+// concern — FIFO admits in park order, LIFO in reverse, Priority by the
+// invocation's priority.
+func E5WakePolicy(cfg Config) (Table, error) {
+	t := Table{
+		ID:     "E5",
+		Title:  "wake policy: admission order of parked producers (capacity-1 buffer, WakeSingle)",
+		Header: []string{"policy", "park order", "admission order", "matches expectation"},
+		Notes:  "producer i parks i-th and carries priority i, so Priority expects reverse park order",
+	}
+	const parked = 5
+	for _, pol := range []waitq.Policy{waitq.FIFO, waitq.LIFO, waitq.Priority} {
+		order, err := wakeOrder(pol, parked)
+		if err != nil {
+			return t, err
+		}
+		want := make([]int, parked)
+		for i := range want {
+			switch pol {
+			case waitq.FIFO:
+				want[i] = i
+			default: // LIFO and Priority(prio=i) both expect reverse
+				want[i] = parked - 1 - i
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			pol.String(),
+			intsToString(seq(parked)),
+			intsToString(order),
+			fmt.Sprint(equalInts(order, want)),
+		})
+	}
+	return t, nil
+}
+
+// wakeOrder parks n producers in index order on a full buffer and returns
+// the order in which consuming n items admits them.
+func wakeOrder(pol waitq.Policy, n int) ([]int, error) {
+	fw, err := newFrameworkTicket(1,
+		moderator.WithWakePolicy(pol), moderator.WithWakeMode(moderator.WakeSingle))
+	if err != nil {
+		return nil, err
+	}
+	p := fw.Proxy()
+	ctx := context.Background()
+	// Fill the single slot so every producer parks.
+	if _, err := p.Invoke(ctx, ticket.MethodOpen, "fill", "s"); err != nil {
+		return nil, err
+	}
+	admitted := make(chan int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := p.InvokeWithPriority(ctx, i, ticket.MethodOpen,
+				fmt.Sprintf("t%d", i), "s"); err != nil {
+				return
+			}
+			admitted <- i
+		}(i)
+		// Ensure producer i is parked before producer i+1 arrives, fixing
+		// the park (ticket) order.
+		deadline := time.Now().Add(5 * time.Second)
+		for fw.Moderator().Waiting(ticket.MethodOpen) < i+1 {
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("producer %d never parked", i)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	// Consume n items: each assign frees the slot and wakes one producer.
+	// Between releases, wait for the parked set to stabilize — a woken
+	// producer whose guard failed again (woken by the completing
+	// producer's wake of its own method) must be back in the queue before
+	// the next notify, or it would miss its turn while in transit.
+	order := make([]int, 0, n)
+	for k := 0; k < n; k++ {
+		if _, err := p.Invoke(ctx, ticket.MethodAssign); err != nil {
+			return nil, err
+		}
+		select {
+		case i := <-admitted:
+			order = append(order, i)
+		case <-time.After(5 * time.Second):
+			return nil, fmt.Errorf("no admission after release %d", k)
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for fw.Moderator().Waiting(ticket.MethodOpen) != n-k-1 {
+			if time.Now().After(deadline) {
+				return nil, fmt.Errorf("parked set never stabilized after release %d", k)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	wg.Wait()
+	return order, nil
+}
+
+func seq(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func intsToString(xs []int) string {
+	out := ""
+	for i, x := range xs {
+		if i > 0 {
+			out += ","
+		}
+		out += fmt.Sprint(x)
+	}
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// E6Priority parks interleaved high- and low-priority callers behind a
+// held concurrency ceiling, then releases it and records admission ranks.
+// Claim probed: the scheduling concern (priority) composes as an aspect
+// and visibly reorders admission: every high-priority caller should be
+// admitted before any low-priority one.
+func E6Priority(cfg Config) (Table, error) {
+	t := Table{
+		ID:     "E6",
+		Title:  "priority admission order (held ceiling released once, WakeSingle+priority)",
+		Header: []string{"class", "mean admission rank", "first", "last"},
+		Notes:  "ranks 1..N; all high ranks should precede all low ranks",
+	}
+	fw, err := newFrameworkTicket(1024,
+		moderator.WithWakePolicy(waitq.Priority), moderator.WithWakeMode(moderator.WakeSingle))
+	if err != nil {
+		return t, err
+	}
+	inUse := 0
+	ceiling := &aspect.Func{
+		AspectName: "ceiling",
+		AspectKind: aspect.KindScheduling,
+		Pre: func(*aspect.Invocation) aspect.Verdict {
+			if inUse > 0 {
+				return aspect.Block
+			}
+			inUse++
+			return aspect.Resume
+		},
+		Post:     func(*aspect.Invocation) { inUse-- },
+		CancelFn: func(*aspect.Invocation) { inUse-- },
+		WakeList: []string{ticket.MethodOpen},
+	}
+	if err := fw.Moderator().Register(ticket.MethodOpen, aspect.KindScheduling, ceiling); err != nil {
+		return t, err
+	}
+	p := fw.Proxy()
+	ctx := context.Background()
+
+	// Hold the ceiling so everyone parks.
+	holder := aspect.NewInvocation(ctx, p.Name(), ticket.MethodOpen, []any{"hold", "s"})
+	holderAdm, err := fw.Moderator().Preactivation(holder)
+	if err != nil {
+		return t, err
+	}
+
+	const perClass = 6
+	type result struct {
+		priority int
+		rank     int
+	}
+	admitted := make(chan result, 2*perClass)
+	var rank atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 2*perClass; i++ {
+		prio := 1
+		if i%2 == 0 {
+			prio = 10
+		}
+		wg.Add(1)
+		go func(prio, i int) {
+			defer wg.Done()
+			if _, err := p.InvokeWithPriority(ctx, prio, ticket.MethodOpen,
+				fmt.Sprintf("t%d", i), "s"); err != nil {
+				return
+			}
+			admitted <- result{priority: prio, rank: int(rank.Add(1))}
+		}(prio, i)
+		deadline := time.Now().Add(5 * time.Second)
+		for fw.Moderator().Waiting(ticket.MethodOpen) < i+1 {
+			if time.Now().After(deadline) {
+				return t, fmt.Errorf("caller %d never parked", i)
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	// Release the holder: the ceiling cascades through the queue.
+	fw.Moderator().Postactivation(holder, holderAdm)
+	wg.Wait()
+	close(admitted)
+
+	sums := map[int][]int{}
+	for r := range admitted {
+		sums[r.priority] = append(sums[r.priority], r.rank)
+	}
+	for _, cls := range []struct {
+		name string
+		prio int
+	}{{"high (prio 10)", 10}, {"low (prio 1)", 1}} {
+		ranks := sums[cls.prio]
+		if len(ranks) == 0 {
+			t.Rows = append(t.Rows, []string{cls.name, "n/a", "-", "-"})
+			continue
+		}
+		sum, min, max := 0, ranks[0], ranks[0]
+		for _, r := range ranks {
+			sum += r
+			if r < min {
+				min = r
+			}
+			if r > max {
+				max = r
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			cls.name,
+			fmt.Sprintf("%.1f", float64(sum)/float64(len(ranks))),
+			fmt.Sprint(min),
+			fmt.Sprint(max),
+		})
+	}
+	return t, nil
+}
+
+// E7Remote compares local guarded invocation against the same component
+// behind the amrpc boundary on loopback. Claim probed: aspects add
+// negligible cost at network latencies (location transparency is
+// affordable).
+func E7Remote(cfg Config) (Table, error) {
+	t := Table{
+		ID:     "E7",
+		Title:  "local vs remote guarded invocation (open+assign pair, loopback)",
+		Header: []string{"variant", "ns/op", "vs local"},
+	}
+	ctx := context.Background()
+	n := cfg.ops() / 10
+	if n < 500 {
+		n = 500
+	}
+
+	local, err := newFrameworkTicket(4)
+	if err != nil {
+		return t, err
+	}
+	lp := local.Proxy()
+	localNs, err := measure(n, func(int) error {
+		if _, err := lp.Invoke(ctx, ticket.MethodOpen, "t", "s"); err != nil {
+			return err
+		}
+		_, err := lp.Invoke(ctx, ticket.MethodAssign)
+		return err
+	})
+	if err != nil {
+		return t, err
+	}
+
+	remote, err := newFrameworkTicket(4)
+	if err != nil {
+		return t, err
+	}
+	srv := amrpc.NewServer()
+	if err := srv.Register(remote.Proxy()); err != nil {
+		return t, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return t, err
+	}
+	var serveWg sync.WaitGroup
+	serveWg.Add(1)
+	go func() {
+		defer serveWg.Done()
+		_ = srv.Serve(ln)
+	}()
+	client, err := amrpc.Dial(ln.Addr().String())
+	if err != nil {
+		srv.Close()
+		serveWg.Wait()
+		return t, err
+	}
+	stub := client.Component(ticket.ComponentName)
+	remoteNs, err := measure(n, func(int) error {
+		if _, err := stub.Invoke(ctx, ticket.MethodOpen, "t", "s"); err != nil {
+			return err
+		}
+		_, err := stub.Invoke(ctx, ticket.MethodAssign)
+		return err
+	})
+	_ = client.Close()
+	srv.Close()
+	serveWg.Wait()
+	if err != nil {
+		return t, err
+	}
+	t.Rows = [][]string{
+		{"local guarded", fmtNs(localNs), "1.0x"},
+		{"remote guarded (loopback)", fmtNs(remoteNs), fmt.Sprintf("%.1fx", remoteNs/localNs)},
+	}
+	t.Notes = "the gap is wire+serialization cost; aspect evaluation is the same code on both rows"
+	return t, nil
+}
+
+// E8Fault measures the fault-tolerance aspects: breaker overhead when
+// healthy, shed behaviour when the component is down, and retry recovery.
+func E8Fault(cfg Config) (Table, error) {
+	t := Table{
+		ID:     "E8",
+		Title:  "fault-tolerance aspects (breaker, retry)",
+		Header: []string{"scenario", "result"},
+	}
+	ctx := context.Background()
+	n := cfg.ops()
+
+	// Breaker overhead on a healthy component.
+	healthy := proxy.New(moderator.New("svc"))
+	if err := healthy.Bind("m", func(*aspect.Invocation) (any, error) { return nil, nil }); err != nil {
+		return t, err
+	}
+	baseNs, err := measure(n, func(int) error {
+		_, err := healthy.Invoke(ctx, "m")
+		return err
+	})
+	if err != nil {
+		return t, err
+	}
+	guarded := proxy.New(moderator.New("svc-cb"))
+	if err := guarded.Bind("m", func(*aspect.Invocation) (any, error) { return nil, nil }); err != nil {
+		return t, err
+	}
+	cb, err := fault.NewCircuitBreaker(fault.CircuitBreakerConfig{Threshold: 5, Cooldown: time.Second})
+	if err != nil {
+		return t, err
+	}
+	if err := guarded.Moderator().Register("m", aspect.KindFaultTolerance, cb.Aspect("cb")); err != nil {
+		return t, err
+	}
+	cbNs, err := measure(n, func(int) error {
+		_, err := guarded.Invoke(ctx, "m")
+		return err
+	})
+	if err != nil {
+		return t, err
+	}
+	t.Rows = append(t.Rows,
+		[]string{"breaker overhead (healthy)", fmt.Sprintf("%s -> %s (+%s)", fmtNs(baseNs), fmtNs(cbNs), fmtNs(cbNs-baseNs))})
+
+	// Breaker shed rate on a dead component.
+	dead := proxy.New(moderator.New("svc-dead"))
+	boom := errors.New("down")
+	if err := dead.Bind("m", func(*aspect.Invocation) (any, error) { return nil, boom }); err != nil {
+		return t, err
+	}
+	cb2, err := fault.NewCircuitBreaker(fault.CircuitBreakerConfig{Threshold: 5, Cooldown: time.Minute})
+	if err != nil {
+		return t, err
+	}
+	if err := dead.Moderator().Register("m", aspect.KindFaultTolerance, cb2.Aspect("cb")); err != nil {
+		return t, err
+	}
+	shed, reached := 0, 0
+	calls := 1000
+	for i := 0; i < calls; i++ {
+		_, err := dead.Invoke(ctx, "m")
+		switch {
+		case errors.Is(err, fault.ErrCircuitOpen):
+			shed++
+		case errors.Is(err, boom):
+			reached++
+		}
+	}
+	t.Rows = append(t.Rows,
+		[]string{"breaker on dead component", fmt.Sprintf("%d/%d calls reached it, %d shed", reached, calls, shed)})
+
+	// Retry over a flaky component.
+	attempts := 0
+	flaky := proxy.New(moderator.New("svc-flaky"))
+	if err := flaky.Bind("m", func(*aspect.Invocation) (any, error) {
+		attempts++
+		if attempts%3 != 0 { // fails 2 of each 3 attempts
+			return nil, errors.New("transient")
+		}
+		return nil, nil
+	}); err != nil {
+		return t, err
+	}
+	r, err := fault.Retry(flaky, fault.RetryPolicy{MaxAttempts: 5})
+	if err != nil {
+		return t, err
+	}
+	ok := 0
+	const tries = 300
+	for i := 0; i < tries; i++ {
+		if _, err := r.Invoke(ctx, "m"); err == nil {
+			ok++
+		}
+	}
+	t.Rows = append(t.Rows,
+		[]string{"retry over 66%-failing component", fmt.Sprintf("%d/%d calls succeeded (%d raw attempts)", ok, tries, attempts)})
+	return t, nil
+}
+
+// E9Churn measures throughput while the composition is continuously
+// re-formed (a layer added and removed) versus a static composition.
+// Claim probed: dynamic adaptability does not stall in-flight work.
+func E9Churn(cfg Config) (Table, error) {
+	t := Table{
+		ID:     "E9",
+		Title:  "dynamic re-composition under load (open+assign pairs)",
+		Header: []string{"composition", "throughput"},
+	}
+	total := cfg.ops()
+	run := func(churn bool) (float64, error) {
+		fw, err := newFrameworkTicket(16)
+		if err != nil {
+			return 0, err
+		}
+		p := fw.Proxy()
+		stop := make(chan struct{})
+		var churnWg sync.WaitGroup
+		if churn {
+			churnWg.Add(1)
+			go func() {
+				defer churnWg.Done()
+				mod := fw.Moderator()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					layer := fmt.Sprintf("churn-%d", i)
+					if err := mod.AddLayer(layer, moderator.Outermost); err != nil {
+						return
+					}
+					_ = mod.RegisterIn(layer, ticket.MethodOpen, aspect.KindAudit,
+						aspect.New("churn", aspect.KindAudit, nil, nil))
+					_ = mod.RemoveLayer(layer)
+				}
+			}()
+		}
+		ops, err := runPipeline(total, 4, 4,
+			func(ctx context.Context, id string) error {
+				_, err := p.Invoke(ctx, ticket.MethodOpen, id, "s")
+				return err
+			},
+			func(ctx context.Context) error {
+				_, err := p.Invoke(ctx, ticket.MethodAssign)
+				return err
+			})
+		close(stop)
+		churnWg.Wait()
+		return ops, err
+	}
+	static, err := run(false)
+	if err != nil {
+		return t, err
+	}
+	churned, err := run(true)
+	if err != nil {
+		return t, err
+	}
+	t.Rows = [][]string{
+		{"static", fmtOps(static)},
+		{"continuous layer add/remove", fmtOps(churned)},
+	}
+	t.Notes = "copy-on-write banks: in-flight invocations never see a torn composition"
+	return t, nil
+}
+
+// E10Reuse runs all four applications with shared aspect collaborators
+// (one metrics recorder, one token store) and reports per-component
+// throughput. Claim probed: the same concern objects compose onto
+// arbitrary components (reuse).
+func E10Reuse(cfg Config) (Table, error) {
+	t := Table{
+		ID:     "E10",
+		Title:  "aspect reuse across applications (shared recorder + token store)",
+		Header: []string{"component", "ops", "ns/op"},
+		Notes:  "identical aspect implementations guard all four components; zero per-app concern code",
+	}
+	rec := metrics.NewRecorder()
+	store := auth.NewTokenStore()
+	tok := store.Issue("alice", "customer", "bidder", "seller", "client",
+		timecard.RoleEmployee)
+	ctx := context.Background()
+	n := cfg.ops() / 4
+
+	tg, err := ticket.NewGuarded(ticket.GuardedConfig{Capacity: 8, Metrics: rec})
+	if err != nil {
+		return t, err
+	}
+	if err := tg.EnableAuthentication(store); err != nil {
+		return t, err
+	}
+	rg, err := reservation.NewGuarded(reservation.GuardedConfig{Authenticator: store, Metrics: rec})
+	if err != nil {
+		return t, err
+	}
+	ag, err := auction.NewGuarded(auction.GuardedConfig{Authenticator: store, Metrics: rec})
+	if err != nil {
+		return t, err
+	}
+	if _, err := invokeWithToken(ctx, ag.Proxy(), tok, auction.MethodList, "lot", 1.0); err != nil {
+		return t, err
+	}
+	wg, err := timecard.NewGuarded(timecard.GuardedConfig{Authenticator: store})
+	if err != nil {
+		return t, err
+	}
+
+	ticketNs, err := measure(n, func(i int) error {
+		if _, err := invokeWithToken(ctx, tg.Proxy(), tok, ticket.MethodOpen, "t", "s"); err != nil {
+			return err
+		}
+		_, err := invokeWithToken(ctx, tg.Proxy(), tok, ticket.MethodAssign)
+		return err
+	})
+	if err != nil {
+		return t, err
+	}
+	seat := "R1C1"
+	resNs, err := measure(n, func(i int) error {
+		if _, err := invokeWithToken(ctx, rg.Proxy(), tok, reservation.MethodReserve, seat); err != nil {
+			return err
+		}
+		_, err := invokeWithToken(ctx, rg.Proxy(), tok, reservation.MethodCancel, seat)
+		return err
+	})
+	if err != nil {
+		return t, err
+	}
+	bid := 1.0
+	aucNs, err := measure(n, func(i int) error {
+		bid++
+		_, err := invokeWithToken(ctx, ag.Proxy(), tok, auction.MethodBid, "lot", nil, bid)
+		return err
+	})
+	if err != nil {
+		return t, err
+	}
+	tcNs, err := measure(n, func(i int) error {
+		if _, err := invokeWithToken(ctx, wg.Proxy(), tok, timecard.MethodPunchIn); err != nil {
+			return err
+		}
+		_, err := invokeWithToken(ctx, wg.Proxy(), tok, timecard.MethodPunchOut)
+		return err
+	})
+	if err != nil {
+		return t, err
+	}
+	t.Rows = [][]string{
+		{ticket.ComponentName, fmt.Sprint(2 * n), fmtNs(ticketNs)},
+		{reservation.ComponentName, fmt.Sprint(2 * n), fmtNs(resNs)},
+		{auction.ComponentName, fmt.Sprint(n), fmtNs(aucNs)},
+		{timecard.ComponentName, fmt.Sprint(2 * n), fmtNs(tcNs)},
+	}
+	return t, nil
+}
+
+// invokeWithToken performs one guarded call carrying a bearer token.
+func invokeWithToken(ctx context.Context, p *proxy.Proxy, tok, method string, args ...any) (any, error) {
+	inv := aspect.NewInvocation(ctx, p.Name(), method, args)
+	auth.WithToken(inv, tok)
+	return p.Call(inv)
+}

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsSmoke runs every experiment with a tiny budget and
+// checks each produces a well-formed, non-empty table. This keeps the
+// ambench harness from rotting between full benchmark runs.
+func TestAllExperimentsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke run is not short")
+	}
+	cfg := Config{Ops: 2000, Quick: true}
+	tables, err := All(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != len(Experiments) {
+		t.Fatalf("tables = %d, want %d", len(tables), len(Experiments))
+	}
+	for i, tb := range tables {
+		if tb.ID != Experiments[i].ID {
+			t.Errorf("table %d id = %s, want %s", i, tb.ID, Experiments[i].ID)
+		}
+		if len(tb.Rows) == 0 {
+			t.Errorf("%s: empty table", tb.ID)
+		}
+		for _, row := range tb.Rows {
+			if len(row) != len(tb.Header) {
+				t.Errorf("%s: row width %d != header width %d", tb.ID, len(row), len(tb.Header))
+			}
+		}
+		rendered := tb.Render()
+		if !strings.Contains(rendered, tb.ID) || !strings.Contains(rendered, tb.Header[0]) {
+			t.Errorf("%s: render missing id or header:\n%s", tb.ID, rendered)
+		}
+	}
+}
+
+func TestAllFilters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("not short")
+	}
+	tables, err := All(Config{Ops: 1000, Quick: true}, "E3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 || tables[0].ID != "E3" {
+		t.Fatalf("filtered tables = %+v", tables)
+	}
+	none, err := All(Config{Ops: 1000, Quick: true}, "E99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(none) != 0 {
+		t.Fatalf("unknown id must select nothing, got %d", len(none))
+	}
+}

@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/aspect"
+	"repro/internal/aspects/coord"
+	"repro/internal/moderator"
+	"repro/internal/proxy"
+)
+
+// E11Coordination measures the coordination aspects (an extension beyond
+// the paper, exercising its "coordination" interaction property from
+// Section 2): barrier cohort turnaround versus party count, and rendezvous
+// pairing throughput. Claim probed: multi-party coordination composes as
+// ordinary guard aspects with no coordination code in the component.
+func E11Coordination(cfg Config) (Table, error) {
+	t := Table{
+		ID:     "E11",
+		Title:  "coordination aspects (extension): barrier cohorts and rendezvous pairs",
+		Header: []string{"scenario", "result"},
+	}
+	ctx := context.Background()
+
+	// Barrier: wall time per cohort as party count grows.
+	parties := []int{2, 4, 8}
+	cohorts := 200
+	if cfg.Quick {
+		cohorts = 50
+	}
+	for _, n := range parties {
+		elapsed, err := runBarrierCohorts(ctx, n, cohorts)
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("barrier, %d parties, %d cohorts", n, cohorts),
+			fmt.Sprintf("%s per cohort", fmtNs(float64(elapsed.Nanoseconds())/float64(cohorts))),
+		})
+	}
+
+	// Rendezvous: pairs per second.
+	pairs := cfg.ops() / 4
+	if pairs < 500 {
+		pairs = 500
+	}
+	elapsed, err := runRendezvousPairs(ctx, pairs)
+	if err != nil {
+		return t, err
+	}
+	t.Rows = append(t.Rows, []string{
+		fmt.Sprintf("rendezvous, %d pairs", pairs),
+		fmtOps(float64(pairs) / elapsed.Seconds()),
+	})
+	return t, nil
+}
+
+// runBarrierCohorts drives n parties through the given number of cohorts
+// and returns the wall time.
+func runBarrierCohorts(ctx context.Context, n, cohorts int) (time.Duration, error) {
+	b, err := coord.NewBarrier(n, "m")
+	if err != nil {
+		return 0, err
+	}
+	mod := moderator.New("comp")
+	if err := mod.Register("m", aspect.KindSynchronization, b.Aspect("barrier")); err != nil {
+		return 0, err
+	}
+	p := proxy.New(mod)
+	if err := p.Bind("m", func(*aspect.Invocation) (any, error) { return nil, nil }); err != nil {
+		return 0, err
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, n)
+	start := time.Now()
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < cohorts; k++ {
+				if _, err := p.Invoke(ctx, "m"); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errCh:
+		return 0, err
+	default:
+	}
+	if got := b.Generation(); got != uint64(cohorts) {
+		return 0, fmt.Errorf("bench: barrier generations = %d, want %d", got, cohorts)
+	}
+	return elapsed, nil
+}
+
+// runRendezvousPairs pairs the given number of send/recv couples and
+// returns the wall time.
+func runRendezvousPairs(ctx context.Context, pairs int) (time.Duration, error) {
+	r, err := coord.NewRendezvous("send", "recv")
+	if err != nil {
+		return 0, err
+	}
+	mod := moderator.New("comp")
+	if err := mod.Register("send", aspect.KindSynchronization, r.LeftAspect("rdv-send")); err != nil {
+		return 0, err
+	}
+	if err := mod.Register("recv", aspect.KindSynchronization, r.RightAspect("rdv-recv")); err != nil {
+		return 0, err
+	}
+	p := proxy.New(mod)
+	body := func(*aspect.Invocation) (any, error) { return nil, nil }
+	if err := p.Bind("send", body); err != nil {
+		return 0, err
+	}
+	if err := p.Bind("recv", body); err != nil {
+		return 0, err
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 2)
+	run := func(method string) {
+		defer wg.Done()
+		for k := 0; k < pairs; k++ {
+			if _, err := p.Invoke(ctx, method); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}
+	start := time.Now()
+	wg.Add(2)
+	go run("send")
+	go run("recv")
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errCh:
+		return 0, err
+	default:
+	}
+	return elapsed, nil
+}

@@ -1,0 +1,373 @@
+// Package compose verifies aspect compositions. The paper leaves open
+// whether an aspect-oriented architecture "should further enable formal
+// verification of system properties" (Section 1); this package answers
+// with a pragmatic rule engine: given a guarded component, it checks the
+// composition — the shape of the aspect bank, layer ordering, wake-target
+// wiring — against rules that catch the classic composition anomalies
+// (Bergmans & Aksit) before the first invocation runs.
+//
+// Verification is structural, not behavioural: rules inspect what is
+// registered where, never execute preconditions. Run it at startup, in
+// tests, or after every dynamic re-composition.
+package compose
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/aspect"
+	"repro/internal/moderator"
+	"repro/internal/proxy"
+)
+
+// Severity grades an issue.
+type Severity int
+
+const (
+	// Warning marks a suspicious composition that may be intentional.
+	Warning Severity = iota + 1
+	// Error marks a composition that is almost certainly wrong.
+	Error
+)
+
+// String returns "warning" or "error".
+func (s Severity) String() string {
+	if s == Error {
+		return "error"
+	}
+	return "warning"
+}
+
+// Issue is one finding.
+type Issue struct {
+	Severity Severity
+	Rule     string
+	Method   string // empty for component-wide findings
+	Detail   string
+}
+
+// String renders the issue on one line.
+func (i Issue) String() string {
+	loc := i.Method
+	if loc == "" {
+		loc = "<component>"
+	}
+	return fmt.Sprintf("[%s] %s: %s: %s", i.Severity, i.Rule, loc, i.Detail)
+}
+
+// Report is the outcome of a verification run.
+type Report struct {
+	Component string
+	Issues    []Issue
+}
+
+// OK reports whether no error-severity issues were found.
+func (r *Report) OK() bool {
+	for _, i := range r.Issues {
+		if i.Severity == Error {
+			return false
+		}
+	}
+	return true
+}
+
+// Errors returns only the error-severity issues.
+func (r *Report) Errors() []Issue {
+	var out []Issue
+	for _, i := range r.Issues {
+		if i.Severity == Error {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	if len(r.Issues) == 0 {
+		return fmt.Sprintf("compose: component %s: composition verified, no issues", r.Component)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "compose: component %s: %d issue(s)\n", r.Component, len(r.Issues))
+	for _, i := range r.Issues {
+		b.WriteString("  " + i.String() + "\n")
+	}
+	return b.String()
+}
+
+// View is the structural snapshot rules inspect.
+type View struct {
+	Component string
+	// Methods are the proxy's bound methods, sorted.
+	Methods []string
+	// AspectsByMethod lists each method's aspects in evaluation order.
+	AspectsByMethod map[string][]aspect.Aspect
+	// WakeMode and WakePolicy mirror the moderator's configuration.
+	WakeMode moderator.WakeMode
+}
+
+// Rule checks one property of a composition.
+type Rule interface {
+	Name() string
+	Check(v *View) []Issue
+}
+
+// Verify snapshots the component's composition and runs the rules
+// (DefaultRules when none are given).
+func Verify(p *proxy.Proxy, rules ...Rule) *Report {
+	if len(rules) == 0 {
+		rules = DefaultRules()
+	}
+	mod := p.Moderator()
+	v := &View{
+		Component:       p.Name(),
+		Methods:         p.Methods(),
+		AspectsByMethod: make(map[string][]aspect.Aspect, 8),
+		WakeMode:        mod.WakeMode(),
+	}
+	for _, m := range v.Methods {
+		v.AspectsByMethod[m] = mod.Aspects(m)
+	}
+	r := &Report{Component: p.Name()}
+	for _, rule := range rules {
+		r.Issues = append(r.Issues, rule.Check(v)...)
+	}
+	sort.SliceStable(r.Issues, func(i, j int) bool {
+		if r.Issues[i].Severity != r.Issues[j].Severity {
+			return r.Issues[i].Severity > r.Issues[j].Severity // errors first
+		}
+		return r.Issues[i].Method < r.Issues[j].Method
+	})
+	return r
+}
+
+// DefaultRules returns the standard rule set.
+func DefaultRules() []Rule {
+	return []Rule{
+		WakeTargetsExist{},
+		DuplicateOnMethod{},
+		OrderBefore{First: aspect.KindAuthentication, Then: aspect.KindAuthorization},
+		AuthenticationOutermost{},
+		UnguardedMethods{},
+		WakerCoverage{},
+	}
+}
+
+// WakeTargetsExist checks that every method an aspect's Wakes list names is
+// actually bound on the component: a typo there silently strands waiters.
+type WakeTargetsExist struct{}
+
+// Name implements Rule.
+func (WakeTargetsExist) Name() string { return "wake-targets-exist" }
+
+// Check implements Rule.
+func (r WakeTargetsExist) Check(v *View) []Issue {
+	bound := make(map[string]bool, len(v.Methods))
+	for _, m := range v.Methods {
+		bound[m] = true
+	}
+	var out []Issue
+	for _, method := range v.Methods {
+		for _, a := range v.AspectsByMethod[method] {
+			w, ok := a.(aspect.Waker)
+			if !ok {
+				continue
+			}
+			for _, target := range w.Wakes() {
+				if !bound[target] {
+					out = append(out, Issue{
+						Severity: Error,
+						Rule:     r.Name(),
+						Method:   method,
+						Detail: fmt.Sprintf("aspect %q wakes unbound method %q",
+							a.Name(), target),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// DuplicateOnMethod flags the same aspect instance registered twice on one
+// method: its precondition would run (and reserve) twice per invocation.
+type DuplicateOnMethod struct{}
+
+// Name implements Rule.
+func (DuplicateOnMethod) Name() string { return "duplicate-on-method" }
+
+// Check implements Rule.
+func (r DuplicateOnMethod) Check(v *View) []Issue {
+	var out []Issue
+	for _, method := range v.Methods {
+		seen := make(map[aspect.Aspect]bool, 4)
+		for _, a := range v.AspectsByMethod[method] {
+			if seen[a] {
+				out = append(out, Issue{
+					Severity: Error,
+					Rule:     r.Name(),
+					Method:   method,
+					Detail:   fmt.Sprintf("aspect %q registered more than once", a.Name()),
+				})
+			}
+			seen[a] = true
+		}
+	}
+	return out
+}
+
+// OrderBefore requires that, on every method where both kinds appear, every
+// First-kind aspect evaluates before any Then-kind aspect. The default rule
+// set instantiates it as authentication-before-authorization: authorizing
+// an unauthenticated invocation always denies.
+type OrderBefore struct {
+	First aspect.Kind
+	Then  aspect.Kind
+}
+
+// Name implements Rule.
+func (r OrderBefore) Name() string {
+	return fmt.Sprintf("order-%s-before-%s", r.First, r.Then)
+}
+
+// Check implements Rule.
+func (r OrderBefore) Check(v *View) []Issue {
+	var out []Issue
+	for _, method := range v.Methods {
+		aspects := v.AspectsByMethod[method]
+		lastFirst := -1
+		firstThen := -1
+		for i, a := range aspects {
+			switch a.Kind() {
+			case r.First:
+				lastFirst = i
+			case r.Then:
+				if firstThen == -1 {
+					firstThen = i
+				}
+			}
+		}
+		if lastFirst != -1 && firstThen != -1 && firstThen < lastFirst {
+			out = append(out, Issue{
+				Severity: Error,
+				Rule:     r.Name(),
+				Method:   method,
+				Detail: fmt.Sprintf("%s aspect evaluates before %s completes",
+					r.Then, r.First),
+			})
+		}
+	}
+	return out
+}
+
+// AuthenticationOutermost warns when an authentication aspect is not the
+// first to evaluate on its method: aspects running before it act on an
+// unauthenticated invocation.
+type AuthenticationOutermost struct{}
+
+// Name implements Rule.
+func (AuthenticationOutermost) Name() string { return "authentication-outermost" }
+
+// Check implements Rule.
+func (r AuthenticationOutermost) Check(v *View) []Issue {
+	var out []Issue
+	for _, method := range v.Methods {
+		aspects := v.AspectsByMethod[method]
+		for i, a := range aspects {
+			if a.Kind() != aspect.KindAuthentication {
+				continue
+			}
+			if i != 0 {
+				out = append(out, Issue{
+					Severity: Warning,
+					Rule:     r.Name(),
+					Method:   method,
+					Detail: fmt.Sprintf("%d aspect(s) evaluate before authentication %q",
+						i, a.Name()),
+				})
+			}
+			break
+		}
+	}
+	return out
+}
+
+// UnguardedMethods warns about methods with no synchronization aspect on a
+// component where other methods have one: a partially guarded component is
+// usually an oversight, since the functional code is not thread-safe.
+type UnguardedMethods struct{}
+
+// Name implements Rule.
+func (UnguardedMethods) Name() string { return "unguarded-methods" }
+
+// Check implements Rule.
+func (r UnguardedMethods) Check(v *View) []Issue {
+	guarded := 0
+	var bare []string
+	for _, method := range v.Methods {
+		has := false
+		for _, a := range v.AspectsByMethod[method] {
+			if a.Kind() == aspect.KindSynchronization {
+				has = true
+				break
+			}
+		}
+		if has {
+			guarded++
+		} else {
+			bare = append(bare, method)
+		}
+	}
+	if guarded == 0 || len(bare) == 0 {
+		return nil // all-or-nothing compositions are consistent
+	}
+	out := make([]Issue, 0, len(bare))
+	for _, method := range bare {
+		out = append(out, Issue{
+			Severity: Warning,
+			Rule:     r.Name(),
+			Method:   method,
+			Detail:   "no synchronization aspect, but sibling methods are guarded",
+		})
+	}
+	return out
+}
+
+// WakerCoverage warns, in WakeSingle mode, about guarded methods that no
+// aspect's Wakes list covers: blocked callers of such a method can only be
+// released by an explicit Kick. In broadcast mode every completion wakes
+// everything, so the rule is silent.
+type WakerCoverage struct{}
+
+// Name implements Rule.
+func (WakerCoverage) Name() string { return "waker-coverage" }
+
+// Check implements Rule.
+func (r WakerCoverage) Check(v *View) []Issue {
+	if v.WakeMode != moderator.WakeSingle {
+		return nil
+	}
+	woken := make(map[string]bool, len(v.Methods))
+	for _, method := range v.Methods {
+		for _, a := range v.AspectsByMethod[method] {
+			if w, ok := a.(aspect.Waker); ok {
+				for _, target := range w.Wakes() {
+					woken[target] = true
+				}
+			}
+		}
+	}
+	var out []Issue
+	for _, method := range v.Methods {
+		if len(v.AspectsByMethod[method]) > 0 && !woken[method] {
+			out = append(out, Issue{
+				Severity: Warning,
+				Rule:     r.Name(),
+				Method:   method,
+				Detail:   "guarded method is not in any aspect's wake list (WakeSingle mode)",
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,205 @@
+// Package e2e_test builds the repository's command binaries and drives
+// them as real processes: namingd, ticketd registering itself (with
+// authentication), and ticketcli discovering the component by name and
+// exercising it — the deployment story of the distributed open system the
+// paper targets.
+package e2e_test
+
+import (
+	"bufio"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// buildBinaries compiles the three commands once per test run.
+func buildBinaries(t *testing.T) (namingd, ticketd, ticketcli string) {
+	t.Helper()
+	dir := t.TempDir()
+	repoRoot, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	build := func(name string) string {
+		out := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		cmd.Dir = repoRoot
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, b)
+		}
+		return out
+	}
+	return build("namingd"), build("ticketd"), build("ticketcli")
+}
+
+// freePort reserves an ephemeral TCP port and returns "127.0.0.1:port".
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+	return addr
+}
+
+// waitListening polls until addr accepts connections.
+func waitListening(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		conn, err := net.DialTimeout("tcp", addr, 200*time.Millisecond)
+		if err == nil {
+			_ = conn.Close()
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never started listening", addr)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// daemon starts a long-running process and arranges SIGTERM + wait on
+// cleanup. Its stdout is captured for later inspection.
+type daemon struct {
+	cmd    *exec.Cmd
+	stdout strings.Builder
+	mu     sync.Mutex
+}
+
+func startDaemon(t *testing.T, bin string, args ...string) *daemon {
+	t.Helper()
+	d := &daemon{cmd: exec.Command(bin, args...)}
+	stdout, err := d.cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.cmd.Stderr = os.Stderr
+	if err := d.cmd.Start(); err != nil {
+		t.Fatalf("start %s: %v", bin, err)
+	}
+	var readerWg sync.WaitGroup
+	readerWg.Add(1)
+	go func() {
+		defer readerWg.Done()
+		scanner := bufio.NewScanner(stdout)
+		for scanner.Scan() {
+			d.mu.Lock()
+			d.stdout.WriteString(scanner.Text() + "\n")
+			d.mu.Unlock()
+		}
+	}()
+	t.Cleanup(func() {
+		_ = d.cmd.Process.Signal(syscall.SIGTERM)
+		done := make(chan struct{})
+		go func() {
+			_ = d.cmd.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			_ = d.cmd.Process.Kill()
+			<-done
+		}
+		readerWg.Wait()
+	})
+	return d
+}
+
+func (d *daemon) output() string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stdout.String()
+}
+
+// run executes a short-lived command and returns its combined output.
+func run(t *testing.T, bin string, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	b, err := cmd.CombinedOutput()
+	return string(b), err
+}
+
+func TestDistributedDeployment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs real binaries")
+	}
+	namingd, ticketd, ticketcli := buildBinaries(t)
+
+	namingAddr := freePort(t)
+	ticketAddr := freePort(t)
+
+	// 1. Naming service.
+	startDaemon(t, namingd, "-addr", namingAddr)
+	waitListening(t, namingAddr)
+
+	// 2. Ticket server with authentication, announcing itself.
+	td := startDaemon(t, ticketd,
+		"-addr", ticketAddr,
+		"-naming", namingAddr,
+		"-capacity", "8",
+		"-auth", "-issue", "alice:client",
+		"-audit", "0")
+	waitListening(t, ticketAddr)
+
+	// Extract alice's token from ticketd stdout.
+	var token string
+	deadline := time.Now().Add(10 * time.Second)
+	for token == "" {
+		for _, line := range strings.Split(td.output(), "\n") {
+			if strings.HasPrefix(line, "issued token for alice: ") {
+				token = strings.TrimPrefix(line, "issued token for alice: ")
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("token never printed; ticketd output:\n%s", td.output())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// 3. Anonymous client: rejected by the authentication layer.
+	out, err := run(t, ticketcli, "-naming", namingAddr, "open", "TT-1", "no token")
+	if err == nil {
+		t.Fatalf("anonymous open must fail, got:\n%s", out)
+	}
+	if !strings.Contains(out, "unauthenticated") {
+		t.Fatalf("anonymous failure should mention unauthenticated:\n%s", out)
+	}
+
+	// 4. Authenticated client via naming discovery: open then assign.
+	out, err = run(t, ticketcli, "-naming", namingAddr, "-token", token,
+		"open", "TT-1", "printer on fire")
+	if err != nil {
+		t.Fatalf("authenticated open: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "opened TT-1") {
+		t.Fatalf("open output:\n%s", out)
+	}
+	out, err = run(t, ticketcli, "-addr", ticketAddr, "-token", token, "assign")
+	if err != nil {
+		t.Fatalf("assign: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "assigned TT-1") {
+		t.Fatalf("assign output:\n%s", out)
+	}
+
+	// 5. Load generator: move tickets through concurrently.
+	out, err = run(t, ticketcli, "-addr", ticketAddr, "-token", token,
+		"load", "-n", "200", "-clients", "4")
+	if err != nil {
+		t.Fatalf("load: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "moved 200 tickets") {
+		t.Fatalf("load output:\n%s", out)
+	}
+}

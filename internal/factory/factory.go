@@ -1,0 +1,130 @@
+// Package factory implements the aspect factory of the framework: the
+// Factory Method participant (the paper's Figure 4) that creates aspect
+// objects on behalf of a component proxy during the initialization phase.
+//
+// The paper's AspectFactory is a class whose create(methodID, aspect,
+// component) method switches on its arguments and instantiates the right
+// concrete aspect (Figure 6); application-specific factories extend it
+// (ExtendedAspectFactory, Figure 15). In Go the same roles are played by a
+// Registry of constructors keyed by (method, kind) — with "*" wildcard
+// methods — and by Chain, which composes factories so that an extension
+// factory is consulted before (or after) the one it extends.
+package factory
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/aspect"
+)
+
+// Wildcard is the method pattern matching every participating method.
+const Wildcard = "*"
+
+// ErrNoConstructor is returned when no registered constructor covers the
+// requested (method, kind) coordinates.
+var ErrNoConstructor = errors.New("factory: no constructor")
+
+// Factory creates the aspect object guarding one (method, kind) cell of a
+// component's aspect bank. The target is the functional component (or its
+// shared guard state) the aspect needs access to — the paper passes the
+// component proxy itself.
+type Factory interface {
+	Create(method string, kind aspect.Kind, target any) (aspect.Aspect, error)
+}
+
+// Constructor builds one aspect instance for a participating method.
+type Constructor func(method string, target any) (aspect.Aspect, error)
+
+type ctorKey struct {
+	method string
+	kind   aspect.Kind
+}
+
+// Registry is a Factory backed by a constructor table. The zero value is an
+// empty registry ready for use.
+type Registry struct {
+	mu    sync.RWMutex
+	ctors map[ctorKey]Constructor
+}
+
+var _ Factory = (*Registry)(nil)
+
+// NewRegistry returns an empty registry. Equivalent to new(Registry).
+func NewRegistry() *Registry { return new(Registry) }
+
+// Provide registers a constructor for (method, kind). Use Wildcard as the
+// method to cover every participating method of the component. Registering
+// the same coordinates twice is an error: factories are assembled once,
+// at initialization time.
+func (r *Registry) Provide(method string, kind aspect.Kind, ctor Constructor) error {
+	if method == "" {
+		return fmt.Errorf("factory: provide %q/%q: empty method", method, kind)
+	}
+	if err := kind.Validate(); err != nil {
+		return fmt.Errorf("factory: provide %q: %w", method, err)
+	}
+	if ctor == nil {
+		return fmt.Errorf("factory: provide %s/%s: nil constructor", method, kind)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.ctors == nil {
+		r.ctors = make(map[ctorKey]Constructor, 8)
+	}
+	k := ctorKey{method: method, kind: kind}
+	if _, dup := r.ctors[k]; dup {
+		return fmt.Errorf("factory: provide %s/%s: already provided", method, kind)
+	}
+	r.ctors[k] = ctor
+	return nil
+}
+
+// Create implements Factory. An exact (method, kind) constructor wins over
+// a (Wildcard, kind) one.
+func (r *Registry) Create(method string, kind aspect.Kind, target any) (aspect.Aspect, error) {
+	r.mu.RLock()
+	ctor, ok := r.ctors[ctorKey{method: method, kind: kind}]
+	if !ok {
+		ctor, ok = r.ctors[ctorKey{method: Wildcard, kind: kind}]
+	}
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("factory: create %s/%s: %w", method, kind, ErrNoConstructor)
+	}
+	a, err := ctor(method, target)
+	if err != nil {
+		return nil, fmt.Errorf("factory: create %s/%s: %w", method, kind, err)
+	}
+	if a == nil {
+		return nil, fmt.Errorf("factory: create %s/%s: constructor returned nil aspect", method, kind)
+	}
+	return a, nil
+}
+
+// Chain composes factories: Create consults each in order and returns the
+// first success. A factory that reports ErrNoConstructor falls through to
+// the next; any other error stops the chain. This reproduces the paper's
+// factory extension (ExtendedAspectFactory first, base AspectFactory as
+// fallback) without inheritance.
+type Chain []Factory
+
+var _ Factory = (Chain)(nil)
+
+// Create implements Factory.
+func (c Chain) Create(method string, kind aspect.Kind, target any) (aspect.Aspect, error) {
+	for _, f := range c {
+		if f == nil {
+			continue
+		}
+		a, err := f.Create(method, kind, target)
+		if err == nil {
+			return a, nil
+		}
+		if !errors.Is(err, ErrNoConstructor) {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("factory: chain create %s/%s: %w", method, kind, ErrNoConstructor)
+}

@@ -1,0 +1,231 @@
+package factory
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/aspect"
+)
+
+func ctorFor(name string) Constructor {
+	return func(method string, target any) (aspect.Aspect, error) {
+		return aspect.New(name+"/"+method, aspect.KindSynchronization, nil, nil), nil
+	}
+}
+
+func TestZeroValueRegistryMisses(t *testing.T) {
+	var r Registry
+	_, err := r.Create("open", aspect.KindSynchronization, nil)
+	if !errors.Is(err, ErrNoConstructor) {
+		t.Fatalf("want ErrNoConstructor, got %v", err)
+	}
+}
+
+func TestProvideValidation(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Provide("", aspect.KindAudit, ctorFor("x")); err == nil {
+		t.Error("empty method must error")
+	}
+	if err := r.Provide("m", "", ctorFor("x")); err == nil {
+		t.Error("empty kind must error")
+	}
+	if err := r.Provide("m", aspect.KindAudit, nil); err == nil {
+		t.Error("nil constructor must error")
+	}
+	if err := r.Provide("m", aspect.KindAudit, ctorFor("x")); err != nil {
+		t.Fatalf("valid provide: %v", err)
+	}
+	if err := r.Provide("m", aspect.KindAudit, ctorFor("y")); err == nil {
+		t.Error("duplicate provide must error")
+	}
+}
+
+func TestExactMatchCreation(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Provide("open", aspect.KindSynchronization, ctorFor("sync")); err != nil {
+		t.Fatal(err)
+	}
+	a, err := r.Create("open", aspect.KindSynchronization, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() != "sync/open" {
+		t.Errorf("created %q", a.Name())
+	}
+	if _, err := r.Create("assign", aspect.KindSynchronization, nil); !errors.Is(err, ErrNoConstructor) {
+		t.Errorf("unprovided method: %v", err)
+	}
+	if _, err := r.Create("open", aspect.KindAudit, nil); !errors.Is(err, ErrNoConstructor) {
+		t.Errorf("unprovided kind: %v", err)
+	}
+}
+
+func TestWildcardAndPrecedence(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Provide(Wildcard, aspect.KindAudit, ctorFor("generic")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Provide("open", aspect.KindAudit, ctorFor("special")); err != nil {
+		t.Fatal(err)
+	}
+	a, err := r.Create("open", aspect.KindAudit, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() != "special/open" {
+		t.Errorf("exact must beat wildcard, got %q", a.Name())
+	}
+	a, err = r.Create("anything", aspect.KindAudit, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() != "generic/anything" {
+		t.Errorf("wildcard fallback, got %q", a.Name())
+	}
+}
+
+func TestConstructorErrorsPropagate(t *testing.T) {
+	r := NewRegistry()
+	boom := errors.New("no resources")
+	if err := r.Provide("m", aspect.KindAudit, func(string, any) (aspect.Aspect, error) {
+		return nil, boom
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Create("m", aspect.KindAudit, nil); !errors.Is(err, boom) {
+		t.Errorf("want %v, got %v", boom, err)
+	}
+}
+
+func TestNilAspectFromConstructorIsError(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Provide("m", aspect.KindAudit, func(string, any) (aspect.Aspect, error) {
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Create("m", aspect.KindAudit, nil); err == nil {
+		t.Error("nil aspect must be rejected")
+	}
+}
+
+func TestTargetThreadedThrough(t *testing.T) {
+	r := NewRegistry()
+	type state struct{ n int }
+	if err := r.Provide("m", aspect.KindAudit, func(method string, target any) (aspect.Aspect, error) {
+		s, ok := target.(*state)
+		if !ok {
+			return nil, fmt.Errorf("bad target %T", target)
+		}
+		s.n++
+		return aspect.New("a", aspect.KindAudit, nil, nil), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st := &state{}
+	if _, err := r.Create("m", aspect.KindAudit, st); err != nil {
+		t.Fatal(err)
+	}
+	if st.n != 1 {
+		t.Errorf("target not passed: %d", st.n)
+	}
+}
+
+func TestChainExtensionSemantics(t *testing.T) {
+	// The paper's ExtendedAspectFactory: the extension knows authentication,
+	// the base knows synchronization; the chain consults the extension first.
+	base := NewRegistry()
+	if err := base.Provide(Wildcard, aspect.KindSynchronization, ctorFor("base-sync")); err != nil {
+		t.Fatal(err)
+	}
+	ext := NewRegistry()
+	if err := ext.Provide(Wildcard, aspect.KindAuthentication, ctorFor("ext-auth")); err != nil {
+		t.Fatal(err)
+	}
+	chain := Chain{ext, base}
+
+	a, err := chain.Create("open", aspect.KindAuthentication, nil)
+	if err != nil || a.Name() != "ext-auth/open" {
+		t.Errorf("auth via extension: %v, %v", a, err)
+	}
+	a, err = chain.Create("open", aspect.KindSynchronization, nil)
+	if err != nil || a.Name() != "base-sync/open" {
+		t.Errorf("sync falls through to base: %v, %v", a, err)
+	}
+	if _, err := chain.Create("open", aspect.KindMetrics, nil); !errors.Is(err, ErrNoConstructor) {
+		t.Errorf("unknown kind: %v", err)
+	}
+}
+
+func TestChainShadowing(t *testing.T) {
+	// A kind provided by both factories resolves to the first in the chain.
+	first := NewRegistry()
+	second := NewRegistry()
+	if err := first.Provide(Wildcard, aspect.KindAudit, ctorFor("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := second.Provide(Wildcard, aspect.KindAudit, ctorFor("second")); err != nil {
+		t.Fatal(err)
+	}
+	a, err := Chain{first, second}.Create("m", aspect.KindAudit, nil)
+	if err != nil || a.Name() != "first/m" {
+		t.Errorf("shadowing: %v, %v", a, err)
+	}
+}
+
+func TestChainStopsOnRealError(t *testing.T) {
+	boom := errors.New("hard failure")
+	failing := NewRegistry()
+	if err := failing.Provide(Wildcard, aspect.KindAudit, func(string, any) (aspect.Aspect, error) {
+		return nil, boom
+	}); err != nil {
+		t.Fatal(err)
+	}
+	fallback := NewRegistry()
+	if err := fallback.Provide(Wildcard, aspect.KindAudit, ctorFor("fb")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (Chain{failing, fallback}).Create("m", aspect.KindAudit, nil); !errors.Is(err, boom) {
+		t.Errorf("hard error must not fall through: %v", err)
+	}
+}
+
+func TestChainSkipsNilAndEmpty(t *testing.T) {
+	empty := Chain{}
+	if _, err := empty.Create("m", aspect.KindAudit, nil); !errors.Is(err, ErrNoConstructor) {
+		t.Errorf("empty chain: %v", err)
+	}
+	r := NewRegistry()
+	if err := r.Provide(Wildcard, aspect.KindAudit, ctorFor("only")); err != nil {
+		t.Fatal(err)
+	}
+	a, err := (Chain{nil, r}).Create("m", aspect.KindAudit, nil)
+	if err != nil || a.Name() != "only/m" {
+		t.Errorf("nil member must be skipped: %v, %v", a, err)
+	}
+}
+
+func TestConcurrentProvideAndCreate(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			method := fmt.Sprintf("m%d", w)
+			if err := r.Provide(method, aspect.KindAudit, ctorFor("c")); err != nil {
+				t.Errorf("provide: %v", err)
+				return
+			}
+			for i := 0; i < 100; i++ {
+				if _, err := r.Create(method, aspect.KindAudit, nil); err != nil {
+					t.Errorf("create: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

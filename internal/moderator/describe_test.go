@@ -1,0 +1,64 @@
+package moderator
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/aspect"
+)
+
+func TestDescribeStructure(t *testing.T) {
+	m := New("comp", WithWakeMode(WakeSingle))
+	if err := m.AddLayer("security", Outermost); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RegisterIn("security", "open", aspect.KindAuthentication,
+		aspect.New("authn", aspect.KindAuthentication, nil, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register("open", aspect.KindSynchronization,
+		aspect.New("sync-open", aspect.KindSynchronization, nil, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register("assign", aspect.KindSynchronization,
+		aspect.New("sync-assign", aspect.KindSynchronization, nil, nil)); err != nil {
+		t.Fatal(err)
+	}
+
+	layers := m.Describe()
+	if len(layers) != 2 {
+		t.Fatalf("layers = %d, want 2", len(layers))
+	}
+	if layers[0].Name != "security" || layers[1].Name != BaseLayer {
+		t.Errorf("layer order = %s, %s", layers[0].Name, layers[1].Name)
+	}
+	sec := layers[0].Methods["open"]
+	if len(sec) != 1 || sec[0].Name != "authn" || sec[0].Kind != aspect.KindAuthentication {
+		t.Errorf("security open = %+v", sec)
+	}
+	base := layers[1].Methods
+	if len(base["open"]) != 1 || len(base["assign"]) != 1 {
+		t.Errorf("base methods = %+v", base)
+	}
+
+	rendered := m.DescribeString()
+	for _, want := range []string{
+		"component comp", "wake-single", "layer security", "layer base",
+		"authn", "sync-open", "sync-assign",
+	} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("DescribeString missing %q:\n%s", want, rendered)
+		}
+	}
+}
+
+func TestDescribeEmptyModerator(t *testing.T) {
+	m := New("comp")
+	layers := m.Describe()
+	if len(layers) != 1 || layers[0].Name != BaseLayer || len(layers[0].Methods) != 0 {
+		t.Fatalf("describe = %+v", layers)
+	}
+	if s := m.DescribeString(); !strings.Contains(s, "wake-broadcast") {
+		t.Errorf("render = %q", s)
+	}
+}

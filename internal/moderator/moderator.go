@@ -1,0 +1,581 @@
+// Package moderator implements the aspect moderator of the framework: the
+// object that coordinates functional and aspectual behaviour by evaluating
+// every registered aspect's precondition before a participating method runs
+// (pre-activation) and every postaction after it completes
+// (post-activation), parking blocked callers on per-method wait queues in
+// between (the paper's Figures 3, 10, 11).
+//
+// # Layers
+//
+// The paper extends a running system with new concerns by subclassing the
+// moderator and factory (ExtendedAspectModerator, Figures 13-18): the new
+// concern's preconditions run before the existing ones and its postactions
+// after them. Go has no implementation inheritance, so the moderator models
+// the same semantics with layers: an ordered list of aspect banks,
+// outermost first. Pre-activation admits layers outermost to innermost;
+// post-activation runs innermost to outermost — the onion ordering
+// auth-pre, sync-pre, method, sync-post, auth-post of the paper's Figure 14.
+//
+// # Admission semantics
+//
+// Within one layer, preconditions run in registration order. A layer admits
+// atomically: if some aspect returns Block after earlier aspects of the
+// same layer already admitted (and possibly reserved resources), those
+// admissions are rolled back via Cancel before the caller parks, and the
+// whole layer re-evaluates after a wake-up. Abort rolls back everything
+// admitted so far — across layers — and surfaces an error. Admitted outer
+// layers stay admitted while an inner layer blocks, exactly as the paper's
+// authentication admission holds while synchronization blocks.
+//
+// All precondition, postaction, and cancel hooks of one moderator run under
+// a single admission mutex; the method body runs outside it.
+package moderator
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/aspect"
+	"repro/internal/bank"
+	"repro/internal/waitq"
+)
+
+// BaseLayer is the name of the layer every moderator starts with.
+const BaseLayer = "base"
+
+// Position selects where AddLayer places a new layer relative to the
+// existing ones.
+type Position int
+
+const (
+	// Outermost layers run their preconditions first and postactions
+	// last. New concerns added to a running system (the paper's
+	// authentication extension) are typically outermost.
+	Outermost Position = iota + 1
+	// Innermost layers run their preconditions last and postactions
+	// first.
+	Innermost
+)
+
+// WakeMode selects how post-activation releases blocked callers.
+type WakeMode int
+
+const (
+	// WakeBroadcast wakes every caller blocked on the methods a
+	// post-activation touches; each re-evaluates its guards. Always safe;
+	// this is the default.
+	WakeBroadcast WakeMode = iota + 1
+	// WakeSingle wakes one caller per notification, chosen by the wait
+	// queue's policy (FIFO, LIFO, priority). Use when each completed
+	// invocation frees capacity for exactly one waiter (semaphore-like
+	// guards); with heterogeneous guards it can strand waiters.
+	WakeSingle
+)
+
+// Stats are cumulative counters for one moderator. Safe for concurrent reads.
+type Stats struct {
+	Admissions  uint64 // invocations fully admitted by pre-activation
+	Blocks      uint64 // times a caller parked on a wait queue
+	Aborts      uint64 // invocations rejected during pre-activation
+	Completions uint64 // post-activations performed
+}
+
+// ErrLayerExists is returned by AddLayer for a duplicate layer name.
+var ErrLayerExists = errors.New("moderator: layer already exists")
+
+// ErrNoSuchLayer is returned when a named layer is not present.
+var ErrNoSuchLayer = errors.New("moderator: no such layer")
+
+type layer struct {
+	name string
+	bank *bank.Bank
+}
+
+type layerSet struct {
+	layers []*layer // outermost first
+}
+
+func (ls *layerSet) find(name string) *layer {
+	for _, l := range ls.layers {
+		if l.name == name {
+			return l
+		}
+	}
+	return nil
+}
+
+type qkey struct {
+	method string
+	kind   aspect.Kind
+}
+
+// Admission is the receipt of a successful pre-activation: the aspects
+// admitted, in admission order. The caller passes it back to
+// Postactivation so the exact composition the invocation was admitted
+// under — not whatever the bank holds by then — runs its postactions.
+type Admission struct {
+	admitted []aspect.Aspect
+}
+
+// Len returns the number of admitted aspects.
+func (a *Admission) Len() int {
+	if a == nil {
+		return 0
+	}
+	return len(a.admitted)
+}
+
+// Moderator coordinates aspect evaluation for one functional component.
+// Construct with New.
+type Moderator struct {
+	name     string
+	policy   waitq.Policy
+	wakeMode WakeMode
+
+	mu        sync.Mutex
+	layers    atomic.Pointer[layerSet]
+	queues    map[qkey]*waitq.Queue
+	ticketSeq uint64 // guarded by mu
+
+	admissions  atomic.Uint64
+	blocks      atomic.Uint64
+	aborts      atomic.Uint64
+	completions atomic.Uint64
+}
+
+// Option configures a Moderator.
+type Option func(*Moderator)
+
+// WithWakePolicy sets the wake policy of the moderator's wait queues
+// (default FIFO). The policy selects which blocked caller wakes first in
+// WakeSingle mode.
+func WithWakePolicy(p waitq.Policy) Option {
+	return func(m *Moderator) { m.policy = p }
+}
+
+// WithWakeMode sets how post-activation releases blocked callers
+// (default WakeBroadcast).
+func WithWakeMode(w WakeMode) Option {
+	return func(m *Moderator) { m.wakeMode = w }
+}
+
+// New creates a moderator for the named component with a single base layer.
+func New(name string, opts ...Option) *Moderator {
+	m := &Moderator{
+		name:     name,
+		policy:   waitq.FIFO,
+		wakeMode: WakeBroadcast,
+		queues:   make(map[qkey]*waitq.Queue),
+	}
+	for _, opt := range opts {
+		opt(m)
+	}
+	ls := &layerSet{layers: []*layer{{name: BaseLayer, bank: bank.New()}}}
+	m.layers.Store(ls)
+	return m
+}
+
+// Name returns the component name the moderator guards.
+func (m *Moderator) Name() string { return m.name }
+
+// WakePolicy returns the wait queues' wake policy.
+func (m *Moderator) WakePolicy() waitq.Policy { return m.policy }
+
+// WakeMode returns how post-activation releases blocked callers.
+func (m *Moderator) WakeMode() WakeMode { return m.wakeMode }
+
+// Stats returns a snapshot of the moderator's counters.
+func (m *Moderator) Stats() Stats {
+	return Stats{
+		Admissions:  m.admissions.Load(),
+		Blocks:      m.blocks.Load(),
+		Aborts:      m.aborts.Load(),
+		Completions: m.completions.Load(),
+	}
+}
+
+// Register stores an aspect at (method, kind) in the base layer — the
+// paper's registerAspect (Figure 9).
+func (m *Moderator) Register(method string, kind aspect.Kind, a aspect.Aspect) error {
+	return m.RegisterIn(BaseLayer, method, kind, a)
+}
+
+// RegisterIn stores an aspect at (method, kind) in the named layer.
+func (m *Moderator) RegisterIn(layerName, method string, kind aspect.Kind, a aspect.Aspect) error {
+	l := m.layers.Load().find(layerName)
+	if l == nil {
+		return fmt.Errorf("moderator %s: register %s/%s in %q: %w", m.name, method, kind, layerName, ErrNoSuchLayer)
+	}
+	if err := l.bank.Register(method, kind, a); err != nil {
+		return fmt.Errorf("moderator %s: %w", m.name, err)
+	}
+	return nil
+}
+
+// Unregister removes every aspect at (method, kind) from the named layer,
+// reporting how many were removed. In-flight invocations complete under the
+// composition they were admitted with.
+func (m *Moderator) Unregister(layerName, method string, kind aspect.Kind) (int, error) {
+	l := m.layers.Load().find(layerName)
+	if l == nil {
+		return 0, fmt.Errorf("moderator %s: unregister from %q: %w", m.name, layerName, ErrNoSuchLayer)
+	}
+	return l.bank.Unregister(method, kind), nil
+}
+
+// AddLayer introduces a new, empty layer. This is the framework's dynamic
+// adaptability hook: the paper's ExtendedAspectModerator becomes
+// AddLayer("authentication", Outermost) plus RegisterIn calls, with no
+// change to functional code.
+func (m *Moderator) AddLayer(name string, pos Position) error {
+	if name == "" {
+		return fmt.Errorf("moderator %s: empty layer name", m.name)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	old := m.layers.Load()
+	if old.find(name) != nil {
+		return fmt.Errorf("moderator %s: add layer %q: %w", m.name, name, ErrLayerExists)
+	}
+	nl := &layer{name: name, bank: bank.New()}
+	next := &layerSet{layers: make([]*layer, 0, len(old.layers)+1)}
+	if pos == Innermost {
+		next.layers = append(next.layers, old.layers...)
+		next.layers = append(next.layers, nl)
+	} else {
+		next.layers = append(next.layers, nl)
+		next.layers = append(next.layers, old.layers...)
+	}
+	m.layers.Store(next)
+	return nil
+}
+
+// RemoveLayer removes a layer and all its aspects. In-flight invocations
+// admitted under the layer still run its postactions.
+func (m *Moderator) RemoveLayer(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	old := m.layers.Load()
+	if old.find(name) == nil {
+		return fmt.Errorf("moderator %s: remove layer %q: %w", m.name, name, ErrNoSuchLayer)
+	}
+	next := &layerSet{layers: make([]*layer, 0, len(old.layers)-1)}
+	for _, l := range old.layers {
+		if l.name != name {
+			next.layers = append(next.layers, l)
+		}
+	}
+	m.layers.Store(next)
+	return nil
+}
+
+// Layers returns the current layer names, outermost first.
+func (m *Moderator) Layers() []string {
+	ls := m.layers.Load()
+	out := make([]string, len(ls.layers))
+	for i, l := range ls.layers {
+		out[i] = l.name
+	}
+	return out
+}
+
+// Aspects returns the aspects that would guard the given method right now,
+// in precondition evaluation order (outermost layer first, registration
+// order within a layer).
+func (m *Moderator) Aspects(method string) []aspect.Aspect {
+	var out []aspect.Aspect
+	for _, l := range m.layers.Load().layers {
+		for _, e := range l.bank.Snapshot().ForMethod(method) {
+			out = append(out, e.Aspect)
+		}
+	}
+	return out
+}
+
+// AspectInfo describes one registered aspect for introspection.
+type AspectInfo struct {
+	Name string
+	Kind aspect.Kind
+}
+
+// LayerInfo describes one layer's composition: per participating method,
+// the aspects in registration (evaluation) order.
+type LayerInfo struct {
+	Name    string
+	Methods map[string][]AspectInfo
+}
+
+// Describe returns a structural snapshot of the whole composition, layers
+// outermost first — the operator-facing view of the aspect bank that
+// cmd/ticketd logs at startup and the compose package verifies.
+func (m *Moderator) Describe() []LayerInfo {
+	ls := m.layers.Load()
+	out := make([]LayerInfo, 0, len(ls.layers))
+	for _, l := range ls.layers {
+		snap := l.bank.Snapshot()
+		info := LayerInfo{Name: l.name, Methods: make(map[string][]AspectInfo, 4)}
+		for _, method := range snap.Methods() {
+			entries := snap.ForMethod(method)
+			aspects := make([]AspectInfo, 0, len(entries))
+			for _, e := range entries {
+				aspects = append(aspects, AspectInfo{Name: e.Aspect.Name(), Kind: e.Kind})
+			}
+			info.Methods[method] = aspects
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// DescribeString renders Describe for logs.
+func (m *Moderator) DescribeString() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "component %s (wake policy %s, %s)\n", m.name, m.policy, wakeModeName(m.wakeMode))
+	for _, layer := range m.Describe() {
+		fmt.Fprintf(&b, "  layer %s\n", layer.Name)
+		methods := make([]string, 0, len(layer.Methods))
+		for method := range layer.Methods {
+			methods = append(methods, method)
+		}
+		sort.Strings(methods)
+		for _, method := range methods {
+			fmt.Fprintf(&b, "    %s:", method)
+			for _, a := range layer.Methods[method] {
+				fmt.Fprintf(&b, " [%s %s]", a.Kind, a.Name)
+			}
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+func wakeModeName(w WakeMode) string {
+	if w == WakeSingle {
+		return "wake-single"
+	}
+	return "wake-broadcast"
+}
+
+// resolvedLayer is one layer's aspects as captured at pre-activation time.
+type resolvedLayer struct {
+	name    string
+	entries []bank.Entry
+}
+
+// Preactivation evaluates the preconditions of every aspect registered for
+// the invocation's method, layer by layer, blocking the caller as dictated
+// by Block verdicts. On success it returns the admission receipt, which
+// the caller must eventually pass to Postactivation together with the same
+// invocation. On failure (Abort verdict, cancelled context, or an invalid
+// verdict) every admission already made is cancelled and an error is
+// returned; Postactivation must not be called.
+func (m *Moderator) Preactivation(inv *aspect.Invocation) (*Admission, error) {
+	// Resolve the composition once: in-flight invocations are immune to
+	// concurrent re-composition.
+	ls := m.layers.Load()
+	plan := make([]resolvedLayer, 0, len(ls.layers))
+	total := 0
+	for _, l := range ls.layers {
+		entries := l.bank.Snapshot().ForMethod(inv.Method())
+		if len(entries) > 0 {
+			plan = append(plan, resolvedLayer{name: l.name, entries: entries})
+			total += len(entries)
+		}
+	}
+	if total == 0 {
+		// No aspects guard this method: admit immediately.
+		m.admissions.Add(1)
+		return nil, nil
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	// The sticky arrival ticket keeps a re-parking caller's FIFO/LIFO
+	// position across guard re-evaluations; it is assigned lazily on the
+	// first Block.
+	var ticket uint64
+	admitted := make([]aspect.Aspect, 0, total)
+	for _, l := range plan {
+		for {
+			mark := len(admitted)
+			var blockedKind aspect.Kind
+			var blockedBy aspect.Aspect
+			blocked := false
+			var abortErr error
+			for _, e := range l.entries {
+				v := e.Aspect.Precondition(inv)
+				if v == aspect.Resume {
+					admitted = append(admitted, e.Aspect)
+					continue
+				}
+				switch v {
+				case aspect.Block:
+					blocked = true
+					blockedKind = e.Kind
+					blockedBy = e.Aspect
+				case aspect.Abort:
+					abortErr = inv.Err()
+					if abortErr == nil {
+						abortErr = aspect.ErrAborted
+					}
+				default:
+					abortErr = fmt.Errorf("moderator %s: aspect %q returned invalid verdict %v: %w",
+						m.name, e.Aspect.Name(), v, aspect.ErrAborted)
+				}
+				break
+			}
+			if abortErr != nil {
+				cancelReverse(admitted, inv)
+				m.aborts.Add(1)
+				return nil, fmt.Errorf("moderator %s: %s pre-activation (layer %s): %w",
+					m.name, inv.Method(), l.name, abortErr)
+			}
+			if !blocked {
+				break // layer fully admitted; next layer
+			}
+			// Roll back this layer's partial admissions, park, retry.
+			cancelReverse(admitted[mark:], inv)
+			admitted = admitted[:mark]
+			m.blocks.Add(1)
+			if ticket == 0 {
+				m.ticketSeq++
+				ticket = m.ticketSeq
+			}
+			q := m.queueLocked(inv.Method(), blockedKind)
+			if err := q.Wait(inv.Context(), inv.Priority, ticket); err != nil {
+				// The blocked caller abandons: let the blocking aspect
+				// retract anything its Block-returning precondition
+				// recorded (a barrier arrival, a declared intent).
+				if ab, ok := blockedBy.(aspect.Abandoner); ok {
+					ab.Abandon(inv)
+				}
+				cancelReverse(admitted, inv)
+				m.aborts.Add(1)
+				return nil, fmt.Errorf("moderator %s: %s blocked in layer %s: %w",
+					m.name, inv.Method(), l.name, err)
+			}
+		}
+	}
+	m.admissions.Add(1)
+	return &Admission{admitted: admitted}, nil
+}
+
+// Postactivation runs the postactions of every aspect the invocation was
+// admitted under (per the admission receipt), in reverse admission order —
+// innermost layer first — and wakes blocked callers. It must be called
+// exactly once per successful Preactivation, with the method body's
+// outcome recorded on the invocation. A nil admission (an unguarded
+// method) is a cheap no-op.
+func (m *Moderator) Postactivation(inv *aspect.Invocation, adm *Admission) {
+	m.completions.Add(1)
+	if adm.Len() == 0 {
+		return
+	}
+	admitted := adm.admitted
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	// Reverse admission order realizes the onion: the innermost layer's
+	// last-admitted aspect acts first, the outermost layer's first aspect
+	// acts last (paper Figure 14).
+	targeted := false
+	wakeMethods := make(map[string]bool, 2)
+	for i := len(admitted) - 1; i >= 0; i-- {
+		a := admitted[i]
+		a.Postaction(inv)
+		if w, ok := a.(aspect.Waker); ok {
+			targeted = true
+			for _, meth := range w.Wakes() {
+				wakeMethods[meth] = true
+			}
+		}
+	}
+	if targeted {
+		for meth := range wakeMethods {
+			m.wakeMethodLocked(meth)
+		}
+		return
+	}
+	// No aspect declared wake targets: conservatively wake everything.
+	for _, q := range m.queues {
+		m.wakeQueueLocked(q)
+	}
+}
+
+// Kick wakes every caller blocked on the given method. External event
+// sources (timers refilling a rate limiter, a circuit breaker half-opening)
+// use it to re-trigger guard evaluation without a method completion.
+func (m *Moderator) Kick(method string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.wakeMethodLocked(method)
+}
+
+// Waiting returns the number of callers currently blocked on the method.
+func (m *Moderator) Waiting(method string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for k, q := range m.queues {
+		if k.method == method {
+			n += q.Len()
+		}
+	}
+	return n
+}
+
+// QueueStats returns per-queue counters keyed by "method/kind".
+func (m *Moderator) QueueStats() map[string]waitq.Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]waitq.Stats, len(m.queues))
+	for k, q := range m.queues {
+		out[k.method+"/"+string(k.kind)] = q.Stats()
+	}
+	return out
+}
+
+func (m *Moderator) wakeMethodLocked(method string) {
+	for k, q := range m.queues {
+		if k.method == method {
+			m.wakeQueueLocked(q)
+		}
+	}
+}
+
+func (m *Moderator) wakeQueueLocked(q *waitq.Queue) {
+	if m.wakeMode == WakeSingle {
+		q.Notify()
+	} else {
+		q.Broadcast()
+	}
+}
+
+// queueLocked returns (creating if needed) the wait queue for blocked
+// callers of method whose blocking aspect has the given kind — the paper's
+// per-method, per-concern waiting queues (PutWaitingQueue,
+// OpenAuthenticationQueue).
+func (m *Moderator) queueLocked(method string, kind aspect.Kind) *waitq.Queue {
+	k := qkey{method: method, kind: kind}
+	q, ok := m.queues[k]
+	if !ok {
+		q = waitq.New(method+"/"+string(kind), m.policy, &m.mu)
+		m.queues[k] = q
+	}
+	return q
+}
+
+// cancelReverse calls Cancel on admitted aspects in reverse order.
+func cancelReverse(admitted []aspect.Aspect, inv *aspect.Invocation) {
+	for i := len(admitted) - 1; i >= 0; i-- {
+		if c, ok := admitted[i].(aspect.Canceler); ok {
+			c.Cancel(inv)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package moderator
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/aspect"
+)
+
+// TestOnionOrderingProperty verifies, for random layer/aspect shapes, that
+// post-activation order is the exact mirror of pre-activation order — the
+// framework's central composition law (Figure 14).
+func TestOnionOrderingProperty(t *testing.T) {
+	f := func(layerSizes []uint8) bool {
+		// Bound the shape: up to 4 layers of up to 4 aspects.
+		if len(layerSizes) > 4 {
+			layerSizes = layerSizes[:4]
+		}
+		m := New("comp")
+		tr := &trace{}
+		total := 0
+		for li, rawSize := range layerSizes {
+			size := int(rawSize%4) + 1
+			layerName := fmt.Sprintf("layer-%d", li)
+			// Layers are added innermost so that earlier-listed layers
+			// stay outermost (matching list order).
+			if err := m.AddLayer(layerName, Innermost); err != nil {
+				return false
+			}
+			for k := 0; k < size; k++ {
+				name := fmt.Sprintf("a-%d-%d", li, k)
+				kind := aspect.Kind(fmt.Sprintf("k-%d-%d", li, k))
+				if err := m.RegisterIn(layerName, "m", kind, tracer(tr, name, kind, nil)); err != nil {
+					return false
+				}
+				total++
+			}
+		}
+		if total == 0 {
+			return true
+		}
+		i := inv("m")
+		adm, err := m.Preactivation(i)
+		if err != nil {
+			return false
+		}
+		m.Postactivation(i, adm)
+		events := tr.snapshot()
+		if len(events) != 2*total {
+			return false
+		}
+		// events[i] must be "<name>.pre:resume" and events[2*total-1-i]
+		// must be "<name>.post" for the same name.
+		for k := 0; k < total; k++ {
+			pre := events[k]
+			post := events[2*total-1-k]
+			if pre[:len(pre)-len(".pre:resume")] != post[:len(post)-len(".post")] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAbortUnwindMirrorsAdmissionProperty verifies that for a random
+// prefix of admitted aspects followed by an aborting one, every admitted
+// aspect is cancelled exactly once, in reverse order.
+func TestAbortUnwindMirrorsAdmissionProperty(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw % 6) // aspects admitted before the abort
+		m := New("comp")
+		tr := &trace{}
+		for k := 0; k < n; k++ {
+			name := fmt.Sprintf("ok-%d", k)
+			kind := aspect.Kind(fmt.Sprintf("k-%d", k))
+			if err := m.Register("m", kind, tracer(tr, name, kind, nil)); err != nil {
+				return false
+			}
+		}
+		if err := m.Register("m", "k-abort", tracer(tr, "bad", "k-abort",
+			func(*aspect.Invocation) aspect.Verdict { return aspect.Abort })); err != nil {
+			return false
+		}
+		if _, err := m.Preactivation(inv("m")); err == nil {
+			return false
+		}
+		events := tr.snapshot()
+		// n pre events, 1 abort pre, then n cancels in reverse order.
+		if len(events) != 2*n+1 {
+			return false
+		}
+		for k := 0; k < n; k++ {
+			wantCancel := fmt.Sprintf("ok-%d.cancel", n-1-k)
+			if events[n+1+k] != wantCancel {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStatsBalanceProperty: for any mix of admitted and aborted
+// invocations, admissions + aborts equals attempts, and completions equals
+// admissions after every admitted invocation is completed.
+func TestStatsBalanceProperty(t *testing.T) {
+	f := func(outcomes []bool) bool {
+		m := New("comp")
+		allow := true
+		gate := aspect.New("gate", "k", func(i *aspect.Invocation) aspect.Verdict {
+			if allow {
+				return aspect.Resume
+			}
+			return aspect.Abort
+		}, nil)
+		if err := m.Register("m", "k", gate); err != nil {
+			return false
+		}
+		wantAdmit, wantAbort := 0, 0
+		for _, ok := range outcomes {
+			allow = ok
+			i := inv("m")
+			adm, err := m.Preactivation(i)
+			if ok {
+				if err != nil {
+					return false
+				}
+				m.Postactivation(i, adm)
+				wantAdmit++
+			} else {
+				if err == nil {
+					return false
+				}
+				wantAbort++
+			}
+		}
+		s := m.Stats()
+		return s.Admissions == uint64(wantAdmit) &&
+			s.Aborts == uint64(wantAbort) &&
+			s.Completions == uint64(wantAdmit)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,133 @@
+package moderator
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/aspect"
+	"repro/internal/waitq"
+)
+
+// TestStickyTicketPreservesFIFOAcrossReparks: a caller that is woken, fails
+// its guard again, and re-parks must keep its original FIFO position.
+// Without sticky arrival tickets it would move to the back of the queue.
+func TestStickyTicketPreservesFIFOAcrossReparks(t *testing.T) {
+	m := New("comp", WithWakeMode(WakeSingle), WithWakePolicy(waitq.FIFO))
+	// A gate that admits only when `pass` contains the caller's id.
+	pass := map[int]bool{}
+	idKey := func(i *aspect.Invocation) int {
+		n, _ := i.ArgInt(0)
+		return n
+	}
+	gate := aspect.New("gate", "k", func(i *aspect.Invocation) aspect.Verdict {
+		if pass[idKey(i)] {
+			return aspect.Resume
+		}
+		return aspect.Block
+	}, nil)
+	if err := m.Register("m", "k", gate); err != nil {
+		t.Fatal(err)
+	}
+
+	// Park callers 0, 1, 2 in order.
+	admitted := make(chan int, 3)
+	for i := 0; i < 3; i++ {
+		go func(i int) {
+			inv := aspect.NewInvocation(context.Background(), "comp", "m", []any{i})
+			adm, err := m.Preactivation(inv)
+			if err != nil {
+				return
+			}
+			admitted <- i
+			m.Postactivation(inv, adm)
+		}(i)
+		waitParked(t, m, i+1)
+	}
+
+	// Wake callers with nobody passing: each woken caller fails its guard
+	// and re-parks. Several transit cycles ensure re-park churn happens.
+	for k := 0; k < 4; k++ {
+		m.Kick("m")
+		time.Sleep(time.Millisecond)
+	}
+	waitParked(t, m, 3)
+
+	// Now admit in guard order 0,1,2 — FIFO must deliver them in original
+	// arrival order even after the re-park churn.
+	for i := 0; i < 3; i++ {
+		m.mu.Lock()
+		pass[i] = true
+		m.mu.Unlock()
+		m.Kick("m")
+		select {
+		case got := <-admitted:
+			if got != i {
+				t.Fatalf("admission %d: got caller %d, want %d", i, got, i)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("caller %d never admitted", i)
+		}
+		waitParked(t, m, 2-i)
+	}
+}
+
+func waitParked(t *testing.T, m *Moderator, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Waiting("m") != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("parked count never reached %d (at %d)", n, m.Waiting("m"))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestKickHonorsWakeModes: with WakeBroadcast every waiter wakes; with
+// WakeSingle exactly one does.
+func TestKickHonorsWakeModes(t *testing.T) {
+	for _, mode := range []WakeMode{WakeBroadcast, WakeSingle} {
+		mode := mode
+		t.Run(fmt.Sprint(mode), func(t *testing.T) {
+			m := New("comp", WithWakeMode(mode))
+			woken := 0
+			gate := aspect.New("gate", "k", func(*aspect.Invocation) aspect.Verdict {
+				woken++
+				return aspect.Block
+			}, nil)
+			if err := m.Register("m", "k", gate); err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			done := make(chan struct{})
+			for i := 0; i < 3; i++ {
+				go func() {
+					_, _ = m.Preactivation(aspect.NewInvocation(ctx, "comp", "m", nil))
+					done <- struct{}{}
+				}()
+			}
+			waitParked(t, m, 3)
+			m.mu.Lock()
+			before := woken
+			m.mu.Unlock()
+			m.Kick("m")
+			// Allow the woken callers to re-evaluate and re-park.
+			waitParked(t, m, 3)
+			m.mu.Lock()
+			delta := woken - before
+			m.mu.Unlock()
+			want := 3
+			if mode == WakeSingle {
+				want = 1
+			}
+			if delta != want {
+				t.Errorf("re-evaluations after kick = %d, want %d", delta, want)
+			}
+			cancel()
+			for i := 0; i < 3; i++ {
+				<-done
+			}
+		})
+	}
+}

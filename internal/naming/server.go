@@ -1,0 +1,245 @@
+package naming
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// wire operations of the naming protocol (newline-delimited JSON).
+const (
+	opRegister   = "register"
+	opLookup     = "lookup"
+	opUnregister = "unregister"
+	opList       = "list"
+)
+
+type wireRequest struct {
+	Op    string `json:"op"`
+	Name  string `json:"name,omitempty"`
+	Addr  string `json:"addr,omitempty"`
+	TTLMS int64  `json:"ttl_ms,omitempty"`
+}
+
+type wireResponse struct {
+	OK      bool    `json:"ok"`
+	Err     string  `json:"err,omitempty"`
+	Entry   *Entry  `json:"entry,omitempty"`
+	Entries []Entry `json:"entries,omitempty"`
+}
+
+// Server exposes a Store over TCP.
+type Server struct {
+	store *Store
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+// NewServer wraps a store (a fresh one if nil).
+func NewServer(store *Store) *Server {
+	if store == nil {
+		store = NewStore()
+	}
+	return &Server{
+		store:     store,
+		listeners: make(map[net.Listener]struct{}, 1),
+		conns:     make(map[net.Conn]struct{}, 16),
+	}
+}
+
+// Store returns the underlying registry.
+func (s *Server) Store() *Store { return s.store }
+
+// Serve accepts connections until Close. It blocks; run it on a goroutine
+// you own.
+func (s *Server) Serve(ln net.Listener) error {
+	// Serve owns ln from here on (like net/http): it is closed when Serve
+	// returns, so a Close racing with Serve's startup cannot leak an open
+	// listener that nobody accepts from.
+	defer func() { _ = ln.Close() }()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("naming: server closed")
+	}
+	s.listeners[ln] = struct{}{}
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			delete(s.listeners, ln)
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("naming: accept: %w", err)
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// Close stops the server and drains its handlers.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	for ln := range s.listeners {
+		_ = ln.Close()
+	}
+	for conn := range s.conns {
+		_ = conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		_ = conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	enc := json.NewEncoder(conn)
+	scanner := bufio.NewScanner(conn)
+	scanner.Buffer(make([]byte, 0, 16*1024), 1024*1024)
+	for scanner.Scan() {
+		var req wireRequest
+		if err := json.Unmarshal(scanner.Bytes(), &req); err != nil {
+			_ = enc.Encode(wireResponse{Err: "malformed request: " + err.Error()})
+			continue
+		}
+		_ = enc.Encode(s.handle(&req))
+	}
+}
+
+func (s *Server) handle(req *wireRequest) wireResponse {
+	switch req.Op {
+	case opRegister:
+		if err := s.store.Register(req.Name, req.Addr, time.Duration(req.TTLMS)*time.Millisecond); err != nil {
+			return wireResponse{Err: err.Error()}
+		}
+		return wireResponse{OK: true}
+	case opLookup:
+		e, err := s.store.Lookup(req.Name)
+		if err != nil {
+			return wireResponse{Err: err.Error()}
+		}
+		return wireResponse{OK: true, Entry: &e}
+	case opUnregister:
+		return wireResponse{OK: s.store.Unregister(req.Name)}
+	case opList:
+		return wireResponse{OK: true, Entries: s.store.List()}
+	default:
+		return wireResponse{Err: fmt.Sprintf("naming: unknown op %q", req.Op)}
+	}
+}
+
+// Client talks to a naming server over one connection. Safe for concurrent
+// use (requests are serialized).
+type Client struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *json.Encoder
+	dec  *json.Decoder
+}
+
+// DialClient connects to a naming server.
+func DialClient(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("naming: dial %s: %w", addr, err)
+	}
+	return &Client{
+		conn: conn,
+		enc:  json.NewEncoder(conn),
+		dec:  json.NewDecoder(conn),
+	}, nil
+}
+
+// Close tears down the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+func (c *Client) roundTrip(req wireRequest) (wireResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.enc.Encode(req); err != nil {
+		return wireResponse{}, fmt.Errorf("naming: send %s: %w", req.Op, err)
+	}
+	var resp wireResponse
+	if err := c.dec.Decode(&resp); err != nil {
+		return wireResponse{}, fmt.Errorf("naming: recv %s: %w", req.Op, err)
+	}
+	return resp, nil
+}
+
+// Register binds name to addr with the given lease.
+func (c *Client) Register(name, addr string, ttl time.Duration) error {
+	resp, err := c.roundTrip(wireRequest{Op: opRegister, Name: name, Addr: addr, TTLMS: ttl.Milliseconds()})
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return errors.New(resp.Err)
+	}
+	return nil
+}
+
+// Lookup resolves a name to its registered endpoint.
+func (c *Client) Lookup(name string) (Entry, error) {
+	resp, err := c.roundTrip(wireRequest{Op: opLookup, Name: name})
+	if err != nil {
+		return Entry{}, err
+	}
+	if !resp.OK || resp.Entry == nil {
+		return Entry{}, fmt.Errorf("%w: %s (%s)", ErrNotFound, name, resp.Err)
+	}
+	return *resp.Entry, nil
+}
+
+// Unregister removes a binding, reporting whether it existed.
+func (c *Client) Unregister(name string) (bool, error) {
+	resp, err := c.roundTrip(wireRequest{Op: opUnregister, Name: name})
+	if err != nil {
+		return false, err
+	}
+	return resp.OK, nil
+}
+
+// List returns all live registrations.
+func (c *Client) List() ([]Entry, error) {
+	resp, err := c.roundTrip(wireRequest{Op: opList})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, errors.New(resp.Err)
+	}
+	return resp.Entries, nil
+}

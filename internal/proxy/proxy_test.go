@@ -1,0 +1,282 @@
+package proxy
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/aspect"
+	"repro/internal/moderator"
+)
+
+func newProxy(t *testing.T) *Proxy {
+	t.Helper()
+	return New(moderator.New("comp"))
+}
+
+func TestBindValidation(t *testing.T) {
+	p := newProxy(t)
+	body := func(*aspect.Invocation) (any, error) { return nil, nil }
+	if err := p.Bind("", body); err == nil {
+		t.Error("empty name must error")
+	}
+	if err := p.Bind("m", nil); err == nil {
+		t.Error("nil body must error")
+	}
+	if err := p.Bind("m", body); err != nil {
+		t.Fatalf("bind: %v", err)
+	}
+	if err := p.Bind("m", body); err == nil {
+		t.Error("duplicate bind must error")
+	}
+}
+
+func TestMethodsSorted(t *testing.T) {
+	p := newProxy(t)
+	body := func(*aspect.Invocation) (any, error) { return nil, nil }
+	for _, m := range []string{"zeta", "alpha", "mid"} {
+		if err := p.Bind(m, body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []string{"alpha", "mid", "zeta"}
+	if got := p.Methods(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Methods = %v, want %v", got, want)
+	}
+}
+
+func TestInvokeUnknownMethod(t *testing.T) {
+	p := newProxy(t)
+	_, err := p.Invoke(context.Background(), "ghost")
+	if !errors.Is(err, ErrNoSuchMethod) {
+		t.Fatalf("want ErrNoSuchMethod, got %v", err)
+	}
+}
+
+func TestInvokePassesArgsAndReturnsResult(t *testing.T) {
+	p := newProxy(t)
+	if err := p.Bind("add", func(inv *aspect.Invocation) (any, error) {
+		a, err := inv.ArgInt(0)
+		if err != nil {
+			return nil, err
+		}
+		b, err := inv.ArgInt(1)
+		if err != nil {
+			return nil, err
+		}
+		return a + b, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Invoke(context.Background(), "add", 2, 3)
+	if err != nil || got != 5 {
+		t.Fatalf("Invoke = %v, %v", got, err)
+	}
+}
+
+func TestInvokeReturnsBodyError(t *testing.T) {
+	p := newProxy(t)
+	boom := errors.New("body failed")
+	if err := p.Bind("m", func(*aspect.Invocation) (any, error) { return nil, boom }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Invoke(context.Background(), "m"); !errors.Is(err, boom) {
+		t.Fatalf("want %v, got %v", boom, err)
+	}
+}
+
+func TestGuardedInvokeRunsPhasesAroundBody(t *testing.T) {
+	p := newProxy(t)
+	var order []string
+	var mu sync.Mutex
+	add := func(s string) { mu.Lock(); order = append(order, s); mu.Unlock() }
+	a := &aspect.Func{
+		AspectName: "g",
+		AspectKind: aspect.KindSynchronization,
+		Pre: func(*aspect.Invocation) aspect.Verdict {
+			add("pre")
+			return aspect.Resume
+		},
+		Post: func(inv *aspect.Invocation) {
+			add("post")
+			if inv.Result() != "out" {
+				t.Errorf("postaction sees result %v", inv.Result())
+			}
+		},
+	}
+	if err := p.Moderator().Register("m", aspect.KindSynchronization, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Bind("m", func(*aspect.Invocation) (any, error) {
+		add("body")
+		return "out", nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Invoke(context.Background(), "m")
+	if err != nil || got != "out" {
+		t.Fatalf("Invoke = %v, %v", got, err)
+	}
+	want := []string{"pre", "body", "post"}
+	if !reflect.DeepEqual(order, want) {
+		t.Errorf("order = %v, want %v", order, want)
+	}
+}
+
+func TestAbortedInvokeSkipsBody(t *testing.T) {
+	p := newProxy(t)
+	deny := aspect.New("deny", aspect.KindAuthentication,
+		func(*aspect.Invocation) aspect.Verdict { return aspect.Abort }, nil)
+	if err := p.Moderator().Register("m", aspect.KindAuthentication, deny); err != nil {
+		t.Fatal(err)
+	}
+	ran := false
+	if err := p.Bind("m", func(*aspect.Invocation) (any, error) {
+		ran = true
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := p.Invoke(context.Background(), "m")
+	if !errors.Is(err, aspect.ErrAborted) {
+		t.Fatalf("want ErrAborted, got %v", err)
+	}
+	if ran {
+		t.Error("aborted invocation must not run the body")
+	}
+	if s := p.Moderator().Stats(); s.Completions != 0 {
+		t.Errorf("no post-activation expected, stats = %+v", s)
+	}
+}
+
+func TestPostactivationRunsOnBodyPanic(t *testing.T) {
+	p := newProxy(t)
+	active := 0
+	mutex := &aspect.Func{
+		AspectName: "mutex",
+		AspectKind: aspect.KindSynchronization,
+		Pre: func(*aspect.Invocation) aspect.Verdict {
+			if active > 0 {
+				return aspect.Block
+			}
+			active++
+			return aspect.Resume
+		},
+		Post:     func(*aspect.Invocation) { active-- },
+		CancelFn: func(*aspect.Invocation) { active-- },
+	}
+	if err := p.Moderator().Register("m", aspect.KindSynchronization, mutex); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Bind("m", func(inv *aspect.Invocation) (any, error) {
+		if inv.Arg(0) == "panic" {
+			panic("deliberate")
+		}
+		return "ok", nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic must propagate")
+			}
+		}()
+		_, _ = p.Invoke(context.Background(), "m", "panic")
+	}()
+
+	// The mutex aspect must have been released by the deferred
+	// post-activation; a subsequent call must not deadlock.
+	got, err := p.Invoke(context.Background(), "m", "fine")
+	if err != nil || got != "ok" {
+		t.Fatalf("post-panic invoke = %v, %v", got, err)
+	}
+}
+
+func TestInvokeWithPriorityReachesInvocation(t *testing.T) {
+	p := newProxy(t)
+	var seen int
+	a := aspect.New("spy", aspect.KindScheduling, func(inv *aspect.Invocation) aspect.Verdict {
+		seen = inv.Priority
+		return aspect.Resume
+	}, nil)
+	if err := p.Moderator().Register("m", aspect.KindScheduling, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Bind("m", func(*aspect.Invocation) (any, error) { return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.InvokeWithPriority(context.Background(), 7, "m"); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 7 {
+		t.Errorf("priority = %d, want 7", seen)
+	}
+}
+
+func TestCallWithPreparedInvocation(t *testing.T) {
+	type credKey struct{}
+	p := newProxy(t)
+	var sawCred any
+	a := aspect.New("authspy", aspect.KindAuthentication, func(inv *aspect.Invocation) aspect.Verdict {
+		sawCred = inv.Attr(credKey{})
+		return aspect.Resume
+	}, nil)
+	if err := p.Moderator().Register("m", aspect.KindAuthentication, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Bind("m", func(*aspect.Invocation) (any, error) { return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	inv := aspect.NewInvocation(context.Background(), p.Name(), "m", nil)
+	inv.SetAttr(credKey{}, "token-1")
+	if _, err := p.Call(inv); err != nil {
+		t.Fatal(err)
+	}
+	if sawCred != "token-1" {
+		t.Errorf("attr not visible to aspect: %v", sawCred)
+	}
+}
+
+func TestNameAdoptedFromModerator(t *testing.T) {
+	mod := moderator.New("ticket-server")
+	p := New(mod)
+	if p.Name() != "ticket-server" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	if p.Moderator() != mod {
+		t.Error("Moderator accessor must return the wired moderator")
+	}
+}
+
+func TestConcurrentInvocations(t *testing.T) {
+	p := newProxy(t)
+	var mu sync.Mutex
+	count := 0
+	if err := p.Bind("inc", func(*aspect.Invocation) (any, error) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	const n = 32
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := p.Invoke(context.Background(), "inc"); err != nil {
+				t.Errorf("invoke: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if count != n {
+		t.Errorf("count = %d, want %d", count, n)
+	}
+}
