@@ -1,0 +1,24 @@
+# Verification stages for the aspect-moderator reproduction.
+#
+#   make tier1       — build + full test suite (the gating check)
+#   make race        — full suite under the race detector
+#   make fuzz-smoke  — 10s of coverage-guided fuzzing per wire-decode target
+#   make check       — all of the above
+
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: tier1 race fuzz-smoke check
+
+tier1:
+	$(GO) build ./...
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fuzz-smoke:
+	$(GO) test ./internal/amrpc -run '^$$' -fuzz '^FuzzDecodeRequest$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/amrpc -run '^$$' -fuzz '^FuzzDecodeResponse$$' -fuzztime $(FUZZTIME)
+
+check: tier1 race fuzz-smoke

@@ -28,6 +28,9 @@ func main() {
 		token      = flag.String("token", "", "bearer token (when the server authenticates)")
 		priority   = flag.Int("priority", 0, "wait-queue priority")
 		timeout    = flag.Duration("timeout", 10*time.Second, "per-call timeout")
+		retries    = flag.Int("retries", 1, "attempts per call on transport failure (needs -idempotent to retry)")
+		attemptTO  = flag.Duration("attempt-timeout", 0, "per-attempt deadline (0 = whole-call timeout only)")
+		idem       = flag.Bool("idempotent", false, "declare calls safe to repeat: retry transport failures")
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -35,12 +38,12 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
-	if err := run(*addr, *namingAddr, *token, *priority, *timeout, flag.Args()); err != nil {
+	if err := run(*addr, *namingAddr, *token, *priority, *timeout, *retries, *attemptTO, *idem, flag.Args()); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr, namingAddr, token string, priority int, timeout time.Duration, args []string) error {
+func run(addr, namingAddr, token string, priority int, timeout time.Duration, retries int, attemptTO time.Duration, idem bool, args []string) error {
 	if addr == "" {
 		if namingAddr == "" {
 			return fmt.Errorf("one of -addr or -naming is required")
@@ -56,13 +59,19 @@ func run(addr, namingAddr, token string, priority int, timeout time.Duration, ar
 		}
 		addr = entry.Addr
 	}
-	client, err := amrpc.Dial(addr)
+	client, err := amrpc.Dial(addr, amrpc.WithRetry(amrpc.RetryPolicy{
+		MaxAttempts:    retries,
+		AttemptTimeout: attemptTO,
+	}))
 	if err != nil {
 		return err
 	}
 	defer func() { _ = client.Close() }()
-	stub := client.Component(ticket.ComponentName,
-		amrpc.WithToken(token), amrpc.WithPriority(priority))
+	stubOpts := []amrpc.StubOption{amrpc.WithToken(token), amrpc.WithPriority(priority)}
+	if idem {
+		stubOpts = append(stubOpts, amrpc.WithIdempotent())
+	}
+	stub := client.Component(ticket.ComponentName, stubOpts...)
 
 	ctx, cancel := context.WithTimeout(context.Background(), timeout)
 	defer cancel()

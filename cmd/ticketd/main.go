@@ -40,15 +40,17 @@ func main() {
 		enableAuth = flag.Bool("auth", false, "require authentication")
 		issue      = flag.String("issue", "alice:client", "comma-separated name:role principals to issue tokens for (with -auth)")
 		auditCap   = flag.Int("audit", 1024, "audit trail capacity (0 disables)")
+		readTO     = flag.Duration("read-timeout", 5*time.Minute, "per-connection inactivity deadline (0 disables)")
+		maxLine    = flag.Int("max-line", 4*1024*1024, "max request frame size in bytes")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *capacity, *namingAddr, *ttl, *enableAuth, *issue, *auditCap); err != nil {
+	if err := run(*addr, *capacity, *namingAddr, *ttl, *enableAuth, *issue, *auditCap, *readTO, *maxLine); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr string, capacity int, namingAddr string, ttl time.Duration, enableAuth bool, issue string, auditCap int) error {
+func run(addr string, capacity int, namingAddr string, ttl time.Duration, enableAuth bool, issue string, auditCap int, readTO time.Duration, maxLine int) error {
 	cfg := ticket.GuardedConfig{Capacity: capacity, Metrics: metrics.NewRecorder()}
 	var trail *audit.Trail
 	if auditCap > 0 {
@@ -94,7 +96,7 @@ func run(addr string, capacity int, namingAddr string, ttl time.Duration, enable
 		log.Printf("composition warnings:\n%s", report)
 	}
 
-	srv := amrpc.NewServer()
+	srv := amrpc.NewServer(amrpc.WithReadTimeout(readTO), amrpc.WithMaxLineBytes(maxLine))
 	if err := srv.Register(g.Proxy()); err != nil {
 		return err
 	}

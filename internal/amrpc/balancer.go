@@ -4,7 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
+	"sort"
 	"sync"
+	"time"
+
+	"repro/internal/aspects/fault"
 )
 
 // ErrNoEndpoints is returned when the balancer's resolver yields nothing.
@@ -22,42 +27,249 @@ func StaticResolver(addrs ...string) Resolver {
 	return func() ([]string, error) { return cp, nil }
 }
 
+// BreakerState is one backend's circuit-breaker state.
+type BreakerState int
+
+const (
+	// BreakerClosed: the backend is healthy; traffic flows.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: consecutive transport failures tripped the breaker;
+	// the backend is skipped until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: the cooldown elapsed and a single probe call is
+	// in flight; its outcome closes or re-opens the breaker.
+	BreakerHalfOpen
+)
+
+// String returns the conventional state name.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// backendHealth is the per-endpoint breaker record. All fields are guarded
+// by the balancer mutex.
+type backendHealth struct {
+	state   BreakerState
+	fails   int       // consecutive transport failures
+	until   time.Time // when open: earliest half-open probe time
+	probing bool      // a half-open probe is in flight
+}
+
+// BalancerConfig configures NewBalancerWith. The zero value of every field
+// has a sensible default; only Component and Resolver are required.
+type BalancerConfig struct {
+	Component string
+	Resolver  Resolver
+	// StubOptions apply to every per-endpoint stub (token, priority,
+	// idempotency).
+	StubOptions []StubOption
+	// ClientOptions apply to every pooled per-endpoint client (retry
+	// policy, call timeout, reconnect backoff).
+	ClientOptions []ClientOption
+	// DialConn replaces the raw connection dialer — the chaosnet hook.
+	// Default: TCP dial with the self-connection guard.
+	DialConn func(addr string) (net.Conn, error)
+	// BreakerThreshold is the number of consecutive transport failures
+	// that trips a backend's breaker open (default 3; negative disables
+	// the breaker).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before allowing
+	// a half-open probe (default 500ms).
+	BreakerCooldown time.Duration
+	// Now is the balancer's clock; tests inject a fake one so breaker
+	// transitions need no real sleeps.
+	Now func() time.Time
+}
+
 // Balancer is a client-side load balancer over a replicated component —
 // the "load balancing" interaction requirement of the paper's Section 2,
 // provided as infrastructure rather than woven into clients. It implements
-// the same Invoker interface as a proxy or a single-connection stub:
-// invocations rotate round-robin across the resolved endpoints, transport
-// failures fail over to the next endpoint, and broken connections are
-// dropped from the pool (to be re-dialed when the endpoint reappears).
+// the same Invoker interface as a proxy or a single-connection stub.
+//
+// Invocations rotate round-robin across the resolved endpoints, preferring
+// healthy backends: each endpoint carries a circuit breaker that opens
+// after BreakerThreshold consecutive transport failures, diverting traffic
+// to the remaining backends, and half-opens after the cooldown to let a
+// single probe rediscover a revived backend. Transport failures fail over
+// to the next candidate within the same Invoke.
 //
 // Application-level errors — anything the remote component or its aspects
 // decided, carried as a RemoteError — are returned as-is, never retried:
-// failover is for unreachable replicas, not for aborted invocations.
+// failover is for unreachable replicas, not for aborted invocations. A
+// RemoteError also counts as backend health (the replica was reached and
+// answered), so aspect-level rejections never trip the breaker.
 type Balancer struct {
 	component string
 	resolve   Resolver
-	opts      []StubOption
+	stubOpts  []StubOption
+	cliOpts   []ClientOption
+	dialConn  func(addr string) (net.Conn, error)
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
 
 	mu      sync.Mutex
 	clients map[string]*Client
+	health  map[string]*backendHealth
 	next    int
 	closed  bool
 }
 
-// NewBalancer creates a balancer for the named component.
+// NewBalancer creates a balancer for the named component with default
+// breaker settings.
 func NewBalancer(component string, resolve Resolver, opts ...StubOption) (*Balancer, error) {
-	if component == "" {
+	return NewBalancerWith(BalancerConfig{
+		Component:   component,
+		Resolver:    resolve,
+		StubOptions: opts,
+	})
+}
+
+// NewBalancerWith creates a balancer from an explicit configuration.
+func NewBalancerWith(cfg BalancerConfig) (*Balancer, error) {
+	if cfg.Component == "" {
 		return nil, errors.New("amrpc: balancer: empty component")
 	}
-	if resolve == nil {
+	if cfg.Resolver == nil {
 		return nil, errors.New("amrpc: balancer: nil resolver")
 	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = 3
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 500 * time.Millisecond
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.DialConn == nil {
+		cfg.DialConn = func(addr string) (net.Conn, error) {
+			return defaultDialFunc(addr)()
+		}
+	}
 	return &Balancer{
-		component: component,
-		resolve:   resolve,
-		opts:      opts,
+		component: cfg.Component,
+		resolve:   cfg.Resolver,
+		stubOpts:  cfg.StubOptions,
+		cliOpts:   cfg.ClientOptions,
+		dialConn:  cfg.DialConn,
+		threshold: cfg.BreakerThreshold,
+		cooldown:  cfg.BreakerCooldown,
+		now:       cfg.Now,
 		clients:   make(map[string]*Client, 4),
+		health:    make(map[string]*backendHealth, 4),
 	}, nil
+}
+
+// healthFor returns (creating if needed) addr's breaker record. Callers
+// hold b.mu.
+func (b *Balancer) healthFor(addr string) *backendHealth {
+	h, ok := b.health[addr]
+	if !ok {
+		h = &backendHealth{}
+		b.health[addr] = h
+	}
+	return h
+}
+
+// pickOrder returns the candidate endpoints for one invocation: half-open
+// probes first (the canary request that rediscovers a revived backend —
+// if the probe fails, the same invocation fails over to a healthy backend),
+// then healthy backends rotated round-robin. Open breakers whose cooldown
+// has not elapsed are excluded; endpoints with a probe already in flight
+// are excluded too (one probe at a time). probes reports which candidates
+// are half-open probes, so Invoke can mark them at attempt time.
+func (b *Balancer) pickOrder(addrs []string) (order []string, probes map[string]bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := b.now()
+	start := b.next
+	b.next++
+
+	var healthy, probe []string
+	for k := 0; k < len(addrs); k++ {
+		addr := addrs[(start+k)%len(addrs)]
+		h := b.healthFor(addr)
+		switch {
+		case b.threshold < 0 || h.state == BreakerClosed:
+			healthy = append(healthy, addr)
+		case h.probing:
+			// A probe is already testing this backend; stay away.
+		case !now.Before(h.until):
+			// Open and cooled down: eligible for a single probe.
+			probe = append(probe, addr)
+		}
+	}
+	probes = make(map[string]bool, len(probe))
+	for _, addr := range probe {
+		probes[addr] = true
+	}
+	return append(probe, healthy...), probes
+}
+
+// beginProbe transitions addr to half-open with a probe in flight. It
+// reports false if another invocation won the race to probe first.
+func (b *Balancer) beginProbe(addr string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	h := b.healthFor(addr)
+	if h.state == BreakerClosed {
+		return true // someone already closed it; plain call, not a probe
+	}
+	if h.probing {
+		return false
+	}
+	h.state = BreakerHalfOpen
+	h.probing = true
+	return true
+}
+
+// onSuccess records a successful exchange with addr: the breaker closes.
+func (b *Balancer) onSuccess(addr string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	h := b.healthFor(addr)
+	h.state = BreakerClosed
+	h.fails = 0
+	h.probing = false
+}
+
+// onFailure records a transport failure against addr, tripping or
+// re-opening the breaker as warranted.
+func (b *Balancer) onFailure(addr string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	h := b.healthFor(addr)
+	h.fails++
+	if h.state == BreakerHalfOpen {
+		// The probe failed: straight back to open for another cooldown.
+		h.state = BreakerOpen
+		h.probing = false
+		h.until = b.now().Add(b.cooldown)
+		return
+	}
+	if b.threshold >= 0 && h.fails >= b.threshold {
+		h.state = BreakerOpen
+		h.until = b.now().Add(b.cooldown)
+	}
+}
+
+// releaseProbe clears the probing flag without an outcome (e.g. the caller
+// context expired before the probe resolved).
+func (b *Balancer) releaseProbe(addr string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	h := b.healthFor(addr)
+	if h.probing {
+		h.probing = false
+	}
 }
 
 // Invoke performs one guarded invocation on some live replica.
@@ -69,40 +281,69 @@ func (b *Balancer) Invoke(ctx context.Context, method string, args ...any) (any,
 	if len(addrs) == 0 {
 		return nil, fmt.Errorf("amrpc: balancer %s: %w", b.component, ErrNoEndpoints)
 	}
-	b.mu.Lock()
-	start := b.next
-	b.next++
-	b.mu.Unlock()
+	order, probes := b.pickOrder(addrs)
+	if len(order) == 0 {
+		// Every breaker is open (or probing): fail fast rather than pile
+		// more load on backends that are already down.
+		return nil, fmt.Errorf("amrpc: balancer %s: all %d endpoint(s) circuit-open: %w",
+			b.component, len(addrs), fault.ErrCircuitOpen)
+	}
 
 	var lastErr error
-	for k := 0; k < len(addrs); k++ {
-		addr := addrs[(start+k)%len(addrs)]
+	for _, addr := range order {
+		if probes[addr] && !b.beginProbe(addr) {
+			continue // another invocation is already probing this backend
+		}
 		client, err := b.clientFor(addr)
 		if err != nil {
+			b.onFailure(addr)
 			lastErr = err
 			continue
 		}
-		result, err := client.Component(b.component, b.opts...).Invoke(ctx, method, args...)
+		result, err := client.Component(b.component, b.stubOpts...).Invoke(ctx, method, args...)
 		if err == nil {
+			b.onSuccess(addr)
 			return result, nil
 		}
 		var remote *RemoteError
 		if errors.As(err, &remote) {
 			// The replica was reached and answered: this is the
 			// component's (or its aspects') decision, not a transport
-			// fault. No failover.
+			// fault. The backend is healthy; no failover.
+			b.onSuccess(addr)
 			return nil, err
 		}
 		if ctx.Err() != nil {
+			// The caller gave up; that says nothing about the backend.
+			if probes[addr] {
+				b.releaseProbe(addr)
+			}
 			return nil, err
 		}
-		// Transport-level failure: drop the connection and try the next
-		// replica.
+		// Transport-level failure: count it, drop the connection, and try
+		// the next candidate.
+		b.onFailure(addr)
 		b.dropClient(addr, client)
 		lastErr = err
 	}
-	return nil, fmt.Errorf("amrpc: balancer %s: all %d endpoint(s) failed: %w",
-		b.component, len(addrs), lastErr)
+	if lastErr == nil {
+		// Every candidate was skipped (probe races): equivalent to all-open.
+		return nil, fmt.Errorf("amrpc: balancer %s: all %d endpoint(s) circuit-open: %w",
+			b.component, len(addrs), fault.ErrCircuitOpen)
+	}
+	return nil, fmt.Errorf("amrpc: balancer %s: all %d candidate endpoint(s) failed: %w",
+		b.component, len(order), lastErr)
+}
+
+// Health returns the current breaker state per known endpoint.
+func (b *Balancer) Health() map[string]BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string]BreakerState, len(b.health))
+	for addr, h := range b.health {
+		out[addr] = h.state
+	}
+	return out
 }
 
 // clientFor returns (dialing if necessary) the pooled client for addr.
@@ -119,10 +360,18 @@ func (b *Balancer) clientFor(addr string) (*Client, error) {
 	b.mu.Unlock()
 
 	// Dial outside the lock; racing dials are reconciled below.
-	c, err := Dial(addr)
+	conn, err := b.dialConn(addr)
 	if err != nil {
+		if !errors.Is(err, ErrTransport) {
+			err = fmt.Errorf("amrpc: dial %s: %v: %w", addr, err, ErrTransport)
+		}
 		return nil, err
 	}
+	addrCopy := addr
+	opts := append([]ClientOption{WithDialFunc(func() (net.Conn, error) {
+		return b.dialConn(addrCopy)
+	})}, b.cliOpts...)
+	c := NewClient(conn, opts...)
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.closed {
@@ -147,8 +396,8 @@ func (b *Balancer) dropClient(addr string, c *Client) {
 	_ = c.Close()
 }
 
-// Endpoints returns the addresses with live pooled connections (sorted by
-// map iteration is not guaranteed; callers needing order should sort).
+// Endpoints returns the addresses with live pooled connections (map
+// iteration order; callers needing order should sort).
 func (b *Balancer) Endpoints() []string {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -156,6 +405,7 @@ func (b *Balancer) Endpoints() []string {
 	for addr := range b.clients {
 		out = append(out, addr)
 	}
+	sort.Strings(out)
 	return out
 }
 

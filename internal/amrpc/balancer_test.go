@@ -11,14 +11,15 @@ import (
 
 	"repro/internal/aspect"
 	"repro/internal/aspects/auth"
+	"repro/internal/aspects/fault"
 	"repro/internal/moderator"
 	"repro/internal/naming"
 	"repro/internal/proxy"
 )
 
-// startReplica serves one echo component (whose replies carry the replica
-// id) and returns its address plus a stop function.
-func startReplica(t *testing.T, id string) (string, func()) {
+// serveReplicaOn serves one echo component (whose "who" replies carry the
+// replica id) on an existing listener and returns a stop function.
+func serveReplicaOn(t *testing.T, ln net.Listener, id string) func() {
 	t.Helper()
 	p := proxy.New(moderator.New("svc"))
 	if err := p.Bind("who", func(*aspect.Invocation) (any, error) {
@@ -39,10 +40,6 @@ func startReplica(t *testing.T, id string) (string, func()) {
 	if err := srv.Register(p); err != nil {
 		t.Fatal(err)
 	}
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		t.Fatal(err)
-	}
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
@@ -59,6 +56,18 @@ func startReplica(t *testing.T, id string) (string, func()) {
 		wg.Wait()
 	}
 	t.Cleanup(stop)
+	return stop
+}
+
+// startReplica serves one echo replica on an ephemeral port and returns
+// its address plus a stop function.
+func startReplica(t *testing.T, id string) (string, func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := serveReplicaOn(t, ln, id)
 	return ln.Addr().String(), stop
 }
 
@@ -233,5 +242,174 @@ func TestBalancerWithNamingPrefixResolver(t *testing.T) {
 	}
 	if !seen["r1"] || !seen["r2"] {
 		t.Errorf("load not spread: %v", seen)
+	}
+}
+
+// fakeClock is an advanceable clock for breaker tests: no real sleeps.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// TestBreakerTripsDrainsAndRecovers is the full breaker lifecycle: a killed
+// backend trips open after the failure threshold, traffic drains to the
+// healthy backend, and after the cooldown a half-open probe restores the
+// revived backend to rotation. Driven by a fake clock: no long sleeps.
+func TestBreakerTripsDrainsAndRecovers(t *testing.T) {
+	ln1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr1 := ln1.Addr().String()
+	stop1 := serveReplicaOn(t, ln1, "r1")
+	addr2, _ := startReplica(t, "r2")
+
+	clock := newFakeClock()
+	b, err := NewBalancerWith(BalancerConfig{
+		Component:        "svc",
+		Resolver:         StaticResolver(addr1, addr2),
+		BreakerThreshold: 2,
+		BreakerCooldown:  time.Minute,
+		Now:              clock.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	// Warm both backends.
+	for k := 0; k < 2; k++ {
+		if _, err := b.Invoke(context.Background(), "who"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Kill r1. Every call still succeeds (failover), and after 2 transport
+	// failures r1's breaker must be open.
+	stop1()
+	for k := 0; k < 8; k++ {
+		got, err := b.Invoke(context.Background(), "who")
+		if err != nil {
+			t.Fatalf("call %d during trip: %v", k, err)
+		}
+		if got != "r2" {
+			t.Fatalf("call %d answered by %v, want r2", k, got)
+		}
+	}
+	if st := b.Health()[addr1]; st != BreakerOpen {
+		t.Fatalf("r1 breaker = %v, want open", st)
+	}
+
+	// Revive r1 on the same port. Without a clock advance the breaker stays
+	// open: traffic keeps draining to r2 only.
+	ln1b, err := net.Listen("tcp", addr1)
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addr1, err)
+	}
+	serveReplicaOn(t, ln1b, "r1")
+	for k := 0; k < 4; k++ {
+		got, err := b.Invoke(context.Background(), "who")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != "r2" {
+			t.Fatalf("breaker open but %v answered", got)
+		}
+	}
+	if st := b.Health()[addr1]; st != BreakerOpen {
+		t.Fatalf("r1 breaker = %v, want still open", st)
+	}
+
+	// Cooldown elapses: the next call is the half-open probe, routed to the
+	// revived r1, which closes the breaker.
+	clock.Advance(2 * time.Minute)
+	got, err := b.Invoke(context.Background(), "who")
+	if err != nil {
+		t.Fatalf("probe call: %v", err)
+	}
+	if got != "r1" {
+		t.Fatalf("probe answered by %v, want revived r1", got)
+	}
+	if st := b.Health()[addr1]; st != BreakerClosed {
+		t.Fatalf("r1 breaker = %v, want closed after probe", st)
+	}
+
+	// r1 is back in rotation.
+	seen := map[string]bool{}
+	for k := 0; k < 4; k++ {
+		got, err := b.Invoke(context.Background(), "who")
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[got.(string)] = true
+	}
+	if !seen["r1"] || !seen["r2"] {
+		t.Errorf("rotation after recovery: %v", seen)
+	}
+}
+
+// TestBreakerFailFastAndProbeFailureReopens: with every breaker open the
+// balancer fails fast with ErrCircuitOpen instead of re-dialing a dead
+// backend, and a failed half-open probe goes straight back to open.
+func TestBreakerFailFastAndProbeFailureReopens(t *testing.T) {
+	// A dead endpoint: listen, grab the port, close.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+
+	clock := newFakeClock()
+	b, err := NewBalancerWith(BalancerConfig{
+		Component:        "svc",
+		Resolver:         StaticResolver(addr),
+		BreakerThreshold: 1,
+		BreakerCooldown:  time.Minute,
+		Now:              clock.Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	// First call: dial fails, breaker trips open.
+	if _, err := b.Invoke(context.Background(), "who"); !errors.Is(err, ErrTransport) {
+		t.Fatalf("first call: %v, want transport failure", err)
+	}
+	if st := b.Health()[addr]; st != BreakerOpen {
+		t.Fatalf("breaker = %v, want open", st)
+	}
+
+	// Second call: fail fast, no dial.
+	if _, err := b.Invoke(context.Background(), "who"); !errors.Is(err, fault.ErrCircuitOpen) {
+		t.Fatalf("open-breaker call: %v, want ErrCircuitOpen", err)
+	}
+
+	// Cooldown elapses: the probe is allowed, fails (still dead), and the
+	// breaker reopens for another cooldown.
+	clock.Advance(2 * time.Minute)
+	if _, err := b.Invoke(context.Background(), "who"); !errors.Is(err, ErrTransport) {
+		t.Fatalf("probe call: %v, want transport failure", err)
+	}
+	if st := b.Health()[addr]; st != BreakerOpen {
+		t.Fatalf("breaker after failed probe = %v, want open", st)
+	}
+	if _, err := b.Invoke(context.Background(), "who"); !errors.Is(err, fault.ErrCircuitOpen) {
+		t.Fatalf("post-probe call: %v, want ErrCircuitOpen", err)
 	}
 }

@@ -1,0 +1,101 @@
+package amrpc
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+)
+
+// FuzzDecodeRequest feeds arbitrary bytes through the request decode path:
+// it must never panic, and whatever parses must survive argument decoding
+// without panicking either.
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add([]byte(`{"id":1,"component":"ticket","method":"open","args":["ev",2]}`))
+	f.Add([]byte(`{"id":18446744073709551615,"component":"","method":""}`))
+	f.Add([]byte(`{"id":1,"sum":12345}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte(`{"args":[{"nested":{"deep":[1,2,3]}}]}`))
+	f.Add([]byte(``))
+	if line, err := sealRequest(&request{ID: 7, Component: "c", Method: "m",
+		Args: []json.RawMessage{json.RawMessage(`"x"`)}, Token: "tok", Priority: 3}); err == nil {
+		f.Add(line)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		req, err := decodeRequestLine(data)
+		if err != nil {
+			return // rejected input is fine; panicking is not
+		}
+		if _, err := decodeArgs(req.Args); err != nil {
+			return
+		}
+	})
+}
+
+// FuzzDecodeResponse feeds arbitrary bytes through the response decode
+// path. Beyond no-panic, it checks the error-rehydration invariant: a
+// response carrying a known error code must rehydrate into a RemoteError
+// that errors.Is-matches the corresponding framework sentinel.
+func FuzzDecodeResponse(f *testing.F) {
+	f.Add([]byte(`{"id":1,"result":"ok"}`))
+	f.Add([]byte(`{"id":2,"err":"denied","code":"permission-denied"}`))
+	f.Add([]byte(`{"id":3,"err":"gone","code":"no-such-code"}`))
+	f.Add([]byte(`{"id":4,"sum":99}`))
+	f.Add([]byte(`[1,2,3]`))
+	if line, err := sealResponse(&response{ID: 9, Err: "shed", Code: CodeShed}); err == nil {
+		f.Add(line)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		resp, err := decodeResponseLine(data)
+		if err != nil {
+			return
+		}
+		if resp.Err == "" {
+			if len(resp.Result) > 0 {
+				var v any
+				_ = json.Unmarshal(resp.Result, &v)
+			}
+			return
+		}
+		remote := &RemoteError{Code: resp.Code, Msg: resp.Err}
+		if sentinel, ok := codeToSentinel[resp.Code]; ok {
+			if !errors.Is(remote, sentinel) {
+				t.Fatalf("code %q did not rehydrate: errors.Is(%v, %v) = false",
+					resp.Code, remote, sentinel)
+			}
+		} else if remote.Unwrap() != nil {
+			t.Fatalf("unknown code %q unwrapped to %v, want nil", resp.Code, remote.Unwrap())
+		}
+	})
+}
+
+// TestSealedFramesRoundTrip pins the integrity format itself: a sealed
+// frame decodes cleanly, and any single-bit flip anywhere in it is either a
+// JSON parse failure or a checksum rejection — never a silently different
+// frame.
+func TestSealedFramesRoundTrip(t *testing.T) {
+	line, err := sealRequest(&request{ID: 42, Component: "soak", Method: "put",
+		Args: []json.RawMessage{json.RawMessage(`"op-1-2"`)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodeRequestLine(line); err != nil {
+		t.Fatalf("sealed frame rejected: %v", err)
+	}
+	for i := range line {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), line...)
+			mut[i] ^= 1 << bit
+			req, err := decodeRequestLine(mut)
+			if err != nil {
+				continue // rejected, as it should be
+			}
+			// The only mutations allowed to decode are ones that leave the
+			// covered bytes identical after re-marshalling (e.g. flips
+			// inside JSON whitespace — none exist in compact encoding).
+			reline, rerr := sealRequest(req)
+			if rerr != nil || string(reline) != string(line) {
+				t.Fatalf("bit flip at byte %d bit %d decoded to a different frame: %s", i, bit, mut)
+			}
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
 
 	"repro/internal/aspect"
 	"repro/internal/aspects/auth"
@@ -38,6 +39,12 @@ type request struct {
 	// server-side invocation blocked on a wait queue is released when the
 	// caller has certainly stopped caring.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Sum is an optional CRC-32 (IEEE) of the frame marshalled with
+	// Sum=0. A zero Sum means "unsigned" (foreign or legacy peers); a
+	// nonzero Sum that fails verification means the frame was corrupted
+	// in flight and the receiver must discard it without acting on any
+	// field — including ID, which can itself be corrupt.
+	Sum uint32 `json:"sum,omitempty"`
 }
 
 // response is one wire response.
@@ -46,6 +53,76 @@ type response struct {
 	Result json.RawMessage `json:"result,omitempty"`
 	Err    string          `json:"err,omitempty"`
 	Code   string          `json:"code,omitempty"`
+	// Sum mirrors request.Sum: frame integrity for the return path.
+	Sum uint32 `json:"sum,omitempty"`
+}
+
+// errChecksum marks a frame whose checksum did not verify. Receivers drop
+// such frames silently: no field of a corrupt frame can be trusted, so the
+// sender recovers by deadline + retry rather than by a correlated error.
+var errChecksum = errors.New("amrpc: frame checksum mismatch")
+
+// sealRequest marshals req with its integrity checksum filled in. The
+// checksum covers the frame as marshalled with Sum=0; Go's struct
+// marshalling is deterministic (fixed field order, RawMessage verbatim), so
+// the receiver can re-derive the covered bytes exactly.
+func sealRequest(req *request) ([]byte, error) {
+	req.Sum = 0
+	base, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	req.Sum = crc32.ChecksumIEEE(base)
+	return json.Marshal(req)
+}
+
+// sealResponse is sealRequest for the return path.
+func sealResponse(resp *response) ([]byte, error) {
+	resp.Sum = 0
+	base, err := json.Marshal(resp)
+	if err != nil {
+		return nil, err
+	}
+	resp.Sum = crc32.ChecksumIEEE(base)
+	return json.Marshal(resp)
+}
+
+// decodeRequestLine parses one wire line into a request, verifying the
+// integrity checksum when present. Unsigned frames (Sum==0) are accepted
+// for compatibility with hand-rolled peers.
+func decodeRequestLine(line []byte) (*request, error) {
+	var req request
+	if err := json.Unmarshal(line, &req); err != nil {
+		return nil, err
+	}
+	if req.Sum != 0 {
+		want := req.Sum
+		req.Sum = 0
+		base, err := json.Marshal(&req)
+		req.Sum = want
+		if err != nil || crc32.ChecksumIEEE(base) != want {
+			return nil, errChecksum
+		}
+	}
+	return &req, nil
+}
+
+// decodeResponseLine is decodeRequestLine for the return path.
+func decodeResponseLine(line []byte) (*response, error) {
+	var resp response
+	if err := json.Unmarshal(line, &resp); err != nil {
+		return nil, err
+	}
+	if resp.Sum != 0 {
+		want := resp.Sum
+		resp.Sum = 0
+		base, err := json.Marshal(&resp)
+		resp.Sum = want
+		if err != nil || crc32.ChecksumIEEE(base) != want {
+			return nil, errChecksum
+		}
+	}
+	return &resp, nil
 }
 
 // Error codes carried on the wire so sentinel errors survive the boundary.

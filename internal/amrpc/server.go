@@ -22,6 +22,9 @@ var ErrNoSuchComponent = errors.New("amrpc: no such component")
 // Server hosts guarded components behind a TCP listener. Construct with
 // NewServer, register components, then call Serve.
 type Server struct {
+	readTimeout  time.Duration
+	maxLineBytes int
+
 	mu         sync.Mutex
 	components map[string]*proxy.Proxy
 	listeners  map[net.Listener]struct{}
@@ -30,13 +33,43 @@ type Server struct {
 	wg         sync.WaitGroup
 }
 
-// NewServer creates an empty server.
-func NewServer() *Server {
-	return &Server{
-		components: make(map[string]*proxy.Proxy, 4),
-		listeners:  make(map[net.Listener]struct{}, 1),
-		conns:      make(map[net.Conn]struct{}, 16),
+// ServerOption configures NewServer.
+type ServerOption func(*Server)
+
+// WithReadTimeout sets the per-connection inactivity deadline (default 5
+// minutes; 0 disables). The deadline is refreshed on every received line
+// and every written response, so any live traffic keeps a connection open;
+// a peer that goes silent — including one trickling bytes that never form
+// a full line — is disconnected, so it cannot pin a handler goroutine
+// forever.
+func WithReadTimeout(d time.Duration) ServerOption {
+	return func(s *Server) { s.readTimeout = d }
+}
+
+// WithMaxLineBytes caps the size of one request frame (default 4 MiB). A
+// peer sending an oversized line is disconnected rather than allowed to
+// grow the server's buffers without bound.
+func WithMaxLineBytes(n int) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxLineBytes = n
+		}
 	}
+}
+
+// NewServer creates an empty server.
+func NewServer(opts ...ServerOption) *Server {
+	s := &Server{
+		readTimeout:  5 * time.Minute,
+		maxLineBytes: 4 * 1024 * 1024,
+		components:   make(map[string]*proxy.Proxy, 4),
+		listeners:    make(map[net.Listener]struct{}, 1),
+		conns:        make(map[net.Conn]struct{}, 16),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
 }
 
 // Register exposes a guarded component under its proxy name.
@@ -143,31 +176,48 @@ func (s *Server) serveConn(conn net.Conn) {
 	defer handlers.Wait()
 	defer cancel()
 
+	// touch refreshes the inactivity deadline; reads and response writes
+	// both count as liveness.
+	touch := func() {
+		if s.readTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.readTimeout))
+		}
+	}
 	var writeMu sync.Mutex
 	write := func(resp response) {
-		b, err := json.Marshal(resp)
+		b, err := sealResponse(&resp)
 		if err != nil {
 			return
 		}
 		writeMu.Lock()
 		defer writeMu.Unlock()
+		touch()
 		_, _ = conn.Write(append(b, '\n'))
 	}
 
+	touch()
 	scanner := bufio.NewScanner(conn)
-	scanner.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	// The initial capacity must not exceed the cap: Scanner only enforces
+	// its max when growing, so any token fitting the starting buffer would
+	// sneak past a smaller configured limit.
+	scanner.Buffer(make([]byte, 0, min(64*1024, s.maxLineBytes)), s.maxLineBytes)
 	for scanner.Scan() {
-		line := make([]byte, len(scanner.Bytes()))
-		copy(line, scanner.Bytes())
-		var req request
-		if err := json.Unmarshal(line, &req); err != nil {
+		touch()
+		req, err := decodeRequestLine(scanner.Bytes())
+		if err != nil {
+			if errors.Is(err, errChecksum) {
+				// A corrupted frame: nothing in it — including its ID — can
+				// be trusted, so drop it silently and let the client's
+				// deadline + retry recover the call.
+				continue
+			}
 			write(response{Err: "malformed request: " + err.Error(), Code: CodeBadRequest})
 			continue
 		}
 		handlers.Add(1)
 		go func() {
 			defer handlers.Done()
-			write(s.handle(ctx, &req))
+			write(s.handle(ctx, req))
 		}()
 	}
 }

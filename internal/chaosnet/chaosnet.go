@@ -1,0 +1,346 @@
+// Package chaosnet is a deterministic fault-injection layer for net.Conn
+// and net.Listener, built so every amrpc behaviour can be exercised under
+// network pathology inside ordinary `go test` runs. An Injector wraps
+// connections and, driven by a seeded PRNG and a configurable schedule,
+// injects:
+//
+//   - latency and jitter (reads and writes stall for a bounded duration),
+//   - partial writes (a prefix of the buffer is transmitted, then the
+//     connection is reset),
+//   - byte corruption (one byte of the payload is flipped in flight),
+//   - silent drops (a write reports success but transmits nothing),
+//   - mid-stream connection resets (the underlying conn is closed and the
+//     operation fails).
+//
+// Determinism: every wrapped connection owns its own PRNG seeded from
+// Config.Seed and the connection's wrap index, and fault decisions are a
+// pure function of that PRNG and the connection's operation counter. Two
+// runs that perform the same operations in the same order on connection k
+// therefore observe the identical fault sequence — the property the
+// package's trace tests pin down, and what makes chaos soak failures
+// replayable from a seed.
+package chaosnet
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Fault names the injected fault classes as they appear in traces.
+type Fault string
+
+// The fault taxonomy.
+const (
+	FaultLatency Fault = "latency"
+	FaultPartial Fault = "partial-write"
+	FaultCorrupt Fault = "corrupt"
+	FaultDrop    Fault = "drop"
+	FaultReset   Fault = "reset"
+)
+
+// Config is the fault schedule of an Injector. Probabilities are evaluated
+// per I/O operation, independently per fault class, in a fixed order, so a
+// given (seed, schedule) pair replays identically.
+type Config struct {
+	// Seed drives every random decision. Two injectors with equal
+	// configs inject identical fault sequences per connection.
+	Seed int64
+
+	// LatencyProb is the per-op probability of an injected stall of
+	// LatencyMin..LatencyMax (both bounds clamped to >= 0).
+	LatencyProb float64
+	LatencyMin  time.Duration
+	LatencyMax  time.Duration
+
+	// PartialWriteProb is the per-write probability that only a prefix
+	// of the buffer is transmitted before the connection is reset.
+	PartialWriteProb float64
+
+	// CorruptProb is the per-op probability that one byte of the payload
+	// is flipped (applies to reads and writes).
+	CorruptProb float64
+
+	// DropProb is the per-write probability that the write reports full
+	// success while transmitting nothing.
+	DropProb float64
+
+	// ResetProb is the per-op probability of a mid-stream connection
+	// reset: the underlying conn is closed and the op returns an error.
+	ResetProb float64
+
+	// OpsBeforeFaults is a per-connection grace period: the first N
+	// operations on each connection complete cleanly. It lets handshakes
+	// (or a test's warm-up) through before the weather starts.
+	OpsBeforeFaults int
+
+	// ResetAfterOps, when > 0, deterministically resets each connection
+	// at exactly its Nth operation, independent of ResetProb — the
+	// scheduled component of the fault plan.
+	ResetAfterOps int
+
+	// Record retains the injected-fault trace for Trace/Counts.
+	Record bool
+}
+
+// Event is one injected fault, as recorded in the trace.
+type Event struct {
+	Conn  int    // connection index, in wrap order
+	Op    int    // operation counter within the connection (1-based)
+	Dir   string // "read" or "write"
+	Fault Fault
+}
+
+// String renders the event for logs.
+func (e Event) String() string {
+	return fmt.Sprintf("conn=%d op=%d %s %s", e.Conn, e.Op, e.Dir, e.Fault)
+}
+
+// Injector wraps connections and listeners with the configured fault plan.
+// Safe for concurrent use.
+type Injector struct {
+	cfg Config
+
+	mu      sync.Mutex
+	connSeq int
+	trace   []Event
+}
+
+// New creates an injector for the given fault plan.
+func New(cfg Config) *Injector {
+	if cfg.LatencyMin < 0 {
+		cfg.LatencyMin = 0
+	}
+	if cfg.LatencyMax < cfg.LatencyMin {
+		cfg.LatencyMax = cfg.LatencyMin
+	}
+	return &Injector{cfg: cfg}
+}
+
+// WrapConn returns c with the injector's fault plan applied. Each wrapped
+// connection gets its own deterministic PRNG stream.
+func (in *Injector) WrapConn(c net.Conn) net.Conn {
+	in.mu.Lock()
+	idx := in.connSeq
+	in.connSeq++
+	in.mu.Unlock()
+	// splitmix-style per-connection seed derivation keeps the streams of
+	// different connections decorrelated while staying reproducible.
+	seed := in.cfg.Seed + int64(idx)*int64(-7046029254386353131) // 0x9e3779b97f4a7c15 as int64
+	return &conn{
+		Conn: c,
+		in:   in,
+		idx:  idx,
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+}
+
+// WrapListener returns a listener whose accepted connections are wrapped.
+func (in *Injector) WrapListener(ln net.Listener) net.Listener {
+	return &listener{Listener: ln, in: in}
+}
+
+// DialFunc returns a dialer for addr whose connections are wrapped — the
+// shape amrpc's client options expect.
+func (in *Injector) DialFunc(addr string) func() (net.Conn, error) {
+	return func() (net.Conn, error) {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		return in.WrapConn(c), nil
+	}
+}
+
+// Trace returns a copy of the recorded fault events (Config.Record must be
+// set). Events of one connection appear in operation order; events of
+// different connections interleave in wall-clock order.
+func (in *Injector) Trace() []Event {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]Event, len(in.trace))
+	copy(out, in.trace)
+	return out
+}
+
+// TraceFor returns the recorded events of one connection, in op order —
+// the per-connection view that is deterministic across runs.
+func (in *Injector) TraceFor(connIdx int) []Event {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	var out []Event
+	for _, e := range in.trace {
+		if e.Conn == connIdx {
+			out = append(out, e)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Op < out[j].Op })
+	return out
+}
+
+// Counts aggregates the trace by fault class.
+func (in *Injector) Counts() map[Fault]int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make(map[Fault]int, 5)
+	for _, e := range in.trace {
+		out[e.Fault]++
+	}
+	return out
+}
+
+// Conns returns how many connections have been wrapped.
+func (in *Injector) Conns() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.connSeq
+}
+
+func (in *Injector) record(e Event) {
+	if !in.cfg.Record {
+		return
+	}
+	in.mu.Lock()
+	in.trace = append(in.trace, e)
+	in.mu.Unlock()
+}
+
+type listener struct {
+	net.Listener
+	in *Injector
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return l.in.WrapConn(c), nil
+}
+
+// plan is the set of fault decisions for one I/O operation. All PRNG draws
+// happen in a fixed order regardless of which faults fire, so the stream
+// stays aligned across runs.
+type plan struct {
+	reset   bool
+	latency time.Duration
+	corrupt bool
+	// write-only faults
+	drop    bool
+	partial bool
+}
+
+type conn struct {
+	net.Conn
+	in  *Injector
+	idx int
+
+	mu  sync.Mutex
+	rng *rand.Rand
+	op  int
+}
+
+// decide draws this operation's fault plan from the connection's PRNG.
+func (c *conn) decide(write bool) (int, plan) {
+	cfg := &c.in.cfg
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.op++
+	op := c.op
+	var p plan
+	if op <= cfg.OpsBeforeFaults {
+		return op, p
+	}
+	roll := func(prob float64) bool {
+		if prob <= 0 {
+			return false
+		}
+		return c.rng.Float64() < prob
+	}
+	p.reset = roll(cfg.ResetProb)
+	if cfg.ResetAfterOps > 0 && op == cfg.OpsBeforeFaults+cfg.ResetAfterOps {
+		p.reset = true
+	}
+	if cfg.LatencyProb > 0 {
+		hit := c.rng.Float64() < cfg.LatencyProb
+		span := int64(cfg.LatencyMax - cfg.LatencyMin)
+		d := cfg.LatencyMin
+		if span > 0 {
+			d += time.Duration(c.rng.Int63n(span + 1))
+		}
+		if hit {
+			p.latency = d
+		}
+	}
+	p.corrupt = roll(cfg.CorruptProb)
+	if write {
+		p.drop = roll(cfg.DropProb)
+		p.partial = roll(cfg.PartialWriteProb)
+	}
+	return op, p
+}
+
+// corruptByte flips one byte of b in place, position drawn from the PRNG.
+func (c *conn) corruptByte(b []byte) {
+	if len(b) == 0 {
+		return
+	}
+	c.mu.Lock()
+	pos := c.rng.Intn(len(b))
+	bit := byte(1) << c.rng.Intn(8)
+	c.mu.Unlock()
+	b[pos] ^= bit
+}
+
+func (c *conn) Read(b []byte) (int, error) {
+	op, p := c.decide(false)
+	if p.latency > 0 {
+		c.in.record(Event{Conn: c.idx, Op: op, Dir: "read", Fault: FaultLatency})
+		time.Sleep(p.latency)
+	}
+	if p.reset {
+		c.in.record(Event{Conn: c.idx, Op: op, Dir: "read", Fault: FaultReset})
+		_ = c.Conn.Close()
+		return 0, fmt.Errorf("chaosnet: injected reset (conn %d op %d)", c.idx, op)
+	}
+	n, err := c.Conn.Read(b)
+	if n > 0 && p.corrupt {
+		c.in.record(Event{Conn: c.idx, Op: op, Dir: "read", Fault: FaultCorrupt})
+		c.corruptByte(b[:n])
+	}
+	return n, err
+}
+
+func (c *conn) Write(b []byte) (int, error) {
+	op, p := c.decide(true)
+	if p.latency > 0 {
+		c.in.record(Event{Conn: c.idx, Op: op, Dir: "write", Fault: FaultLatency})
+		time.Sleep(p.latency)
+	}
+	if p.reset {
+		c.in.record(Event{Conn: c.idx, Op: op, Dir: "write", Fault: FaultReset})
+		_ = c.Conn.Close()
+		return 0, fmt.Errorf("chaosnet: injected reset (conn %d op %d)", c.idx, op)
+	}
+	if p.drop {
+		c.in.record(Event{Conn: c.idx, Op: op, Dir: "write", Fault: FaultDrop})
+		return len(b), nil // lie: report success, transmit nothing
+	}
+	if p.partial && len(b) > 1 {
+		c.in.record(Event{Conn: c.idx, Op: op, Dir: "write", Fault: FaultPartial})
+		n, _ := c.Conn.Write(b[:len(b)/2])
+		_ = c.Conn.Close()
+		return n, fmt.Errorf("chaosnet: injected partial write (conn %d op %d)", c.idx, op)
+	}
+	if p.corrupt {
+		c.in.record(Event{Conn: c.idx, Op: op, Dir: "write", Fault: FaultCorrupt})
+		cp := make([]byte, len(b))
+		copy(cp, b)
+		c.corruptByte(cp)
+		return c.Conn.Write(cp)
+	}
+	return c.Conn.Write(b)
+}

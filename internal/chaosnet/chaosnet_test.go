@@ -1,0 +1,144 @@
+package chaosnet
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// runScript drives one wrapped connection through a fixed operation
+// sequence (writes drained by a peer goroutine, then reads of echoed data)
+// and returns the injector's per-connection trace.
+func runScript(t *testing.T, cfg Config, writes int) []Event {
+	t.Helper()
+	cfg.Record = true
+	in := New(cfg)
+	a, b := net.Pipe()
+	defer func() { _ = a.Close(); _ = b.Close() }()
+	wrapped := in.WrapConn(a)
+
+	// Peer: drain whatever arrives so writes never block.
+	go func() { _, _ = io.Copy(io.Discard, b) }()
+
+	payload := bytes.Repeat([]byte("x"), 64)
+	for k := 0; k < writes; k++ {
+		_, _ = wrapped.Write(payload)
+	}
+	return in.TraceFor(0)
+}
+
+func TestSameSeedSameSchedule_IdenticalTrace(t *testing.T) {
+	cfg := Config{
+		Seed:             42,
+		LatencyProb:      0.2,
+		LatencyMin:       10 * time.Microsecond,
+		LatencyMax:       50 * time.Microsecond,
+		PartialWriteProb: 0.05,
+		CorruptProb:      0.15,
+		DropProb:         0.1,
+		ResetProb:        0.02,
+		OpsBeforeFaults:  3,
+	}
+	t1 := runScript(t, cfg, 200)
+	t2 := runScript(t, cfg, 200)
+	if len(t1) == 0 {
+		t.Fatal("fault plan injected nothing in 200 ops; schedule too quiet to test")
+	}
+	if len(t1) != len(t2) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(t1), len(t2))
+	}
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("trace diverges at %d: %v vs %v", i, t1[i], t2[i])
+		}
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	cfg := Config{
+		Seed:        1,
+		CorruptProb: 0.3,
+		DropProb:    0.3,
+	}
+	t1 := runScript(t, cfg, 200)
+	cfg.Seed = 2
+	t2 := runScript(t, cfg, 200)
+	if len(t1) == len(t2) {
+		same := true
+		for i := range t1 {
+			if t1[i] != t2[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestGracePeriodIsClean(t *testing.T) {
+	cfg := Config{
+		Seed:            7,
+		CorruptProb:     1.0, // every op would corrupt...
+		OpsBeforeFaults: 10,  // ...but the first 10 are clean
+	}
+	trace := runScript(t, cfg, 10)
+	if len(trace) != 0 {
+		t.Fatalf("faults during grace period: %v", trace)
+	}
+}
+
+func TestScheduledReset(t *testing.T) {
+	cfg := Config{
+		Seed:            99,
+		OpsBeforeFaults: 2,
+		ResetAfterOps:   5, // reset at exactly op 7
+	}
+	trace := runScript(t, cfg, 20)
+	if len(trace) == 0 {
+		t.Fatal("scheduled reset never fired")
+	}
+	first := trace[0]
+	if first.Fault != FaultReset || first.Op != 7 {
+		t.Fatalf("first fault = %v, want reset at op 7", first)
+	}
+}
+
+func TestWrapListenerWrapsAcceptedConns(t *testing.T) {
+	in := New(Config{Seed: 5, ResetAfterOps: 1, Record: true})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wln := in.WrapListener(ln)
+	defer func() { _ = wln.Close() }()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		c, err := wln.Accept()
+		if err != nil {
+			return
+		}
+		defer func() { _ = c.Close() }()
+		buf := make([]byte, 16)
+		_, _ = c.Read(buf) // op 1: injected reset
+	}()
+
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = c.Write([]byte("hello"))
+	<-done
+	_ = c.Close()
+	if in.Conns() != 1 {
+		t.Fatalf("wrapped conns = %d, want 1", in.Conns())
+	}
+	if got := in.Counts()[FaultReset]; got != 1 {
+		t.Fatalf("reset count = %d, want 1 (trace %v)", got, in.Trace())
+	}
+}
