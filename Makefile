@@ -1,14 +1,17 @@
 # Verification stages for the aspect-moderator reproduction.
 #
 #   make tier1       — build + full test suite (the gating check)
-#   make race        — full suite under the race detector
+#   make race        — full suite under the race detector, plus a focused
+#                      double-count pass over the sharded-moderator stress
+#                      and differential-oracle tests
 #   make fuzz-smoke  — 10s of coverage-guided fuzzing per wire-decode target
-#   make check       — all of the above
+#   make bench       — regenerate the committed BENCH_2.json baseline
+#   make check       — tier1 + race + fuzz-smoke
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: tier1 race fuzz-smoke check
+.PHONY: tier1 race fuzz-smoke bench check
 
 tier1:
 	$(GO) build ./...
@@ -16,6 +19,10 @@ tier1:
 
 race:
 	$(GO) test -race ./...
+	$(GO) test -race -count=2 -short -run 'TestModeratorStress|TestDifferential|TestWakeMode' ./internal/moderator/ ./internal/waitq/
+
+bench:
+	$(GO) run ./cmd/ambench -json BENCH_2.json
 
 fuzz-smoke:
 	$(GO) test ./internal/amrpc -run '^$$' -fuzz '^FuzzDecodeRequest$$' -fuzztime $(FUZZTIME)

@@ -1,0 +1,65 @@
+package repro_test
+
+// Tier-1 guard for the committed benchmark trajectory: BENCH_2.json (the
+// E12 sharded-admission-domain baseline written by `make bench`) must
+// parse, declare the current schema, cover every benchmark family, and
+// carry sane measurements. The contended-throughput speedup floor of 2×
+// only binds when the baseline was recorded on ≥4 cores — on fewer cores
+// there is no parallelism for sharding to win, and the criterion does not
+// apply.
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func TestBenchBaselineTrajectory(t *testing.T) {
+	data, err := os.ReadFile("BENCH_2.json")
+	if err != nil {
+		t.Fatalf("committed benchmark baseline missing (run `make bench`): %v", err)
+	}
+	var rep bench.DomainsReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("BENCH_2.json does not parse: %v", err)
+	}
+	if rep.Schema != bench.DomainsSchema {
+		t.Fatalf("schema = %q, want %q", rep.Schema, bench.DomainsSchema)
+	}
+	if rep.GoMaxProcs < 1 {
+		t.Fatalf("go_max_procs = %d, want >= 1", rep.GoMaxProcs)
+	}
+
+	byName := make(map[string]bench.DomainsFamily, len(rep.Families))
+	for _, f := range rep.Families {
+		if _, dup := byName[f.Name]; dup {
+			t.Fatalf("duplicate family %q", f.Name)
+		}
+		byName[f.Name] = f
+	}
+	for _, want := range bench.DomainsFamilyNames {
+		f, ok := byName[want]
+		if !ok {
+			t.Fatalf("family %q missing from baseline (have %d families)", want, len(rep.Families))
+		}
+		if f.Sharded <= 0 || f.Reference <= 0 || f.Speedup <= 0 {
+			t.Fatalf("family %q has non-positive measurements: %+v", want, f)
+		}
+		if f.Unit != "ops/s" && f.Unit != "ns/op" {
+			t.Fatalf("family %q has unknown unit %q", want, f.Unit)
+		}
+	}
+
+	if rep.GoMaxProcs >= 4 {
+		if s := byName[bench.FamilyContended].Speedup; s < 2.0 {
+			t.Fatalf("contended-throughput speedup = %.2fx on %d cores, want >= 2x",
+				s, rep.GoMaxProcs)
+		}
+	} else {
+		t.Logf("baseline recorded on %d core(s); the 2x contended floor binds only on >= 4 cores "+
+			"(contended %.2fx, churn %.2fx)",
+			rep.GoMaxProcs, byName[bench.FamilyContended].Speedup, byName[bench.FamilyChurn].Speedup)
+	}
+}

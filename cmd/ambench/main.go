@@ -1,13 +1,15 @@
-// Command ambench runs the reproduction's experiment suite (E1-E10 of
+// Command ambench runs the reproduction's experiment suite (E1-E12 of
 // EXPERIMENTS.md) and prints one table per experiment.
 //
-//	ambench               # full run
-//	ambench -quick        # trimmed sweeps, smaller op counts
-//	ambench -only E1,E3   # a subset
-//	ambench -ops 100000   # heavier measurements
+//	ambench                      # full run
+//	ambench -quick               # trimmed sweeps, smaller op counts
+//	ambench -only E1,E3          # a subset
+//	ambench -ops 100000          # heavier measurements
+//	ambench -json BENCH_2.json   # E12 only: write the domains baseline
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -20,15 +22,34 @@ import (
 
 func main() {
 	var (
-		ops   = flag.Int("ops", 0, "operations per measurement (0 = default)")
-		quick = flag.Bool("quick", false, "trim sweeps for a fast smoke run")
-		only  = flag.String("only", "", "comma-separated experiment ids (e.g. E1,E3)")
+		ops      = flag.Int("ops", 0, "operations per measurement (0 = default)")
+		quick    = flag.Bool("quick", false, "trim sweeps for a fast smoke run")
+		only     = flag.String("only", "", "comma-separated experiment ids (e.g. E1,E3)")
+		jsonPath = flag.String("json", "", "run the E12 domain families and write the JSON report to this path")
 	)
 	flag.Parse()
 
 	cfg := bench.Config{Ops: *ops, Quick: *quick}
 	if *quick && *ops == 0 {
 		cfg.Ops = 5000
+	}
+
+	if *jsonPath != "" {
+		start := time.Now()
+		rep, err := bench.Domains(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(string(data))
+		fmt.Printf("wrote %s in %v\n", *jsonPath, time.Since(start).Round(time.Millisecond))
+		return
 	}
 
 	var ids []string

@@ -62,6 +62,10 @@ func NewGuarded(cfg GuardedConfig) (*Guarded, error) {
 	rw := syncguard.NewRWLock(allMethods...)
 
 	b := core.NewComponent(ComponentName, core.WithModeratorOptions(cfg.ModeratorOptions...))
+	// All four methods go through the one reader-writer lock, so they share
+	// one admission domain (the rw aspects' wake lists would also group
+	// them; the declaration keeps the coupling explicit).
+	b.Group(allMethods...)
 	b.Bind(MethodReserve, func(inv *aspect.Invocation) (any, error) {
 		seat, err := inv.ArgString(0)
 		if err != nil {

@@ -105,6 +105,11 @@ func NewGuarded(cfg GuardedConfig) (*Guarded, error) {
 		core.WithFactory(f),
 		core.WithTarget(srv),
 		core.WithModeratorOptions(cfg.ModeratorOptions...))
+	// open and assign share the buffer guard state, so they must share one
+	// admission domain. The producer/consumer aspects' wake lists would
+	// group them automatically at registration; declaring it here makes the
+	// coupling visible in the wiring.
+	b.Group(MethodOpen, MethodAssign)
 	b.Bind(MethodOpen, func(inv *aspect.Invocation) (any, error) {
 		id, err := inv.ArgString(0)
 		if err != nil {

@@ -12,9 +12,14 @@
 // post-activation phase, after the method body has executed.
 //
 // Aspects are passive: they are driven by a moderator, which guarantees that
-// Precondition, Postaction, and Cancel for all aspects of one component are
-// executed under a single admission lock. Aspect implementations therefore
-// need no internal locking for state that is only touched from those hooks.
+// Precondition, Postaction, and Cancel for all aspects of one admission
+// domain — one participating method, or one explicitly declared method
+// group — are executed under that domain's single admission lock. Aspect
+// implementations therefore need no internal locking for state that is only
+// touched from those hooks, provided every method the state spans belongs
+// to the same domain. An aspect that implements Waker with a non-empty wake
+// list has its methods grouped automatically; wiring code can also declare
+// groups with the moderator's GroupMethods.
 package aspect
 
 import (
@@ -137,8 +142,14 @@ type Abandoner interface {
 // Waker is implemented by aspects whose Postaction changes state that
 // blocked callers of other methods may be waiting on. Wakes returns the
 // names of the methods whose wait queues should be notified after this
-// aspect's Postaction runs. If no aspect of an invocation implements Waker,
-// the moderator conservatively broadcasts to every queue of the component.
+// aspect's Postaction runs. A non-empty wake list also declares an
+// admission-domain group: the registered method and every listed method are
+// merged into one domain, which is what makes the aspect's shared state
+// safe without internal locking. If no admitted aspect of an invocation
+// declares a non-empty wake list, the moderator conservatively broadcasts
+// to every queue of the component (an empty list does not count — a
+// passive aspect must not suppress the broadcast and strand another
+// guard's waiters).
 type Waker interface {
 	Wakes() []string
 }

@@ -11,6 +11,11 @@ import (
 // example, extracted from the functional component. The component keeps the
 // data; the Buffer keeps only admission counters.
 //
+// The producer and consumer aspects wake each other's methods, so the
+// moderator places both methods in one admission domain at registration —
+// their hooks mutate this shared state under a single lock even on the
+// sharded moderator.
+//
 // In exclusive mode (the default, matching the paper's ActiveOpen == 0 /
 // ActiveAssign == 0 guards) at most one producer and one consumer execute
 // at a time. In concurrent mode several producers (and consumers) may be

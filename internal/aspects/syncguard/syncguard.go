@@ -8,8 +8,14 @@
 // Precondition either admits the invocation — updating the shared guard
 // state to record the admission — or returns Block; its Postaction releases
 // what the admission reserved; its Cancel undoes an admission that a later
-// aspect rolled back. All three hooks run under the moderator's admission
-// lock, so the guard state needs no locking of its own.
+// aspect rolled back. All three hooks run under the admission lock of the
+// method's admission domain, so the guard state needs no locking of its
+// own — PROVIDED every method that shares the guard state lives in the
+// same domain. The moderator groups methods automatically when a guard's
+// wake list names them (a Buffer's producer wakes its consumer and vice
+// versa, so the pair is grouped at registration); guards that share state
+// without waking each other must be grouped explicitly, via
+// moderator.GroupMethods or core.Builder.Group, before traffic starts.
 package syncguard
 
 import (

@@ -105,6 +105,7 @@ var Experiments = []Experiment{
 	{"E9", E9Churn},
 	{"E10", E10Reuse},
 	{"E11", E11Coordination},
+	{"E12", E12Domains},
 }
 
 // All runs the experiments whose ids are listed (every experiment when ids

@@ -1,0 +1,294 @@
+package bench
+
+// E12 — the sharded-admission-domain benchmark family, and the start of
+// the repo's performance trajectory. Unlike E1-E11 (human-readable tables
+// only), E12 also serializes to JSON: `ambench -json BENCH_2.json` writes
+// the committed baseline that the root bench_baseline_test.go validates,
+// so future PRs can diff throughput against a recorded floor.
+//
+// Three families compare the sharded Moderator against the single-mutex
+// Reference (the paper-faithful implementation):
+//
+//   - contended-throughput: many goroutines over many guarded methods.
+//     This is the case sharding exists for — unrelated methods must not
+//     contend — and the acceptance floor is a ≥2× speedup on ≥4 cores.
+//   - single-method-latency: one caller, one guarded method. Sharding must
+//     not tax the uncontended path.
+//   - layer-churn: invocations racing AddLayer/RemoveLayer. The
+//     atomically-swapped composition snapshot must keep the hot path fast
+//     while layers come and go.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/aspect"
+	"repro/internal/moderator"
+)
+
+// DomainsSchema identifies the BENCH_2.json format.
+const DomainsSchema = "ambench/domains-v1"
+
+// DomainsReport is the JSON-serializable result of the E12 families.
+type DomainsReport struct {
+	Schema     string          `json:"schema"`
+	GoMaxProcs int             `json:"go_max_procs"`
+	Families   []DomainsFamily `json:"families"`
+}
+
+// DomainsFamily is one sharded-vs-reference comparison.
+type DomainsFamily struct {
+	Name   string         `json:"name"`
+	Unit   string         `json:"unit"` // "ops/s" or "ns/op"
+	Params map[string]int `json:"params"`
+	// Sharded and Reference are the measured values in Unit.
+	Sharded   float64 `json:"sharded"`
+	Reference float64 `json:"reference"`
+	// Speedup is the sharded advantage, normalized so bigger is better
+	// for both units: throughput sharded/reference, latency
+	// reference/sharded.
+	Speedup float64 `json:"speedup"`
+}
+
+// Family names, shared with the baseline test.
+const (
+	FamilyContended = "contended-throughput"
+	FamilyLatency   = "single-method-latency"
+	FamilyChurn     = "layer-churn"
+)
+
+// DomainsFamilyNames lists every family a complete report must contain.
+var DomainsFamilyNames = []string{FamilyContended, FamilyLatency, FamilyChurn}
+
+// newDomainsModerator builds a moderator (sharded or reference) with one
+// always-admitting synchronization guard per method — the cheapest
+// realistic aspect, so the measurement isolates admission-path locking.
+func newDomainsModerator(sharded bool, methods int) (moderator.Admitter, error) {
+	var impl moderator.Admitter
+	if sharded {
+		impl = moderator.New("bench-domains")
+	} else {
+		impl = moderator.NewReference("bench-domains")
+	}
+	for i := 0; i < methods; i++ {
+		meth := fmt.Sprintf("m%d", i)
+		used := new(int)
+		guard := &aspect.Func{
+			AspectName: "sem-" + meth,
+			AspectKind: aspect.KindSynchronization,
+			Pre: func(inv *aspect.Invocation) aspect.Verdict {
+				*used++
+				return aspect.Resume
+			},
+			Post:     func(inv *aspect.Invocation) { *used-- },
+			CancelFn: func(inv *aspect.Invocation) { *used-- },
+			WakeList: []string{meth},
+		}
+		if err := impl.Register(meth, aspect.KindSynchronization, guard); err != nil {
+			return nil, err
+		}
+	}
+	return impl, nil
+}
+
+// domainsThroughput drives totalOps invocations from `goroutines` workers
+// striped over `methods` methods and returns aggregate ops/sec.
+func domainsThroughput(impl moderator.Admitter, methods, goroutines, totalOps int) (float64, error) {
+	perG := totalOps / goroutines
+	errs := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < goroutines; g++ {
+		meth := fmt.Sprintf("m%d", g%methods)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				inv := aspect.NewInvocation(context.Background(), "bench", meth, nil)
+				adm, err := impl.Preactivation(inv)
+				if err != nil {
+					errs <- err
+					return
+				}
+				impl.Postactivation(inv, adm)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errs:
+		return 0, err
+	default:
+	}
+	return float64(perG*goroutines) / elapsed.Seconds(), nil
+}
+
+func domainsContended(cfg Config, sharded bool, methods, goroutines int) (float64, error) {
+	impl, err := newDomainsModerator(sharded, methods)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := domainsThroughput(impl, methods, goroutines, 2000); err != nil { // warm-up
+		return 0, err
+	}
+	return domainsThroughput(impl, methods, goroutines, cfg.ops()*10)
+}
+
+func domainsLatency(cfg Config, sharded bool) (float64, error) {
+	impl, err := newDomainsModerator(sharded, 1)
+	if err != nil {
+		return 0, err
+	}
+	return measure(cfg.ops(), func(i int) error {
+		inv := aspect.NewInvocation(context.Background(), "bench", "m0", nil)
+		adm, err := impl.Preactivation(inv)
+		if err != nil {
+			return err
+		}
+		impl.Postactivation(inv, adm)
+		return nil
+	})
+}
+
+func domainsChurn(cfg Config, sharded bool, methods, goroutines int) (float64, error) {
+	impl, err := newDomainsModerator(sharded, methods)
+	if err != nil {
+		return 0, err
+	}
+	stop := make(chan struct{})
+	churnErr := make(chan error, 1)
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		noop := aspect.New("transient", aspect.KindMetrics, nil, nil)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := impl.AddLayer("transient", moderator.Outermost); err != nil {
+				churnErr <- err
+				return
+			}
+			for i := 0; i < methods; i++ {
+				if err := impl.RegisterIn("transient", fmt.Sprintf("m%d", i), aspect.KindMetrics, noop); err != nil {
+					churnErr <- err
+					return
+				}
+			}
+			if err := impl.RemoveLayer("transient"); err != nil {
+				churnErr <- err
+				return
+			}
+		}
+	}()
+	ops, err := domainsThroughput(impl, methods, goroutines, cfg.ops()*5)
+	close(stop)
+	churn.Wait()
+	if err != nil {
+		return 0, err
+	}
+	select {
+	case err := <-churnErr:
+		return 0, err
+	default:
+	}
+	return ops, nil
+}
+
+// Domains runs the E12 families and returns the JSON-serializable report.
+func Domains(cfg Config) (DomainsReport, error) {
+	const (
+		methods    = 8
+		goroutines = 32
+	)
+	rep := DomainsReport{Schema: DomainsSchema, GoMaxProcs: runtime.GOMAXPROCS(0)}
+
+	shardedOps, err := domainsContended(cfg, true, methods, goroutines)
+	if err != nil {
+		return rep, err
+	}
+	refOps, err := domainsContended(cfg, false, methods, goroutines)
+	if err != nil {
+		return rep, err
+	}
+	rep.Families = append(rep.Families, DomainsFamily{
+		Name:      FamilyContended,
+		Unit:      "ops/s",
+		Params:    map[string]int{"methods": methods, "goroutines": goroutines},
+		Sharded:   shardedOps,
+		Reference: refOps,
+		Speedup:   shardedOps / refOps,
+	})
+
+	shardedNs, err := domainsLatency(cfg, true)
+	if err != nil {
+		return rep, err
+	}
+	refNs, err := domainsLatency(cfg, false)
+	if err != nil {
+		return rep, err
+	}
+	rep.Families = append(rep.Families, DomainsFamily{
+		Name:      FamilyLatency,
+		Unit:      "ns/op",
+		Params:    map[string]int{"methods": 1, "goroutines": 1},
+		Sharded:   shardedNs,
+		Reference: refNs,
+		Speedup:   refNs / shardedNs,
+	})
+
+	shardedChurn, err := domainsChurn(cfg, true, 4, 8)
+	if err != nil {
+		return rep, err
+	}
+	refChurn, err := domainsChurn(cfg, false, 4, 8)
+	if err != nil {
+		return rep, err
+	}
+	rep.Families = append(rep.Families, DomainsFamily{
+		Name:      FamilyChurn,
+		Unit:      "ops/s",
+		Params:    map[string]int{"methods": 4, "goroutines": 8},
+		Sharded:   shardedChurn,
+		Reference: refChurn,
+		Speedup:   shardedChurn / refChurn,
+	})
+	return rep, nil
+}
+
+// E12Domains renders the domains report as a standard experiment table so
+// `ambench` includes it in the default run.
+func E12Domains(cfg Config) (Table, error) {
+	rep, err := Domains(cfg)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:     "E12",
+		Title:  "sharded admission domains vs single-mutex reference",
+		Header: []string{"family", "params", "sharded", "reference", "speedup"},
+		Notes:  fmt.Sprintf("GOMAXPROCS=%d; speedup normalized so >1 favors sharding", rep.GoMaxProcs),
+	}
+	for _, f := range rep.Families {
+		var sv, rv string
+		if f.Unit == "ns/op" {
+			sv, rv = fmtNs(f.Sharded), fmtNs(f.Reference)
+		} else {
+			sv, rv = fmtOps(f.Sharded), fmtOps(f.Reference)
+		}
+		t.Rows = append(t.Rows, []string{
+			f.Name,
+			fmt.Sprintf("%dm/%dg", f.Params["methods"], f.Params["goroutines"]),
+			sv, rv,
+			fmt.Sprintf("%.2fx", f.Speedup),
+		})
+	}
+	return t, nil
+}

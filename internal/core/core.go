@@ -92,6 +92,7 @@ type Builder struct {
 	layers   []layerDecl
 	guards   []guardDecl
 	uses     []useDecl
+	groups   [][]string
 	err      error
 }
 
@@ -176,6 +177,25 @@ func (b *Builder) GuardIn(layer, method string, kind aspect.Kind) *Builder {
 	return b
 }
 
+// Group declares that the listed methods share one admission domain: all
+// their synchronization hooks run under a single mutex, the contract
+// guards written against the pre-sharding moderator assume. Declare a
+// group for every set of methods whose guards share mutable state (a
+// bounded buffer's put/get, a reader-writer pair). Groups are applied at
+// Build time before any aspect registration or traffic, so they can never
+// fail with moderator.ErrDomainActive. Aspects whose Wakes list names
+// other methods are grouped automatically at registration; Group is for
+// making the coupling explicit in wiring, or for guards that share state
+// without waking each other.
+func (b *Builder) Group(methods ...string) *Builder {
+	if len(methods) < 2 {
+		b.err = fmt.Errorf("core: component %s: Group needs at least two methods", b.name)
+		return b
+	}
+	b.groups = append(b.groups, append([]string(nil), methods...))
+	return b
+}
+
 // Use registers an existing aspect instance for the method in the base
 // layer, bypassing the factory.
 func (b *Builder) Use(method string, kind aspect.Kind, a aspect.Aspect) *Builder {
@@ -199,6 +219,11 @@ func (b *Builder) Build() (*Component, error) {
 		return nil, fmt.Errorf("core: component %s: Guard declarations require a factory", b.name)
 	}
 	mod := moderator.New(b.name, b.modOpts...)
+	for _, g := range b.groups {
+		if err := mod.GroupMethods(g...); err != nil {
+			return nil, fmt.Errorf("core: component %s: %w", b.name, err)
+		}
+	}
 	p := proxy.New(mod)
 	for _, bd := range b.bindings {
 		if err := p.Bind(bd.method, bd.body); err != nil {

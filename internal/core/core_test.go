@@ -247,3 +247,26 @@ func TestWithModeratorOptionsForwarded(t *testing.T) {
 		t.Errorf("moderator name = %q", c.Moderator().Name())
 	}
 }
+
+func TestGroupDeclaresAdmissionDomain(t *testing.T) {
+	b := NewComponent("c")
+	b.Bind("put", body(nil)).Bind("get", body(nil)).Bind("peek", body(nil))
+	b.Group("put", "get")
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]string{{"get", "put"}}
+	if got := c.Moderator().Domains(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Domains = %v, want %v", got, want)
+	}
+}
+
+func TestGroupNeedsTwoMethods(t *testing.T) {
+	b := NewComponent("c")
+	b.Bind("m", body(nil))
+	b.Group("m")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("single-method Group must fail Build")
+	}
+}

@@ -27,8 +27,53 @@
 // layers stay admitted while an inner layer blocks, exactly as the paper's
 // authentication admission holds while synchronization blocks.
 //
-// All precondition, postaction, and cancel hooks of one moderator run under
-// a single admission mutex; the method body runs outside it.
+// # Admission domains
+//
+// The paper's moderator serializes all precondition, postaction, and
+// cancel hooks under one admission mutex. That is correct but it is a
+// scalability wall: callers of unrelated participating methods contend on
+// the same lock. This moderator shards admission into per-method
+// *admission domains*: each participating method (or explicit method
+// group) owns a mutex, its wait queues, its sticky-ticket sequence, and
+// its admission counters. Hooks of an invocation run under the domain of
+// the invoked method only; callers of methods in different domains never
+// contend. The single-mutex semantics are retained verbatim in Reference
+// (reference.go), which the differential oracle replays against.
+//
+// Aspects whose hooks share guard state across several methods (a bounded
+// buffer's put/get, a mutex spanning open/close) need all those methods in
+// ONE domain — that is what makes "guard state needs no locking of its
+// own" still true. Two mechanisms arrange it:
+//
+//   - automatically: when a registered aspect implements aspect.Waker with
+//     a non-empty wake list, the moderator merges the registered method and
+//     every wake target into one domain. The wake list of a guard is
+//     exactly the span of its shared state, so syncguard and coord aspects
+//     group themselves.
+//   - explicitly: GroupMethods declares a method group up front; wiring
+//     code (internal/apps/*) calls it for every shared guard.
+//
+// Groups must be declared (and Waker aspects registered) during
+// initialization, before the affected methods take concurrent traffic;
+// merging a domain that has already admitted or parked callers fails with
+// ErrDomainActive.
+//
+// # Snapshot memory model
+//
+// Composition state — the layer list together with every layer's bank
+// contents — is published as one immutable snapshot behind an
+// atomic.Pointer. Mutations (AddLayer, RemoveLayer, RegisterIn,
+// Unregister) run under a small admin mutex, rebuild the snapshot, and
+// Store it; the Store happens-before any Load that observes it, so a
+// reader sees either the whole mutation or none of it. Preactivation
+// resolves its plan from one Load (in-flight invocations are immune to
+// concurrent re-composition), and Describe reads the very same snapshot —
+// it can never observe a layer without the registrations that
+// happened-before a later mutation it does observe (no torn reads during
+// layer churn). Postactivation does not consult the current composition at
+// all: it runs the postactions of the Admission receipt, i.e. the aspects
+// captured at pre-activation time, so receipts stay valid across a
+// concurrent RemoveLayer.
 package moderator
 
 import (
@@ -72,11 +117,16 @@ const (
 	// WakeSingle wakes one caller per notification, chosen by the wait
 	// queue's policy (FIFO, LIFO, priority). Use when each completed
 	// invocation frees capacity for exactly one waiter (semaphore-like
-	// guards); with heterogeneous guards it can strand waiters.
+	// guards); with heterogeneous guards it can strand waiters: the woken
+	// caller may be blocked by a different guard than the one the
+	// completion satisfied, re-park, and consume the only wake-up while
+	// an admissible waiter stays parked (see wakepolicy_test.go).
 	WakeSingle
 )
 
-// Stats are cumulative counters for one moderator. Safe for concurrent reads.
+// Stats are cumulative counters for one moderator, summed over its
+// admission domains. Every counter is maintained atomically; Stats is safe
+// to call at any time from any goroutine.
 type Stats struct {
 	Admissions  uint64 // invocations fully admitted by pre-activation
 	Blocks      uint64 // times a caller parked on a wait queue
@@ -90,22 +140,40 @@ var ErrLayerExists = errors.New("moderator: layer already exists")
 // ErrNoSuchLayer is returned when a named layer is not present.
 var ErrNoSuchLayer = errors.New("moderator: no such layer")
 
-type layer struct {
-	name string
-	bank *bank.Bank
+// ErrDomainActive is returned by GroupMethods (and by RegisterIn's
+// automatic grouping) when the requested group would merge two admission
+// domains that have both already seen traffic. Declare groups during
+// initialization, before the affected methods are invoked concurrently.
+var ErrDomainActive = errors.New("moderator: admission domain already active")
+
+// options carries the configuration shared by Moderator and Reference.
+type options struct {
+	policy   waitq.Policy
+	wakeMode WakeMode
 }
 
-type layerSet struct {
-	layers []*layer // outermost first
+// Option configures a Moderator (or a Reference).
+type Option func(*options)
+
+// WithWakePolicy sets the wake policy of the moderator's wait queues
+// (default FIFO). The policy selects which blocked caller wakes first in
+// WakeSingle mode.
+func WithWakePolicy(p waitq.Policy) Option {
+	return func(o *options) { o.policy = p }
 }
 
-func (ls *layerSet) find(name string) *layer {
-	for _, l := range ls.layers {
-		if l.name == name {
-			return l
-		}
+// WithWakeMode sets how post-activation releases blocked callers
+// (default WakeBroadcast).
+func WithWakeMode(w WakeMode) Option {
+	return func(o *options) { o.wakeMode = w }
+}
+
+func buildOptions(opts []Option) options {
+	o := options{policy: waitq.FIFO, wakeMode: WakeBroadcast}
+	for _, opt := range opts {
+		opt(&o)
 	}
-	return nil
+	return o
 }
 
 type qkey struct {
@@ -116,9 +184,14 @@ type qkey struct {
 // Admission is the receipt of a successful pre-activation: the aspects
 // admitted, in admission order. The caller passes it back to
 // Postactivation so the exact composition the invocation was admitted
-// under — not whatever the bank holds by then — runs its postactions.
+// under — not whatever the bank holds by then — runs its postactions. The
+// receipt holds the aspect objects themselves, so it stays valid even if
+// the layers they came from are removed while the method body runs.
 type Admission struct {
 	admitted []aspect.Aspect
+	// d caches the admission domain the receipt was issued under (sharded
+	// moderator only), sparing Postactivation the domain-table lookup.
+	d *domain
 }
 
 // Len returns the number of admitted aspects.
@@ -129,17 +202,64 @@ func (a *Admission) Len() int {
 	return len(a.admitted)
 }
 
-// Moderator coordinates aspect evaluation for one functional component.
-// Construct with New.
-type Moderator struct {
-	name     string
-	policy   waitq.Policy
-	wakeMode WakeMode
+// Admitter is the surface shared by the sharded Moderator and the
+// single-mutex Reference. The differential oracle (moderator_diff_test.go)
+// and the benchmark trajectory (internal/bench, BENCH_2.json) drive both
+// implementations through this interface.
+type Admitter interface {
+	Name() string
+	Register(method string, kind aspect.Kind, a aspect.Aspect) error
+	RegisterIn(layerName, method string, kind aspect.Kind, a aspect.Aspect) error
+	Unregister(layerName, method string, kind aspect.Kind) (int, error)
+	AddLayer(name string, pos Position) error
+	RemoveLayer(name string) error
+	GroupMethods(methods ...string) error
+	Layers() []string
+	Describe() []LayerInfo
+	Preactivation(inv *aspect.Invocation) (*Admission, error)
+	Postactivation(inv *aspect.Invocation, adm *Admission)
+	Kick(method string)
+	Waiting(method string) int
+	Stats() Stats
+	QueueStats() map[string]waitq.Stats
+}
 
+var (
+	_ Admitter = (*Moderator)(nil)
+	_ Admitter = (*Reference)(nil)
+)
+
+// compLayer is one layer of the published composition snapshot: the
+// mutable bank (touched only under the admin mutex) together with the
+// bank contents as of the snapshot's publication.
+type compLayer struct {
+	name string
+	bank *bank.Bank
+	snap *bank.Snapshot
+}
+
+// compState is the immutable composition snapshot: the layer list,
+// outermost first, with each layer's bank contents fixed at publication
+// time. One atomic Load yields a mutually consistent view of everything.
+type compState struct {
+	layers []compLayer
+}
+
+func (cs *compState) find(name string) *compLayer {
+	for i := range cs.layers {
+		if cs.layers[i].name == name {
+			return &cs.layers[i]
+		}
+	}
+	return nil
+}
+
+// domain is one admission domain: the mutex, wait queues, sticky-ticket
+// sequence, and counters for one participating method or method group.
+type domain struct {
 	mu        sync.Mutex
-	layers    atomic.Pointer[layerSet]
-	queues    map[qkey]*waitq.Queue
-	ticketSeq uint64 // guarded by mu
+	queues    map[qkey]*waitq.Queue // guarded by mu
+	ticketSeq uint64                // guarded by mu
 
 	admissions  atomic.Uint64
 	blocks      atomic.Uint64
@@ -147,35 +267,79 @@ type Moderator struct {
 	completions atomic.Uint64
 }
 
-// Option configures a Moderator.
-type Option func(*Moderator)
-
-// WithWakePolicy sets the wake policy of the moderator's wait queues
-// (default FIFO). The policy selects which blocked caller wakes first in
-// WakeSingle mode.
-func WithWakePolicy(p waitq.Policy) Option {
-	return func(m *Moderator) { m.policy = p }
+func newDomain() *domain {
+	return &domain{queues: make(map[qkey]*waitq.Queue)}
 }
 
-// WithWakeMode sets how post-activation releases blocked callers
-// (default WakeBroadcast).
-func WithWakeMode(w WakeMode) Option {
-	return func(m *Moderator) { m.wakeMode = w }
+// active reports whether the domain has ever admitted, parked, aborted, or
+// completed a caller. Active domains cannot be merged away by grouping.
+func (d *domain) active() bool {
+	if d.admissions.Load() != 0 || d.blocks.Load() != 0 ||
+		d.aborts.Load() != 0 || d.completions.Load() != 0 {
+		return true
+	}
+	d.mu.Lock()
+	n := len(d.queues)
+	d.mu.Unlock()
+	return n > 0
+}
+
+// domainTable is the immutable method→domain assignment. byMethod maps
+// each method seen so far to its domain; all lists every distinct live
+// domain (for Stats, QueueStats, and conservative broadcasts).
+type domainTable struct {
+	byMethod map[string]*domain
+	all      []*domain
+}
+
+func (dt *domainTable) clone() *domainTable {
+	next := &domainTable{byMethod: make(map[string]*domain, len(dt.byMethod)+1)}
+	for m, d := range dt.byMethod {
+		next.byMethod[m] = d
+	}
+	next.all = append([]*domain(nil), dt.all...)
+	return next
+}
+
+// rebuildAll recomputes the distinct-domain list after a grouping merge
+// dropped some domains, preserving the previous relative order.
+func (dt *domainTable) rebuildAll(prev []*domain) {
+	live := make(map[*domain]bool, len(dt.byMethod))
+	for _, d := range dt.byMethod {
+		live[d] = true
+	}
+	dt.all = dt.all[:0]
+	for _, d := range prev {
+		if live[d] {
+			dt.all = append(dt.all, d)
+			delete(live, d)
+		}
+	}
+	for d := range live { // domains not in prev (freshly created)
+		dt.all = append(dt.all, d)
+	}
+}
+
+// Moderator coordinates aspect evaluation for one functional component.
+// Construct with New.
+type Moderator struct {
+	name string
+	opts options
+
+	// admin serializes composition mutations and domain-table mutations.
+	// It is never held while aspect hooks run: the hot path only reads
+	// the atomic snapshots below.
+	admin   sync.Mutex
+	comp    atomic.Pointer[compState]
+	domains atomic.Pointer[domainTable]
 }
 
 // New creates a moderator for the named component with a single base layer.
 func New(name string, opts ...Option) *Moderator {
-	m := &Moderator{
-		name:     name,
-		policy:   waitq.FIFO,
-		wakeMode: WakeBroadcast,
-		queues:   make(map[qkey]*waitq.Queue),
-	}
-	for _, opt := range opts {
-		opt(m)
-	}
-	ls := &layerSet{layers: []*layer{{name: BaseLayer, bank: bank.New()}}}
-	m.layers.Store(ls)
+	m := &Moderator{name: name, opts: buildOptions(opts)}
+	b := bank.New()
+	m.comp.Store(&compState{layers: []compLayer{{name: BaseLayer, bank: b, snap: b.Snapshot()}}})
+	m.domains.Store(&domainTable{byMethod: make(map[string]*domain)})
 	return m
 }
 
@@ -183,19 +347,32 @@ func New(name string, opts ...Option) *Moderator {
 func (m *Moderator) Name() string { return m.name }
 
 // WakePolicy returns the wait queues' wake policy.
-func (m *Moderator) WakePolicy() waitq.Policy { return m.policy }
+func (m *Moderator) WakePolicy() waitq.Policy { return m.opts.policy }
 
 // WakeMode returns how post-activation releases blocked callers.
-func (m *Moderator) WakeMode() WakeMode { return m.wakeMode }
+func (m *Moderator) WakeMode() WakeMode { return m.opts.wakeMode }
 
-// Stats returns a snapshot of the moderator's counters.
+// Stats returns a snapshot of the moderator's counters, summed across its
+// admission domains.
 func (m *Moderator) Stats() Stats {
-	return Stats{
-		Admissions:  m.admissions.Load(),
-		Blocks:      m.blocks.Load(),
-		Aborts:      m.aborts.Load(),
-		Completions: m.completions.Load(),
+	var s Stats
+	for _, d := range m.domains.Load().all {
+		s.Admissions += d.admissions.Load()
+		s.Blocks += d.blocks.Load()
+		s.Aborts += d.aborts.Load()
+		s.Completions += d.completions.Load()
 	}
+	return s
+}
+
+// republishLocked rebuilds and publishes the composition snapshot from the
+// layers' current bank contents. The admin mutex must be held.
+func (m *Moderator) republishLocked(layers []compLayer) {
+	next := &compState{layers: make([]compLayer, len(layers))}
+	for i, l := range layers {
+		next.layers[i] = compLayer{name: l.name, bank: l.bank, snap: l.bank.Snapshot()}
+	}
+	m.comp.Store(next)
 }
 
 // Register stores an aspect at (method, kind) in the base layer — the
@@ -204,15 +381,32 @@ func (m *Moderator) Register(method string, kind aspect.Kind, a aspect.Aspect) e
 	return m.RegisterIn(BaseLayer, method, kind, a)
 }
 
-// RegisterIn stores an aspect at (method, kind) in the named layer.
+// RegisterIn stores an aspect at (method, kind) in the named layer. If the
+// aspect implements aspect.Waker with a non-empty wake list, the method
+// and every wake target are merged into one admission domain (the wake
+// list of a guard is the span of its shared state); the merge fails with
+// ErrDomainActive if it would join two domains that both already saw
+// traffic.
 func (m *Moderator) RegisterIn(layerName, method string, kind aspect.Kind, a aspect.Aspect) error {
-	l := m.layers.Load().find(layerName)
+	m.admin.Lock()
+	defer m.admin.Unlock()
+	cs := m.comp.Load()
+	l := cs.find(layerName)
 	if l == nil {
 		return fmt.Errorf("moderator %s: register %s/%s in %q: %w", m.name, method, kind, layerName, ErrNoSuchLayer)
+	}
+	if w, ok := a.(aspect.Waker); ok && method != "" {
+		if span := w.Wakes(); len(span) > 0 {
+			group := append([]string{method}, span...)
+			if err := m.groupLocked(group); err != nil {
+				return fmt.Errorf("moderator %s: register %s/%s: %w", m.name, method, kind, err)
+			}
+		}
 	}
 	if err := l.bank.Register(method, kind, a); err != nil {
 		return fmt.Errorf("moderator %s: %w", m.name, err)
 	}
+	m.republishLocked(cs.layers)
 	return nil
 }
 
@@ -220,65 +414,182 @@ func (m *Moderator) RegisterIn(layerName, method string, kind aspect.Kind, a asp
 // reporting how many were removed. In-flight invocations complete under the
 // composition they were admitted with.
 func (m *Moderator) Unregister(layerName, method string, kind aspect.Kind) (int, error) {
-	l := m.layers.Load().find(layerName)
+	m.admin.Lock()
+	defer m.admin.Unlock()
+	cs := m.comp.Load()
+	l := cs.find(layerName)
 	if l == nil {
 		return 0, fmt.Errorf("moderator %s: unregister from %q: %w", m.name, layerName, ErrNoSuchLayer)
 	}
-	return l.bank.Unregister(method, kind), nil
+	n := l.bank.Unregister(method, kind)
+	if n > 0 {
+		m.republishLocked(cs.layers)
+	}
+	return n, nil
 }
 
 // AddLayer introduces a new, empty layer. This is the framework's dynamic
 // adaptability hook: the paper's ExtendedAspectModerator becomes
 // AddLayer("authentication", Outermost) plus RegisterIn calls, with no
-// change to functional code.
+// change to functional code. Layer churn never touches an admission
+// domain: the hot path keeps admitting under the previous snapshot until
+// the new one is published.
 func (m *Moderator) AddLayer(name string, pos Position) error {
 	if name == "" {
 		return fmt.Errorf("moderator %s: empty layer name", m.name)
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	old := m.layers.Load()
+	m.admin.Lock()
+	defer m.admin.Unlock()
+	old := m.comp.Load()
 	if old.find(name) != nil {
 		return fmt.Errorf("moderator %s: add layer %q: %w", m.name, name, ErrLayerExists)
 	}
-	nl := &layer{name: name, bank: bank.New()}
-	next := &layerSet{layers: make([]*layer, 0, len(old.layers)+1)}
+	b := bank.New()
+	nl := compLayer{name: name, bank: b, snap: b.Snapshot()}
+	layers := make([]compLayer, 0, len(old.layers)+1)
 	if pos == Innermost {
-		next.layers = append(next.layers, old.layers...)
-		next.layers = append(next.layers, nl)
+		layers = append(layers, old.layers...)
+		layers = append(layers, nl)
 	} else {
-		next.layers = append(next.layers, nl)
-		next.layers = append(next.layers, old.layers...)
+		layers = append(layers, nl)
+		layers = append(layers, old.layers...)
 	}
-	m.layers.Store(next)
+	m.republishLocked(layers)
 	return nil
 }
 
 // RemoveLayer removes a layer and all its aspects. In-flight invocations
-// admitted under the layer still run its postactions.
+// admitted under the layer still run its postactions: the Admission
+// receipt holds the admitted aspect objects, not bank coordinates.
 func (m *Moderator) RemoveLayer(name string) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	old := m.layers.Load()
+	m.admin.Lock()
+	defer m.admin.Unlock()
+	old := m.comp.Load()
 	if old.find(name) == nil {
 		return fmt.Errorf("moderator %s: remove layer %q: %w", m.name, name, ErrNoSuchLayer)
 	}
-	next := &layerSet{layers: make([]*layer, 0, len(old.layers)-1)}
+	layers := make([]compLayer, 0, len(old.layers)-1)
 	for _, l := range old.layers {
 		if l.name != name {
-			next.layers = append(next.layers, l)
+			layers = append(layers, l)
 		}
 	}
-	m.layers.Store(next)
+	m.republishLocked(layers)
 	return nil
+}
+
+// GroupMethods declares that the listed participating methods form one
+// admission domain: aspects registered on any of them may share guard
+// state, because all their hooks run under the group's single mutex.
+// Declare groups during initialization; merging two domains that both
+// already saw traffic fails with ErrDomainActive.
+func (m *Moderator) GroupMethods(methods ...string) error {
+	if len(methods) == 0 {
+		return nil
+	}
+	m.admin.Lock()
+	defer m.admin.Unlock()
+	return m.groupLocked(methods)
+}
+
+// groupLocked merges the methods' domains. The admin mutex must be held.
+func (m *Moderator) groupLocked(methods []string) error {
+	dt := m.domains.Load()
+	var distinct []*domain
+	seen := make(map[*domain]bool, len(methods))
+	for _, meth := range methods {
+		if meth == "" {
+			return fmt.Errorf("moderator %s: group: empty method name", m.name)
+		}
+		if d := dt.byMethod[meth]; d != nil && !seen[d] {
+			seen[d] = true
+			distinct = append(distinct, d)
+		}
+	}
+	var actives []*domain
+	for _, d := range distinct {
+		if d.active() {
+			actives = append(actives, d)
+		}
+	}
+	if len(actives) > 1 {
+		return fmt.Errorf("moderator %s: group %v: %d domains already saw traffic: %w",
+			m.name, methods, len(actives), ErrDomainActive)
+	}
+	var target *domain
+	switch {
+	case len(actives) == 1:
+		target = actives[0]
+	case len(distinct) > 0:
+		target = distinct[0]
+	default:
+		target = newDomain()
+	}
+	changed := false
+	for _, meth := range methods {
+		if dt.byMethod[meth] != target {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		return nil
+	}
+	prev := dt.all
+	next := dt.clone()
+	for _, meth := range methods {
+		next.byMethod[meth] = target
+	}
+	next.rebuildAll(prev)
+	m.domains.Store(next)
+	return nil
+}
+
+// Domains returns the current method grouping: one sorted slice of method
+// names per admission domain, ordered by each group's first method. Only
+// methods the moderator has seen (via invocation, grouping, or Waker
+// registration) appear.
+func (m *Moderator) Domains() [][]string {
+	dt := m.domains.Load()
+	byDomain := make(map[*domain][]string, len(dt.all))
+	for meth, d := range dt.byMethod {
+		byDomain[d] = append(byDomain[d], meth)
+	}
+	out := make([][]string, 0, len(byDomain))
+	for _, methods := range byDomain {
+		sort.Strings(methods)
+		out = append(out, methods)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// domainFor returns the admission domain of a method, creating one (via
+// copy-on-write of the domain table) on first use.
+func (m *Moderator) domainFor(method string) *domain {
+	if d := m.domains.Load().byMethod[method]; d != nil {
+		return d
+	}
+	m.admin.Lock()
+	defer m.admin.Unlock()
+	dt := m.domains.Load()
+	if d := dt.byMethod[method]; d != nil {
+		return d
+	}
+	d := newDomain()
+	next := dt.clone()
+	next.byMethod[method] = d
+	next.all = append(next.all, d)
+	m.domains.Store(next)
+	return d
 }
 
 // Layers returns the current layer names, outermost first.
 func (m *Moderator) Layers() []string {
-	ls := m.layers.Load()
-	out := make([]string, len(ls.layers))
-	for i, l := range ls.layers {
-		out[i] = l.name
+	cs := m.comp.Load()
+	out := make([]string, len(cs.layers))
+	for i := range cs.layers {
+		out[i] = cs.layers[i].name
 	}
 	return out
 }
@@ -288,8 +599,8 @@ func (m *Moderator) Layers() []string {
 // order within a layer).
 func (m *Moderator) Aspects(method string) []aspect.Aspect {
 	var out []aspect.Aspect
-	for _, l := range m.layers.Load().layers {
-		for _, e := range l.bank.Snapshot().ForMethod(method) {
+	for _, l := range m.comp.Load().layers {
+		for _, e := range l.snap.ForMethod(method) {
 			out = append(out, e.Aspect)
 		}
 	}
@@ -311,15 +622,24 @@ type LayerInfo struct {
 
 // Describe returns a structural snapshot of the whole composition, layers
 // outermost first — the operator-facing view of the aspect bank that
-// cmd/ticketd logs at startup and the compose package verifies.
+// cmd/ticketd logs at startup and the compose package verifies. It reads
+// the same atomically-published snapshot as the admission hot path, so it
+// never observes a torn composition during layer churn.
 func (m *Moderator) Describe() []LayerInfo {
-	ls := m.layers.Load()
-	out := make([]LayerInfo, 0, len(ls.layers))
-	for _, l := range ls.layers {
-		snap := l.bank.Snapshot()
+	return describeComp(m.comp.Load())
+}
+
+// DescribeString renders Describe for logs.
+func (m *Moderator) DescribeString() string {
+	return describeString(m.name, m.opts, m.Describe())
+}
+
+func describeComp(cs *compState) []LayerInfo {
+	out := make([]LayerInfo, 0, len(cs.layers))
+	for _, l := range cs.layers {
 		info := LayerInfo{Name: l.name, Methods: make(map[string][]AspectInfo, 4)}
-		for _, method := range snap.Methods() {
-			entries := snap.ForMethod(method)
+		for _, method := range l.snap.Methods() {
+			entries := l.snap.ForMethod(method)
 			aspects := make([]AspectInfo, 0, len(entries))
 			for _, e := range entries {
 				aspects = append(aspects, AspectInfo{Name: e.Aspect.Name(), Kind: e.Kind})
@@ -331,11 +651,10 @@ func (m *Moderator) Describe() []LayerInfo {
 	return out
 }
 
-// DescribeString renders Describe for logs.
-func (m *Moderator) DescribeString() string {
+func describeString(name string, o options, layers []LayerInfo) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "component %s (wake policy %s, %s)\n", m.name, m.policy, wakeModeName(m.wakeMode))
-	for _, layer := range m.Describe() {
+	fmt.Fprintf(&b, "component %s (wake policy %s, %s)\n", name, o.policy, wakeModeName(o.wakeMode))
+	for _, layer := range layers {
 		fmt.Fprintf(&b, "  layer %s\n", layer.Name)
 		methods := make([]string, 0, len(layer.Methods))
 		for method := range layer.Methods {
@@ -373,27 +692,31 @@ type resolvedLayer struct {
 // invocation. On failure (Abort verdict, cancelled context, or an invalid
 // verdict) every admission already made is cancelled and an error is
 // returned; Postactivation must not be called.
+//
+// All hooks run under the admission domain of the invoked method; callers
+// of methods in other domains proceed concurrently.
 func (m *Moderator) Preactivation(inv *aspect.Invocation) (*Admission, error) {
-	// Resolve the composition once: in-flight invocations are immune to
-	// concurrent re-composition.
-	ls := m.layers.Load()
-	plan := make([]resolvedLayer, 0, len(ls.layers))
+	// Resolve the composition once, from a single atomic snapshot:
+	// in-flight invocations are immune to concurrent re-composition.
+	cs := m.comp.Load()
+	plan := make([]resolvedLayer, 0, len(cs.layers))
 	total := 0
-	for _, l := range ls.layers {
-		entries := l.bank.Snapshot().ForMethod(inv.Method())
+	for _, l := range cs.layers {
+		entries := l.snap.ForMethod(inv.Method())
 		if len(entries) > 0 {
 			plan = append(plan, resolvedLayer{name: l.name, entries: entries})
 			total += len(entries)
 		}
 	}
+	d := m.domainFor(inv.Method())
 	if total == 0 {
 		// No aspects guard this method: admit immediately.
-		m.admissions.Add(1)
+		d.admissions.Add(1)
 		return nil, nil
 	}
 
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	d.mu.Lock()
+	defer d.mu.Unlock()
 
 	// The sticky arrival ticket keeps a re-parking caller's FIFO/LIFO
 	// position across guard re-evaluations; it is assigned lazily on the
@@ -431,7 +754,7 @@ func (m *Moderator) Preactivation(inv *aspect.Invocation) (*Admission, error) {
 			}
 			if abortErr != nil {
 				cancelReverse(admitted, inv)
-				m.aborts.Add(1)
+				d.aborts.Add(1)
 				return nil, fmt.Errorf("moderator %s: %s pre-activation (layer %s): %w",
 					m.name, inv.Method(), l.name, abortErr)
 			}
@@ -441,12 +764,12 @@ func (m *Moderator) Preactivation(inv *aspect.Invocation) (*Admission, error) {
 			// Roll back this layer's partial admissions, park, retry.
 			cancelReverse(admitted[mark:], inv)
 			admitted = admitted[:mark]
-			m.blocks.Add(1)
+			d.blocks.Add(1)
 			if ticket == 0 {
-				m.ticketSeq++
-				ticket = m.ticketSeq
+				d.ticketSeq++
+				ticket = d.ticketSeq
 			}
-			q := m.queueLocked(inv.Method(), blockedKind)
+			q := m.queueLocked(d, inv.Method(), blockedKind)
 			if err := q.Wait(inv.Context(), inv.Priority, ticket); err != nil {
 				// The blocked caller abandons: let the blocking aspect
 				// retract anything its Block-returning precondition
@@ -455,14 +778,14 @@ func (m *Moderator) Preactivation(inv *aspect.Invocation) (*Admission, error) {
 					ab.Abandon(inv)
 				}
 				cancelReverse(admitted, inv)
-				m.aborts.Add(1)
+				d.aborts.Add(1)
 				return nil, fmt.Errorf("moderator %s: %s blocked in layer %s: %w",
 					m.name, inv.Method(), l.name, err)
 			}
 		}
 	}
-	m.admissions.Add(1)
-	return &Admission{admitted: admitted}, nil
+	d.admissions.Add(1)
+	return &Admission{admitted: admitted, d: d}, nil
 }
 
 // Postactivation runs the postactions of every aspect the invocation was
@@ -471,40 +794,86 @@ func (m *Moderator) Preactivation(inv *aspect.Invocation) (*Admission, error) {
 // exactly once per successful Preactivation, with the method body's
 // outcome recorded on the invocation. A nil admission (an unguarded
 // method) is a cheap no-op.
+//
+// Postactions run under the invoked method's admission domain. Wake
+// targets inside that domain are notified while the domain mutex is still
+// held; targets in other domains are notified afterwards, one domain at a
+// time, so no two domain mutexes are ever held together.
 func (m *Moderator) Postactivation(inv *aspect.Invocation, adm *Admission) {
-	m.completions.Add(1)
+	var d *domain
+	if adm != nil && adm.d != nil {
+		d = adm.d
+	} else {
+		d = m.domainFor(inv.Method())
+	}
+	d.completions.Add(1)
 	if adm.Len() == 0 {
 		return
 	}
 	admitted := adm.admitted
 
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	d.mu.Lock()
 
 	// Reverse admission order realizes the onion: the innermost layer's
 	// last-admitted aspect acts first, the outermost layer's first aspect
 	// acts last (paper Figure 14).
+	//
+	// Only a NON-empty wake list counts as targeting: a passive aspect
+	// (metrics, audit) that merely happens to implement Waker with no
+	// targets must not suppress the conservative broadcast, or a receipt
+	// mixing it with a non-Waker guard would wake nobody and strand the
+	// guard's parked callers.
 	targeted := false
 	wakeMethods := make(map[string]bool, 2)
 	for i := len(admitted) - 1; i >= 0; i-- {
 		a := admitted[i]
 		a.Postaction(inv)
 		if w, ok := a.(aspect.Waker); ok {
-			targeted = true
-			for _, meth := range w.Wakes() {
-				wakeMethods[meth] = true
+			if wakes := w.Wakes(); len(wakes) > 0 {
+				targeted = true
+				for _, meth := range wakes {
+					wakeMethods[meth] = true
+				}
 			}
 		}
 	}
+	dt := m.domains.Load()
 	if targeted {
+		var foreign []string
 		for meth := range wakeMethods {
-			m.wakeMethodLocked(meth)
+			if dt.byMethod[meth] == d {
+				wakeMethodLocked(d, meth, m.opts.wakeMode)
+			} else {
+				foreign = append(foreign, meth)
+			}
+		}
+		d.mu.Unlock()
+		sort.Strings(foreign) // deterministic cross-domain wake order
+		for _, meth := range foreign {
+			if od := dt.byMethod[meth]; od != nil {
+				od.mu.Lock()
+				wakeMethodLocked(od, meth, m.opts.wakeMode)
+				od.mu.Unlock()
+			}
 		}
 		return
 	}
-	// No aspect declared wake targets: conservatively wake everything.
-	for _, q := range m.queues {
-		m.wakeQueueLocked(q)
+	// No aspect declared wake targets: conservatively wake everything —
+	// every queue of every domain, preserving the single-mutex
+	// moderator's contract for aspects that never list their wakes.
+	for _, q := range d.queues {
+		wakeQueueLocked(q, m.opts.wakeMode)
+	}
+	d.mu.Unlock()
+	for _, od := range dt.all {
+		if od == d {
+			continue
+		}
+		od.mu.Lock()
+		for _, q := range od.queues {
+			wakeQueueLocked(q, m.opts.wakeMode)
+		}
+		od.mu.Unlock()
 	}
 }
 
@@ -512,17 +881,25 @@ func (m *Moderator) Postactivation(inv *aspect.Invocation, adm *Admission) {
 // sources (timers refilling a rate limiter, a circuit breaker half-opening)
 // use it to re-trigger guard evaluation without a method completion.
 func (m *Moderator) Kick(method string) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.wakeMethodLocked(method)
+	d := m.domains.Load().byMethod[method]
+	if d == nil {
+		return // method never seen: nothing can be parked on it
+	}
+	d.mu.Lock()
+	wakeMethodLocked(d, method, m.opts.wakeMode)
+	d.mu.Unlock()
 }
 
 // Waiting returns the number of callers currently blocked on the method.
 func (m *Moderator) Waiting(method string) int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	d := m.domains.Load().byMethod[method]
+	if d == nil {
+		return 0
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	n := 0
-	for k, q := range m.queues {
+	for k, q := range d.queues {
 		if k.method == method {
 			n += q.Len()
 		}
@@ -530,27 +907,33 @@ func (m *Moderator) Waiting(method string) int {
 	return n
 }
 
-// QueueStats returns per-queue counters keyed by "method/kind".
+// QueueStats returns per-queue counters keyed by "method/kind", across all
+// admission domains.
 func (m *Moderator) QueueStats() map[string]waitq.Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make(map[string]waitq.Stats, len(m.queues))
-	for k, q := range m.queues {
-		out[k.method+"/"+string(k.kind)] = q.Stats()
+	dt := m.domains.Load()
+	out := make(map[string]waitq.Stats)
+	for _, d := range dt.all {
+		d.mu.Lock()
+		for k, q := range d.queues {
+			out[k.method+"/"+string(k.kind)] = q.Stats()
+		}
+		d.mu.Unlock()
 	}
 	return out
 }
 
-func (m *Moderator) wakeMethodLocked(method string) {
-	for k, q := range m.queues {
+// wakeMethodLocked wakes the queues of one method. The domain's mutex must
+// be held.
+func wakeMethodLocked(d *domain, method string, mode WakeMode) {
+	for k, q := range d.queues {
 		if k.method == method {
-			m.wakeQueueLocked(q)
+			wakeQueueLocked(q, mode)
 		}
 	}
 }
 
-func (m *Moderator) wakeQueueLocked(q *waitq.Queue) {
-	if m.wakeMode == WakeSingle {
+func wakeQueueLocked(q *waitq.Queue, mode WakeMode) {
+	if mode == WakeSingle {
 		q.Notify()
 	} else {
 		q.Broadcast()
@@ -560,13 +943,14 @@ func (m *Moderator) wakeQueueLocked(q *waitq.Queue) {
 // queueLocked returns (creating if needed) the wait queue for blocked
 // callers of method whose blocking aspect has the given kind — the paper's
 // per-method, per-concern waiting queues (PutWaitingQueue,
-// OpenAuthenticationQueue).
-func (m *Moderator) queueLocked(method string, kind aspect.Kind) *waitq.Queue {
+// OpenAuthenticationQueue). The queue is bound to its domain's mutex. The
+// domain's mutex must be held.
+func (m *Moderator) queueLocked(d *domain, method string, kind aspect.Kind) *waitq.Queue {
 	k := qkey{method: method, kind: kind}
-	q, ok := m.queues[k]
+	q, ok := d.queues[k]
 	if !ok {
-		q = waitq.New(method+"/"+string(kind), m.policy, &m.mu)
-		m.queues[k] = q
+		q = waitq.New(method+"/"+string(kind), m.opts.policy, &d.mu)
+		d.queues[k] = q
 	}
 	return q
 }

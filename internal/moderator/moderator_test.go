@@ -333,19 +333,19 @@ func TestBlockRollsBackPartialLayerAdmissions(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 	// While parked, the failed layer round must have been rolled back.
-	m.mu.Lock()
+	m.domainFor("m").mu.Lock()
 	if reservations != 0 {
-		m.mu.Unlock()
+		m.domainFor("m").mu.Unlock()
 		t.Fatalf("reservations while blocked = %d, want 0", reservations)
 	}
 	open = true
-	m.mu.Unlock()
+	m.domainFor("m").mu.Unlock()
 	m.Kick("m")
 	if err := <-done; err != nil {
 		t.Fatalf("woken caller: %v", err)
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.domainFor("m").mu.Lock()
+	defer m.domainFor("m").mu.Unlock()
 	if reservations != 1 {
 		t.Errorf("final reservations = %d, want 1", reservations)
 	}
@@ -398,13 +398,13 @@ func TestOuterLayerAdmissionHeldWhileInnerBlocks(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	m.mu.Lock()
+	m.domainFor("m").mu.Lock()
 	if authAdmissions != 1 {
-		m.mu.Unlock()
+		m.domainFor("m").mu.Unlock()
 		t.Fatalf("outer admission not held while inner blocked: %d", authAdmissions)
 	}
 	open = true
-	m.mu.Unlock()
+	m.domainFor("m").mu.Unlock()
 	m.Kick("m")
 	if err := <-done; err != nil {
 		t.Fatalf("woken caller: %v", err)
@@ -452,8 +452,8 @@ func TestContextCancellationWhileBlockedUnwinds(t *testing.T) {
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("want context.Canceled, got %v", err)
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.domainFor("m").mu.Lock()
+	defer m.domainFor("m").mu.Unlock()
 	if outerAdmits != 0 {
 		t.Errorf("outer admission not unwound on cancellation: %d", outerAdmits)
 	}
@@ -678,9 +678,9 @@ func TestBroadcastWakeModeReleasesAllEligible(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	m.mu.Lock()
+	m.domainFor("m").mu.Lock()
 	open = true
-	m.mu.Unlock()
+	m.domainFor("m").mu.Unlock()
 	m.Kick("m")
 	wg.Wait()
 	close(errs)
@@ -802,8 +802,8 @@ func TestConcurrentMixedInvocationsRace(t *testing.T) {
 	close(stop)
 	churn.Wait()
 
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.domainFor("m").mu.Lock()
+	defer m.domainFor("m").mu.Unlock()
 	if inUse != 0 {
 		t.Errorf("semaphore leaked: inUse = %d", inUse)
 	}

@@ -2,6 +2,7 @@ package moderator
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -159,5 +160,140 @@ func TestModeratorStressUnderConfigurationChurn(t *testing.T) {
 	}
 	if sem.blocked.Load() == 0 {
 		t.Log("note: no caller ever blocked; contention was too low to exercise the wait queue")
+	}
+}
+
+// TestModeratorStressCrossMethodContention hammers the sharded moderator
+// from 64 goroutines spread over 8 methods while layers appear and vanish
+// concurrently. Methods m0/m1 are explicitly grouped and share one
+// semaphore (the cross-domain hazard sharding must get right); m2..m7 each
+// carry an independent semaphore in their own domain. After the drain the
+// global ledger must balance and no guard may leak. Under -race this is
+// the data-race certification for the per-domain hot paths.
+func TestModeratorStressCrossMethodContention(t *testing.T) {
+	const (
+		methods    = 8
+		perMethodG = 8 // 64 goroutines total
+		perG       = 40
+	)
+	m := New("xstress")
+	if err := m.GroupMethods("m0", "m1"); err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, methods)
+	for i := range names {
+		names[i] = fmt.Sprintf("m%d", i)
+	}
+
+	// m0 and m1 share one semaphore: its state is only safe because both
+	// methods live in one admission domain.
+	shared := &stressSem{cap: 4}
+	for _, meth := range names[:2] {
+		if err := m.Register(meth, aspect.KindSynchronization, shared); err != nil {
+			t.Fatal(err)
+		}
+	}
+	solos := make([]*stressSem, methods)
+	for i := 2; i < methods; i++ {
+		solos[i] = &stressSem{cap: 2}
+		if err := m.Register(names[i], aspect.KindSynchronization, solos[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The grouped pair must share a domain; the rest must not share with it.
+	domains := m.Domains()
+	byMethod := make(map[string]int)
+	for di, group := range domains {
+		for _, meth := range group {
+			byMethod[meth] = di
+		}
+	}
+	d0, ok0 := byMethod["m0"]
+	d1, ok1 := byMethod["m1"]
+	if !ok0 || !ok1 || d0 != d1 {
+		t.Fatalf("m0 and m1 not in one domain: %v", domains)
+	}
+	for i := 2; i < methods; i++ {
+		// Solo methods get their domains lazily on first invocation; they
+		// must never land in the grouped pair's domain.
+		if di, ok := byMethod[names[i]]; ok && di == d0 {
+			t.Fatalf("%s shares a domain with the m0/m1 group: %v", names[i], domains)
+		}
+	}
+
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		noop := aspect.New("transient", aspect.KindMetrics, nil, nil)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := m.AddLayer("transient", Outermost); err != nil {
+				t.Error(err)
+				return
+			}
+			for _, meth := range names {
+				if err := m.RegisterIn("transient", meth, aspect.KindMetrics, noop); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if err := m.RemoveLayer("transient"); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	var workers sync.WaitGroup
+	for g := 0; g < methods*perMethodG; g++ {
+		meth := names[g%methods]
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			for k := 0; k < perG; k++ {
+				inv := aspect.NewInvocation(context.Background(), "xstress", meth, nil)
+				adm, err := m.Preactivation(inv)
+				if err != nil {
+					t.Errorf("preactivation %s: %v", meth, err)
+					return
+				}
+				time.Sleep(10 * time.Microsecond)
+				m.Postactivation(inv, adm)
+			}
+		}()
+	}
+	workers.Wait()
+	close(stop)
+	churn.Wait()
+
+	if t.Failed() {
+		t.FailNow()
+	}
+	st := m.Stats()
+	total := uint64(methods * perMethodG * perG)
+	if st.Admissions != total {
+		t.Fatalf("admissions = %d, want %d", st.Admissions, total)
+	}
+	if st.Admissions != st.Completions {
+		t.Fatalf("ledger unbalanced after drain: admissions=%d completions=%d",
+			st.Admissions, st.Completions)
+	}
+	if st.Aborts != 0 {
+		t.Fatalf("aborts = %d, want 0", st.Aborts)
+	}
+	if shared.in != 0 {
+		t.Fatalf("shared semaphore count = %d after drain, want 0", shared.in)
+	}
+	for i := 2; i < methods; i++ {
+		if solos[i].in != 0 {
+			t.Fatalf("%s semaphore count = %d after drain, want 0", names[i], solos[i].in)
+		}
 	}
 }

@@ -57,9 +57,9 @@ func TestStickyTicketPreservesFIFOAcrossReparks(t *testing.T) {
 	// Now admit in guard order 0,1,2 — FIFO must deliver them in original
 	// arrival order even after the re-park churn.
 	for i := 0; i < 3; i++ {
-		m.mu.Lock()
+		m.domainFor("m").mu.Lock()
 		pass[i] = true
-		m.mu.Unlock()
+		m.domainFor("m").mu.Unlock()
 		m.Kick("m")
 		select {
 		case got := <-admitted:
@@ -108,15 +108,15 @@ func TestKickHonorsWakeModes(t *testing.T) {
 				}()
 			}
 			waitParked(t, m, 3)
-			m.mu.Lock()
+			m.domainFor("m").mu.Lock()
 			before := woken
-			m.mu.Unlock()
+			m.domainFor("m").mu.Unlock()
 			m.Kick("m")
 			// Allow the woken callers to re-evaluate and re-park.
 			waitParked(t, m, 3)
-			m.mu.Lock()
+			m.domainFor("m").mu.Lock()
 			delta := woken - before
-			m.mu.Unlock()
+			m.domainFor("m").mu.Unlock()
 			want := 3
 			if mode == WakeSingle {
 				want = 1
