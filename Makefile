@@ -3,15 +3,20 @@
 #   make tier1       — build + full test suite (the gating check)
 #   make race        — full suite under the race detector, plus a focused
 #                      double-count pass over the sharded-moderator stress
-#                      and differential-oracle tests
+#                      and differential-oracle tests, and the obs
+#                      ring/histogram/churn concurrency tests
 #   make fuzz-smoke  — 10s of coverage-guided fuzzing per wire-decode target
-#   make bench       — regenerate the committed BENCH_2.json baseline
-#   make check       — tier1 + race + fuzz-smoke
+#   make bench       — regenerate the committed BENCH_2.json + BENCH_3.json
+#                      baselines in one interleaved pass
+#   make obs-smoke   — boot ticketd with -obs, drive load, assert /metrics
+#                      and /trace serve live non-empty data
+#   make check       — tier1 + race + fuzz-smoke + obs-smoke
 
 GO ?= go
 FUZZTIME ?= 10s
+OBS_SMOKE_DIR := $(or $(TMPDIR),/tmp)/obs-smoke
 
-.PHONY: tier1 race fuzz-smoke bench check
+.PHONY: tier1 race fuzz-smoke bench obs-smoke check
 
 tier1:
 	$(GO) build ./...
@@ -20,12 +25,35 @@ tier1:
 race:
 	$(GO) test -race ./...
 	$(GO) test -race -count=2 -short -run 'TestModeratorStress|TestDifferential|TestWakeMode' ./internal/moderator/ ./internal/waitq/
+	$(GO) test -race -count=2 -run 'TestObsUnderLayerChurn|TestHistogramMergeRace|TestRingNeverBlocks' ./internal/obs/
 
 bench:
-	$(GO) run ./cmd/ambench -json BENCH_2.json
+	$(GO) run ./cmd/ambench -json BENCH_2.json -obs-json BENCH_3.json
 
 fuzz-smoke:
 	$(GO) test ./internal/amrpc -run '^$$' -fuzz '^FuzzDecodeRequest$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/amrpc -run '^$$' -fuzz '^FuzzDecodeResponse$$' -fuzztime $(FUZZTIME)
 
-check: tier1 race fuzz-smoke
+# End-to-end introspection smoke: a real ticketd process with the obs
+# endpoint enabled, a real ticketcli driving load over amrpc, then the
+# HTTP surface must serve non-empty metrics and a non-empty trace dump.
+obs-smoke:
+	rm -rf $(OBS_SMOKE_DIR) && mkdir -p $(OBS_SMOKE_DIR)
+	$(GO) build -o $(OBS_SMOKE_DIR)/ticketd ./cmd/ticketd
+	$(GO) build -o $(OBS_SMOKE_DIR)/ticketcli ./cmd/ticketcli
+	$(OBS_SMOKE_DIR)/ticketd -addr 127.0.0.1:7941 -obs 127.0.0.1:7942 -obs-sample 1 -audit 0 \
+		> $(OBS_SMOKE_DIR)/ticketd.log 2>&1 & echo $$! > $(OBS_SMOKE_DIR)/ticketd.pid
+	sh -c 'trap "kill $$(cat $(OBS_SMOKE_DIR)/ticketd.pid) 2>/dev/null" EXIT; \
+		for i in $$(seq 1 50); do \
+			$(OBS_SMOKE_DIR)/ticketcli -addr 127.0.0.1:7941 open smoke "obs smoke" >/dev/null 2>&1 && break; \
+			sleep 0.1; \
+		done; \
+		$(OBS_SMOKE_DIR)/ticketcli -addr 127.0.0.1:7941 load -n 50 >/dev/null; \
+		curl -sf http://127.0.0.1:7942/metrics > $(OBS_SMOKE_DIR)/metrics.txt; \
+		curl -sf "http://127.0.0.1:7942/trace?n=32" > $(OBS_SMOKE_DIR)/trace.json; \
+		grep -q "^am_admissions_total" $(OBS_SMOKE_DIR)/metrics.txt || { echo "obs-smoke: no admissions in /metrics"; exit 1; }; \
+		grep -q "\"op\": *\"admit\"" $(OBS_SMOKE_DIR)/trace.json || { echo "obs-smoke: no admit events in /trace"; exit 1; }; \
+		$(OBS_SMOKE_DIR)/ticketcli obs -url http://127.0.0.1:7942 -view summary | grep -q "sampling" || { echo "obs-smoke: ticketcli obs summary failed"; exit 1; }'
+	@echo "obs-smoke: OK"
+
+check: tier1 race fuzz-smoke obs-smoke

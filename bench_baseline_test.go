@@ -63,3 +63,82 @@ func TestBenchBaselineTrajectory(t *testing.T) {
 			rep.GoMaxProcs, byName[bench.FamilyContended].Speedup, byName[bench.FamilyChurn].Speedup)
 	}
 }
+
+// TestObsBaselineTrajectory guards BENCH_3.json (the E13 observability
+// overhead baseline written by `make bench`) and its relationship to
+// BENCH_2.json: the hooks-disabled moderator is the E12 contended sharded
+// configuration, so its committed throughput must sit within 3% of the
+// E12 number, and the hooks-enabled run at the default sampling rate must
+// cost no more than 15%. `make bench` measures both files' contended
+// variants interleaved in one pass, which is what makes these cross-file
+// bounds enforceable on a machine with noisy absolute throughput.
+func TestObsBaselineTrajectory(t *testing.T) {
+	data, err := os.ReadFile("BENCH_3.json")
+	if err != nil {
+		t.Fatalf("committed obs baseline missing (run `make bench`): %v", err)
+	}
+	var rep bench.ObsReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("BENCH_3.json does not parse: %v", err)
+	}
+	if rep.Schema != bench.ObsSchema {
+		t.Fatalf("schema = %q, want %q", rep.Schema, bench.ObsSchema)
+	}
+	if rep.GoMaxProcs < 1 {
+		t.Fatalf("go_max_procs = %d, want >= 1", rep.GoMaxProcs)
+	}
+	if rep.SampleEvery < 1 {
+		t.Fatalf("sample_every = %d, want >= 1", rep.SampleEvery)
+	}
+	if rep.HooksOffOps <= 0 || rep.HooksOnOps <= 0 {
+		t.Fatalf("non-positive measurements: off=%f on=%f", rep.HooksOffOps, rep.HooksOnOps)
+	}
+	// The committed overhead figure must be the one the two throughput
+	// numbers imply — the report cannot claim a bound its data does not.
+	implied := (1 - rep.HooksOnOps/rep.HooksOffOps) * 100
+	if diff := implied - rep.OverheadPct; diff > 0.01 || diff < -0.01 {
+		t.Fatalf("overhead_pct = %.4f but ops imply %.4f", rep.OverheadPct, implied)
+	}
+
+	b2, err := os.ReadFile("BENCH_2.json")
+	if err != nil {
+		t.Fatalf("BENCH_2.json missing: %v", err)
+	}
+	var dom bench.DomainsReport
+	if err := json.Unmarshal(b2, &dom); err != nil {
+		t.Fatalf("BENCH_2.json does not parse: %v", err)
+	}
+	var contended bench.DomainsFamily
+	for _, f := range dom.Families {
+		if f.Name == bench.FamilyContended {
+			contended = f
+		}
+	}
+	if contended.Name == "" {
+		t.Fatal("BENCH_2.json has no contended-throughput family")
+	}
+	for _, k := range []string{"methods", "goroutines"} {
+		if rep.Params[k] != contended.Params[k] {
+			t.Fatalf("param %s = %d, but E12 contended uses %d — the overhead "+
+				"comparison only holds on the identical workload",
+				k, rep.Params[k], contended.Params[k])
+		}
+	}
+	// Hooks disabled: within 3% of the E12 sharded baseline. A committed
+	// pair violating this means the disabled-hook path got slower (or the
+	// baselines were regenerated separately — regenerate with `make
+	// bench`, which measures both interleaved).
+	if floor := 0.97 * contended.Sharded; rep.HooksOffOps < floor {
+		t.Fatalf("hooks-off throughput %.0f ops/s is more than 3%% below the E12 "+
+			"contended sharded baseline %.0f ops/s (floor %.0f)",
+			rep.HooksOffOps, contended.Sharded, floor)
+	}
+	// Hooks enabled at the default sampling rate: at most 15% overhead.
+	if rep.OverheadPct > 15 {
+		t.Fatalf("hooks-on overhead %.2f%% exceeds the 15%% budget (off %.0f, on %.0f, 1 in %d sampling)",
+			rep.OverheadPct, rep.HooksOffOps, rep.HooksOnOps, rep.SampleEvery)
+	}
+	t.Logf("hooks-off %.0f ops/s (%.1f%% of E12 sharded), hooks-on %.0f ops/s, overhead %.2f%% (1 in %d)",
+		rep.HooksOffOps, 100*rep.HooksOffOps/contended.Sharded, rep.HooksOnOps,
+		rep.OverheadPct, rep.SampleEvery)
+}

@@ -1,11 +1,17 @@
-// Command ambench runs the reproduction's experiment suite (E1-E12 of
+// Command ambench runs the reproduction's experiment suite (E1-E13 of
 // EXPERIMENTS.md) and prints one table per experiment.
 //
-//	ambench                      # full run
-//	ambench -quick               # trimmed sweeps, smaller op counts
-//	ambench -only E1,E3          # a subset
-//	ambench -ops 100000          # heavier measurements
-//	ambench -json BENCH_2.json   # E12 only: write the domains baseline
+//	ambench                          # full run
+//	ambench -quick                   # trimmed sweeps, smaller op counts
+//	ambench -only E1,E3              # a subset
+//	ambench -ops 100000              # heavier measurements
+//	ambench -json BENCH_2.json       # E12 only: write the domains baseline
+//	ambench -obs-json BENCH_3.json   # E13 only: write the obs overhead baseline
+//
+// Passing BOTH -json and -obs-json is the canonical baseline run (what
+// `make bench` does): the contended variants of E12 and E13 are measured
+// interleaved in one pass, so the two committed files agree by
+// construction instead of depending on cross-run machine drift.
 package main
 
 import (
@@ -26,6 +32,7 @@ func main() {
 		quick    = flag.Bool("quick", false, "trim sweeps for a fast smoke run")
 		only     = flag.String("only", "", "comma-separated experiment ids (e.g. E1,E3)")
 		jsonPath = flag.String("json", "", "run the E12 domain families and write the JSON report to this path")
+		obsPath  = flag.String("obs-json", "", "run the E13 obs overhead family and write the JSON report to this path")
 	)
 	flag.Parse()
 
@@ -34,21 +41,20 @@ func main() {
 		cfg.Ops = 5000
 	}
 
-	if *jsonPath != "" {
-		start := time.Now()
-		rep, err := bench.Domains(cfg)
+	switch {
+	case *jsonPath != "" && *obsPath != "":
+		domRep, obsRep, err := bench.Baselines(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		data, err := json.MarshalIndent(rep, "", "  ")
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Println(string(data))
-		fmt.Printf("wrote %s in %v\n", *jsonPath, time.Since(start).Round(time.Millisecond))
+		writeJSONReport(*jsonPath, func() (any, error) { return domRep, nil })
+		writeJSONReport(*obsPath, func() (any, error) { return obsRep, nil })
+		return
+	case *jsonPath != "":
+		writeJSONReport(*jsonPath, func() (any, error) { return bench.Domains(cfg) })
+		return
+	case *obsPath != "":
+		writeJSONReport(*obsPath, func() (any, error) { return bench.Obs(cfg) })
 		return
 	}
 
@@ -73,4 +79,22 @@ func main() {
 		fmt.Println(tables[i].Render())
 	}
 	fmt.Printf("ran %d experiments in %v\n", len(tables), time.Since(start).Round(time.Millisecond))
+}
+
+// writeJSONReport runs one baseline family and commits its report to path.
+func writeJSONReport(path string, run func() (any, error)) {
+	start := time.Now()
+	rep, err := run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(string(data))
+	fmt.Printf("wrote %s in %v\n", path, time.Since(start).Round(time.Millisecond))
 }

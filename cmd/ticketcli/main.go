@@ -5,6 +5,7 @@
 //	ticketcli -addr 127.0.0.1:7000 assign
 //	ticketcli -naming 127.0.0.1:7500 -token tok-alice-0001 open TT-2 "vpn down"
 //	ticketcli -addr 127.0.0.1:7000 load -n 1000 -clients 8
+//	ticketcli obs -url http://127.0.0.1:7070
 package main
 
 import (
@@ -34,9 +35,17 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: ticketcli [flags] open <id> <summary> | assign | load [-n N] [-clients C]")
+		fmt.Fprintln(os.Stderr, "usage: ticketcli [flags] open <id> <summary> | assign | load [-n N] [-clients C] | obs [-url U] [-view V]")
 		flag.PrintDefaults()
 		os.Exit(2)
+	}
+	if flag.Arg(0) == "obs" {
+		// The obs reader talks HTTP to the introspection endpoint; it
+		// needs neither -addr nor an amrpc connection.
+		if err := runObs(flag.Args()[1:]); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 	if err := run(*addr, *namingAddr, *token, *priority, *timeout, *retries, *attemptTO, *idem, flag.Args()); err != nil {
 		log.Fatal(err)
@@ -104,7 +113,13 @@ func run(addr, namingAddr, token string, priority int, timeout time.Duration, re
 		if err := fs.Parse(args[1:]); err != nil {
 			return err
 		}
-		return load(stub, *n, *clients, timeout)
+		if err := load(stub, *n, *clients, timeout); err != nil {
+			return err
+		}
+		cs := client.Stats()
+		fmt.Printf("transport: %d calls, %d attempts, %d retries, %d transport errors, %d reconnects\n",
+			cs.Calls, cs.Attempts, cs.Retries, cs.TransportErrors, cs.Reconnects)
+		return nil
 	default:
 		return fmt.Errorf("unknown command %q", args[0])
 	}

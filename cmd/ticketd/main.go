@@ -4,6 +4,7 @@
 //
 //	ticketd -addr :7000 -capacity 16
 //	ticketd -addr :7000 -naming 127.0.0.1:7500 -auth -issue alice:client,bob:agent
+//	ticketd -addr :7000 -obs 127.0.0.1:7070   # /metrics /trace /describe
 //
 // With -auth, tokens for the principals listed in -issue are printed at
 // startup (name:role[,role...] pairs separated by commas between entries
@@ -15,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -28,6 +30,7 @@ import (
 	"repro/internal/aspects/metrics"
 	"repro/internal/compose"
 	"repro/internal/naming"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -42,16 +45,24 @@ func main() {
 		auditCap   = flag.Int("audit", 1024, "audit trail capacity (0 disables)")
 		readTO     = flag.Duration("read-timeout", 5*time.Minute, "per-connection inactivity deadline (0 disables)")
 		maxLine    = flag.Int("max-line", 4*1024*1024, "max request frame size in bytes")
+		obsAddr    = flag.String("obs", "", "introspection HTTP address serving /metrics, /trace, /describe (empty disables)")
+		obsSample  = flag.Int("obs-sample", obs.DefaultSampleEvery, "trace 1 in N admissions in detail (<=1 traces all)")
+		obsTrace   = flag.Int("obs-trace", obs.DefaultRingCapacity, "per-domain trace ring capacity")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *capacity, *namingAddr, *ttl, *enableAuth, *issue, *auditCap, *readTO, *maxLine); err != nil {
+	if err := run(*addr, *capacity, *namingAddr, *ttl, *enableAuth, *issue, *auditCap, *readTO, *maxLine, *obsAddr, *obsSample, *obsTrace); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr string, capacity int, namingAddr string, ttl time.Duration, enableAuth bool, issue string, auditCap int, readTO time.Duration, maxLine int) error {
+func run(addr string, capacity int, namingAddr string, ttl time.Duration, enableAuth bool, issue string, auditCap int, readTO time.Duration, maxLine int, obsAddr string, obsSample, obsTrace int) error {
 	cfg := ticket.GuardedConfig{Capacity: capacity, Metrics: metrics.NewRecorder()}
+	var collector *obs.Collector
+	if obsAddr != "" {
+		collector = obs.NewCollector(obs.WithSampleEvery(obsSample), obs.WithRingCapacity(obsTrace))
+		cfg.Obs = collector
+	}
 	var trail *audit.Trail
 	if auditCap > 0 {
 		var err error
@@ -106,6 +117,20 @@ func run(addr string, capacity int, namingAddr string, ttl time.Duration, enable
 	}
 	log.Printf("ticketd serving %q on %s (capacity %d)", ticket.ComponentName, ln.Addr(), capacity)
 
+	var obsLn net.Listener
+	if collector != nil {
+		collector.Registry().GaugeFunc("obs_trace_drops",
+			"Trace events dropped by ring contention.",
+			func() float64 { return float64(collector.Drops()) })
+		obsLn, err = net.Listen("tcp", obsAddr)
+		if err != nil {
+			srv.Close()
+			return err
+		}
+		go func() { _ = http.Serve(obsLn, obs.NewHTTPHandler(collector)) }()
+		log.Printf("introspection on http://%s (sampling 1 in %d)", obsLn.Addr(), obsSample)
+	}
+
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 
@@ -156,6 +181,9 @@ func run(addr string, capacity int, namingAddr string, ttl time.Duration, enable
 	}
 	close(stopRenew)
 	<-renewDone
+	if obsLn != nil {
+		_ = obsLn.Close()
+	}
 	srv.Close()
 
 	stats := g.Moderator().Stats()

@@ -120,6 +120,8 @@ type Balancer struct {
 	health  map[string]*backendHealth
 	next    int
 	closed  bool
+
+	stats balancerStats
 }
 
 // NewBalancer creates a balancer for the named component with default
@@ -228,6 +230,7 @@ func (b *Balancer) beginProbe(addr string) bool {
 	}
 	h.state = BreakerHalfOpen
 	h.probing = true
+	b.stats.probes.Add(1)
 	return true
 }
 
@@ -236,6 +239,9 @@ func (b *Balancer) onSuccess(addr string) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	h := b.healthFor(addr)
+	if h.state != BreakerClosed {
+		b.stats.recoveries.Add(1)
+	}
 	h.state = BreakerClosed
 	h.fails = 0
 	h.probing = false
@@ -253,9 +259,13 @@ func (b *Balancer) onFailure(addr string) {
 		h.state = BreakerOpen
 		h.probing = false
 		h.until = b.now().Add(b.cooldown)
+		b.stats.breakerTrips.Add(1)
 		return
 	}
 	if b.threshold >= 0 && h.fails >= b.threshold {
+		if h.state != BreakerOpen {
+			b.stats.breakerTrips.Add(1)
+		}
 		h.state = BreakerOpen
 		h.until = b.now().Add(b.cooldown)
 	}
@@ -289,10 +299,16 @@ func (b *Balancer) Invoke(ctx context.Context, method string, args ...any) (any,
 			b.component, len(addrs), fault.ErrCircuitOpen)
 	}
 
+	b.stats.invokes.Add(1)
 	var lastErr error
+	attempted := 0
 	for _, addr := range order {
 		if probes[addr] && !b.beginProbe(addr) {
 			continue // another invocation is already probing this backend
+		}
+		attempted++
+		if attempted > 1 {
+			b.stats.failovers.Add(1)
 		}
 		client, err := b.clientFor(addr)
 		if err != nil {

@@ -159,6 +159,8 @@ type Client struct {
 	nextDialAt time.Time
 
 	readers sync.WaitGroup
+
+	stats clientStats
 }
 
 // Dial connects to an amrpc server. The returned client re-dials addr
@@ -226,6 +228,9 @@ func (c *Client) install(conn net.Conn) *liveConn {
 
 func (c *Client) installLocked(conn net.Conn) *liveConn {
 	c.gen++
+	if c.gen > 1 {
+		c.stats.reconnects.Add(1)
+	}
 	lc := &liveConn{conn: conn, gen: c.gen}
 	c.cur = lc
 	c.lastErr = nil
@@ -314,6 +319,7 @@ func (c *Client) finishDial(done chan struct{}, conn net.Conn, err error) (*live
 		if err != nil {
 			c.lastErr = err
 			c.dialFails++
+			c.stats.dialFailures.Add(1)
 			d := c.opts.reconnectBase << (c.dialFails - 1)
 			if d > c.opts.reconnectMax || d <= 0 {
 				d = c.opts.reconnectMax
@@ -422,18 +428,24 @@ func (c *Client) call(ctx context.Context, component, method, token string, prio
 	if idempotent {
 		attempts = c.opts.retry.MaxAttempts
 	}
+	c.stats.calls.Add(1)
 	var lastErr error
 	for a := 1; ; a++ {
+		c.stats.attempts.Add(1)
 		result, err := c.callOnce(ctx, component, method, token, priority, rawArgs)
 		if err == nil {
 			return result, nil
 		}
 		lastErr = err
+		if errors.Is(err, ErrTransport) {
+			c.stats.transportErrors.Add(1)
+		}
 		// Only transport-class failures are retryable, only on idempotent
 		// calls, and never once the caller's own context has expired.
 		if !errors.Is(err, ErrTransport) || a >= attempts || ctx.Err() != nil {
 			return nil, err
 		}
+		c.stats.retries.Add(1)
 		d := c.opts.retry.backoffFor(a)
 		t := time.NewTimer(d)
 		select {

@@ -1,0 +1,83 @@
+package amrpc
+
+// Transport statistics for observability. Counters are plain atomics
+// bumped on paths that already pay a syscall or a lock, so the accounting
+// is free at the call-rate scale; internal/obs exports them as gauges via
+// pull-side registry callbacks.
+
+import "sync/atomic"
+
+// clientStats is the Client's internal counter block.
+type clientStats struct {
+	calls           atomic.Uint64
+	attempts        atomic.Uint64
+	retries         atomic.Uint64
+	transportErrors atomic.Uint64
+	reconnects      atomic.Uint64
+	dialFailures    atomic.Uint64
+}
+
+// ClientStats is a snapshot of a Client's transport counters.
+type ClientStats struct {
+	// Calls is the number of logical invocations issued.
+	Calls uint64
+	// Attempts is the number of wire attempts (>= Calls; the excess is
+	// retries).
+	Attempts uint64
+	// Retries is the number of attempts beyond the first of their call.
+	Retries uint64
+	// TransportErrors counts attempts that failed at the transport level.
+	TransportErrors uint64
+	// Reconnects counts connections established after the first.
+	Reconnects uint64
+	// DialFailures counts failed dial attempts.
+	DialFailures uint64
+}
+
+// Stats returns a snapshot of the client's transport counters.
+func (c *Client) Stats() ClientStats {
+	return ClientStats{
+		Calls:           c.stats.calls.Load(),
+		Attempts:        c.stats.attempts.Load(),
+		Retries:         c.stats.retries.Load(),
+		TransportErrors: c.stats.transportErrors.Load(),
+		Reconnects:      c.stats.reconnects.Load(),
+		DialFailures:    c.stats.dialFailures.Load(),
+	}
+}
+
+// balancerStats is the Balancer's internal counter block.
+type balancerStats struct {
+	invokes      atomic.Uint64
+	failovers    atomic.Uint64
+	breakerTrips atomic.Uint64
+	probes       atomic.Uint64
+	recoveries   atomic.Uint64
+}
+
+// BalancerStats is a snapshot of a Balancer's routing counters.
+type BalancerStats struct {
+	// Invokes is the number of logical invocations routed.
+	Invokes uint64
+	// Failovers counts candidate endpoints tried beyond the first of
+	// their invocation.
+	Failovers uint64
+	// BreakerTrips counts transitions to the open state (threshold trips
+	// and failed half-open probes alike).
+	BreakerTrips uint64
+	// Probes counts half-open probe attempts begun.
+	Probes uint64
+	// Recoveries counts breakers closed from a non-closed state.
+	Recoveries uint64
+}
+
+// Stats returns a snapshot of the balancer's routing counters.
+func (b *Balancer) Stats() BalancerStats {
+	return BalancerStats{
+		Invokes:      b.stats.invokes.Load(),
+		Failovers:    b.stats.failovers.Load(),
+		BreakerTrips: b.stats.breakerTrips.Load(),
+		Probes:       b.stats.probes.Load(),
+		Recoveries:   b.stats.recoveries.Load(),
+	}
+}

@@ -4,9 +4,11 @@ import (
 	"repro/internal/aspect"
 	"repro/internal/aspects/auth"
 	"repro/internal/aspects/metrics"
+	"repro/internal/aspects/obsaudit"
 	"repro/internal/aspects/syncguard"
 	"repro/internal/core"
 	"repro/internal/moderator"
+	"repro/internal/obs"
 	"repro/internal/proxy"
 )
 
@@ -42,6 +44,10 @@ type GuardedConfig struct {
 	ACL auth.ACL
 	// Metrics, when non-nil, measures every invocation.
 	Metrics *metrics.Recorder
+	// Obs, when non-nil, turns on observability: trace hooks feed the
+	// collector, the collector polls exact aggregates, and an obsaudit
+	// aspect records spans in the instrumentation layer.
+	Obs *obs.Collector
 	// ModeratorOptions forwards wake policy/mode to the moderator.
 	ModeratorOptions []moderator.Option
 }
@@ -120,18 +126,31 @@ func NewGuarded(cfg GuardedConfig) (*Guarded, error) {
 	for _, m := range readMethods {
 		b.Use(m, aspect.KindSynchronization, rw.ReaderAspect("read-"+m))
 	}
-	// Metrics innermost: measures body time excluding outer blocking.
-	if cfg.Metrics != nil {
+	// Instrumentation innermost: measures body time excluding outer
+	// blocking. The obsaudit span aspect rides the same layer.
+	if cfg.Metrics != nil || cfg.Obs != nil {
 		b.Layer("instrumentation", moderator.Innermost)
+	}
+	if cfg.Metrics != nil {
 		for _, m := range allMethods {
 			b.UseIn("instrumentation", m, aspect.KindMetrics,
 				cfg.Metrics.Aspect("metrics-"+m))
+		}
+	}
+	if cfg.Obs != nil {
+		auditor := obsaudit.New(cfg.Obs)
+		for _, m := range allMethods {
+			b.UseIn("instrumentation", m, obsaudit.Kind, auditor.Aspect("obs-"+m))
 		}
 	}
 
 	comp, err := b.Build()
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Obs != nil {
+		comp.Moderator().SetTracer(cfg.Obs)
+		cfg.Obs.Watch(comp.Moderator())
 	}
 	return &Guarded{component: comp, venue: v, rw: rw}, nil
 }

@@ -1,0 +1,102 @@
+package ticket
+
+// Apps-layer regression coverage for the wake-targeting fix: a guard that
+// declares wake targets (the buffer's producer/consumer aspects) layered
+// with passive-Waker aspects (metrics, audit, obsaudit — all return empty
+// wake lists) must still wake a parked producer. Before the fix, a
+// passive aspect's empty wake list could suppress the conservative
+// broadcast and strand the targeted guard's waiters; the unit tests in
+// internal/moderator pin the mechanism, this test pins the end-to-end
+// composition an application actually builds.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/aspects/audit"
+	"repro/internal/aspects/metrics"
+	"repro/internal/obs"
+)
+
+func TestMixedTargetedPassiveStackWakes(t *testing.T) {
+	trail, err := audit.NewTrail(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	collector := obs.NewCollector(obs.WithSampleEvery(1))
+	g, err := NewGuarded(GuardedConfig{
+		Capacity: 1,
+		Audit:    trail,
+		Metrics:  metrics.NewRecorder(),
+		Obs:      collector,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := g.Proxy()
+	ctx := context.Background()
+
+	// Fill the capacity-1 buffer, then park a second producer on it.
+	if _, err := p.Invoke(ctx, MethodOpen, "t1", "first"); err != nil {
+		t.Fatal(err)
+	}
+	opened := make(chan error, 1)
+	go func() {
+		_, err := p.Invoke(ctx, MethodOpen, "t2", "second")
+		opened <- err
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for g.Moderator().Waiting(MethodOpen) != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("second producer never parked")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// An assign frees the slot; its postactions run the full mixed stack
+	// (targeted sync guard + passive metrics/audit/obs aspects). The
+	// parked producer must wake and complete.
+	if _, err := p.Invoke(ctx, MethodAssign); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-opened:
+		if err != nil {
+			t.Fatalf("woken producer failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("parked producer was never woken — wake targeting regressed")
+	}
+
+	// Drain the second ticket to leave the buffer consistent.
+	if _, err := p.Invoke(ctx, MethodAssign); err != nil {
+		t.Fatal(err)
+	}
+	if g.Moderator().Waiting(MethodOpen) != 0 {
+		t.Fatalf("waiting = %d after wake", g.Moderator().Waiting(MethodOpen))
+	}
+
+	// The collector observed the park and the wake (park/wake tracing is
+	// exact, not sampled).
+	reg := collector.Registry()
+	if got := reg.CounterOf("am_parks_total", "",
+		obs.L("method", MethodOpen), obs.L("kind", "synchronization")).Value(); got != 1 {
+		t.Fatalf("am_parks_total = %d, want 1", got)
+	}
+	if got := reg.GaugeOf("am_waiting", "", obs.L("method", MethodOpen)).Value(); got != 0 {
+		t.Fatalf("am_waiting = %d, want 0", got)
+	}
+	var sawPark, sawWake bool
+	for _, e := range collector.Events(0) {
+		if e.Method == MethodOpen && e.Op == "park" {
+			sawPark = true
+		}
+		if e.Method == MethodOpen && e.Op == "wake" && e.Err == "" {
+			sawWake = true
+		}
+	}
+	if !sawPark || !sawWake {
+		t.Fatalf("event stream missing park/wake (park=%v wake=%v)", sawPark, sawWake)
+	}
+}

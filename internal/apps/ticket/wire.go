@@ -7,10 +7,12 @@ import (
 	"repro/internal/aspects/audit"
 	"repro/internal/aspects/auth"
 	"repro/internal/aspects/metrics"
+	"repro/internal/aspects/obsaudit"
 	"repro/internal/aspects/syncguard"
 	"repro/internal/core"
 	"repro/internal/factory"
 	"repro/internal/moderator"
+	"repro/internal/obs"
 	"repro/internal/proxy"
 )
 
@@ -43,6 +45,11 @@ type GuardedConfig struct {
 	Audit *audit.Trail
 	// Metrics, when non-nil, measures every invocation.
 	Metrics *metrics.Recorder
+	// Obs, when non-nil, turns on observability: the moderator's trace
+	// hooks feed the collector, the collector polls the moderator for
+	// exact aggregates, and an obsaudit aspect records spans through the
+	// aspect-bank path.
+	Obs *obs.Collector
 	// ModeratorOptions forwards wake policy/mode to the moderator.
 	ModeratorOptions []moderator.Option
 }
@@ -134,9 +141,22 @@ func NewGuarded(cfg GuardedConfig) (*Guarded, error) {
 		b.Guard(MethodOpen, aspect.KindAudit)
 		b.Guard(MethodAssign, aspect.KindAudit)
 	}
+	if cfg.Obs != nil {
+		// The observability audit records through the aspect-bank path —
+		// the framework dogfooding itself. Registered last in the base
+		// layer: its span covers the method body but not the guards'
+		// blocking, mirroring the metrics aspect's placement.
+		auditor := obsaudit.New(cfg.Obs)
+		b.Use(MethodOpen, obsaudit.Kind, auditor.Aspect("obs-"+MethodOpen))
+		b.Use(MethodAssign, obsaudit.Kind, auditor.Aspect("obs-"+MethodAssign))
+	}
 	comp, err := b.Build()
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Obs != nil {
+		comp.Moderator().SetTracer(cfg.Obs)
+		cfg.Obs.Watch(comp.Moderator())
 	}
 	return &Guarded{component: comp, server: srv, buffer: buf}, nil
 }

@@ -1,0 +1,110 @@
+// Package obsaudit is the observability subsystem consumed as a
+// first-class aspect: an audit aspect that records admission events for
+// its participating method through the normal aspect-bank path, feeding
+// the same obs.Collector (and the same event vocabulary) as the
+// moderator's built-in trace hooks.
+//
+// This is the framework dogfooding itself — the paper lists auditing as a
+// cross-cutting concern the Aspect Moderator should compose, and
+// "Pluggable AOP" argues an observability mechanism should ride the
+// existing aspect machinery rather than bypass it. Where the moderator
+// hooks see the admission machinery (verdicts, parks, domains), this
+// aspect sees the join point: its precondition and postaction bracket the
+// method body, so the span it records covers the body plus every aspect
+// layered inside it.
+//
+// The aspect is deliberately passive: the precondition always resumes,
+// the wake list is empty (a passive Waker must not suppress the
+// moderator's conservative broadcast), and events are emitted with Domain
+// 0 — the domain reserved for events recorded outside any admission
+// domain.
+package obsaudit
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/aspect"
+	"repro/internal/moderator"
+	"repro/internal/obs"
+)
+
+// Kind is the concern dimension the audit aspect occupies in the bank.
+// It is distinct from aspect.KindAudit so an application can layer both a
+// domain audit trail and the observability audit on one method.
+const Kind = aspect.Kind("observability")
+
+// attrKey keys the span start time on the invocation's attribute bag.
+type attrKey struct{ name string }
+
+// Auditor builds audit aspects bound to one collector.
+type Auditor struct {
+	c    *obs.Collector
+	tick atomic.Uint64
+}
+
+// New returns an Auditor recording into c.
+func New(c *obs.Collector) *Auditor { return &Auditor{c: c} }
+
+// sampled applies the collector's sampling rate with the auditor's own
+// tick, mirroring the moderator's per-domain gate.
+func (a *Auditor) sampled() bool {
+	every := uint64(a.c.SampleEvery())
+	if every <= 1 {
+		return true
+	}
+	return a.tick.Add(1)%every == 0
+}
+
+// Aspect returns the audit aspect to register for one participating
+// method. It resumes every invocation; on sampled invocations it emits an
+// aspect-pre event and stamps the span start, and the postaction emits an
+// aspect-post event carrying the pre-to-post span latency (method body
+// plus every aspect layered inside this one). Cancel — an inner aspect
+// aborted or blocked after this aspect admitted — emits aspect-cancel.
+func (a *Auditor) Aspect(name string) aspect.Aspect {
+	key := attrKey{name: name}
+	return &aspect.Func{
+		AspectName: name,
+		AspectKind: Kind,
+		Pre: func(inv *aspect.Invocation) aspect.Verdict {
+			if a.sampled() {
+				inv.SetAttr(key, time.Now())
+				a.c.Trace(moderator.TraceEvent{
+					Op: moderator.TraceAspectPre, Component: inv.Component(),
+					Method: inv.Method(), Aspect: name, Kind: Kind,
+					Invocation: inv.ID(),
+				})
+			}
+			return aspect.Resume
+		},
+		Post: func(inv *aspect.Invocation) {
+			start, ok := inv.Attr(key).(time.Time)
+			if !ok {
+				return // not a sampled invocation
+			}
+			inv.DeleteAttr(key)
+			ev := moderator.TraceEvent{
+				Op: moderator.TraceAspectPost, Component: inv.Component(),
+				Method: inv.Method(), Aspect: name, Kind: Kind,
+				Invocation: inv.ID(), Nanos: time.Since(start).Nanoseconds(),
+			}
+			if err := inv.Err(); err != nil {
+				ev.Err = err.Error()
+			}
+			a.c.Trace(ev)
+		},
+		CancelFn: func(inv *aspect.Invocation) {
+			start, ok := inv.Attr(key).(time.Time)
+			if !ok {
+				return
+			}
+			inv.DeleteAttr(key)
+			a.c.Trace(moderator.TraceEvent{
+				Op: moderator.TraceAspectCancel, Component: inv.Component(),
+				Method: inv.Method(), Aspect: name, Kind: Kind,
+				Invocation: inv.ID(), Nanos: time.Since(start).Nanoseconds(),
+			})
+		},
+	}
+}

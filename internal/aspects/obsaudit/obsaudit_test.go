@@ -1,0 +1,115 @@
+package obsaudit
+
+import (
+	"testing"
+
+	"repro/internal/aspect"
+	"repro/internal/moderator"
+	"repro/internal/obs"
+)
+
+func TestAuditAspectRecordsSpans(t *testing.T) {
+	mod := moderator.New("svc")
+	c := obs.NewCollector(obs.WithSampleEvery(1))
+	aud := New(c)
+	if err := mod.Register("work", Kind, aud.Aspect("obs-work")); err != nil {
+		t.Fatal(err)
+	}
+	// On deny the audit admits first, then the authorization aspect
+	// aborts — exercising the cancel path.
+	if err := mod.Register("deny", Kind, aud.Aspect("obs-deny")); err != nil {
+		t.Fatal(err)
+	}
+	abort := &aspect.Func{AspectName: "deny", AspectKind: aspect.KindAuthorization,
+		Pre: func(*aspect.Invocation) aspect.Verdict { return aspect.Abort }}
+	if err := mod.Register("deny", aspect.KindAuthorization, abort); err != nil {
+		t.Fatal(err)
+	}
+
+	inv := aspect.NewInvocation(nil, "svc", "work", nil)
+	adm, err := mod.Preactivation(inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod.Postactivation(inv, adm)
+
+	inv = aspect.NewInvocation(nil, "svc", "deny", nil)
+	if _, err := mod.Preactivation(inv); err == nil {
+		t.Fatal("deny admission unexpectedly succeeded")
+	}
+
+	reg := c.Registry()
+	count := func(op string) uint64 {
+		return reg.CounterOf("am_aspect_events_total", "",
+			obs.L("component", "svc"), obs.L("op", op)).Value()
+	}
+	if got := count("aspect-pre"); got != 2 {
+		t.Fatalf("aspect-pre = %d, want 2", got)
+	}
+	if got := count("aspect-post"); got != 1 {
+		t.Fatalf("aspect-post = %d, want 1", got)
+	}
+	if got := count("aspect-cancel"); got != 1 {
+		t.Fatalf("aspect-cancel = %d, want 1", got)
+	}
+	span := reg.HistogramOf("am_span_ns", "",
+		obs.L("component", "svc"), obs.L("method", "work")).Snapshot()
+	if span.Count != 1 {
+		t.Fatalf("span count = %d, want 1", span.Count)
+	}
+
+	// Aspect-path events land in the reserved domain 0.
+	var sawPre, sawCancel bool
+	for _, e := range c.Events(0) {
+		switch e.Op {
+		case "aspect-pre", "aspect-post":
+			if e.Domain != 0 {
+				t.Fatalf("aspect event in domain %d, want 0", e.Domain)
+			}
+			sawPre = true
+		case "aspect-cancel":
+			sawCancel = true
+		}
+	}
+	if !sawPre || !sawCancel {
+		t.Fatal("missing aspect-path events in the ring")
+	}
+}
+
+// TestAuditAspectIsPassive pins the Waker contract: the audit aspect must
+// not declare wake targets — an empty list keeps the moderator's
+// conservative broadcast intact for other guards' waiters (the PR 2
+// wake-targeting rule).
+func TestAuditAspectIsPassive(t *testing.T) {
+	aud := New(obs.NewCollector())
+	a := aud.Aspect("obs-x")
+	w, ok := a.(aspect.Waker)
+	if !ok {
+		t.Fatal("audit aspect does not implement Waker")
+	}
+	if got := w.Wakes(); len(got) != 0 {
+		t.Fatalf("audit aspect wake list = %v, want empty", got)
+	}
+}
+
+// TestAuditAspectSampling checks the auditor honors the collector's rate.
+func TestAuditAspectSampling(t *testing.T) {
+	c := obs.NewCollector(obs.WithSampleEvery(1 << 20))
+	mod := moderator.New("svc")
+	if err := mod.Register("work", Kind, New(c).Aspect("obs-work")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		inv := aspect.NewInvocation(nil, "svc", "work", nil)
+		adm, err := mod.Preactivation(inv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mod.Postactivation(inv, adm)
+	}
+	got := c.Registry().CounterOf("am_aspect_events_total", "",
+		obs.L("component", "svc"), obs.L("op", "aspect-pre")).Value()
+	if got != 0 {
+		t.Fatalf("aspect-pre = %d, want 0 at 1-in-2^20 sampling", got)
+	}
+}

@@ -106,6 +106,7 @@ var Experiments = []Experiment{
 	{"E10", E10Reuse},
 	{"E11", E11Coordination},
 	{"E12", E12Domains},
+	{"E13", E13Obs},
 }
 
 // All runs the experiments whose ids are listed (every experiment when ids

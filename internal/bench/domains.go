@@ -127,15 +127,61 @@ func domainsThroughput(impl moderator.Admitter, methods, goroutines, totalOps in
 	return float64(perG*goroutines) / elapsed.Seconds(), nil
 }
 
-func domainsContended(cfg Config, sharded bool, methods, goroutines int) (float64, error) {
+// benchTrials is how many measured runs each throughput variant takes;
+// reports keep the best. Throughput noise on a shared box is one-sided
+// (outside interference only ever slows a run down), so max-of-N is the
+// standard robust estimator, and it is what makes the committed baseline
+// numbers stable enough for bench_baseline_test.go to hold future PRs to.
+const benchTrials = 5
+
+// contendedVariant is one prepared contended-throughput measurement
+// target: a warmed moderator (sharded or reference, optionally with a
+// tracer installed) plus its best observed throughput so far.
+type contendedVariant struct {
+	impl moderator.Admitter
+	best float64
+}
+
+// newContendedVariant builds and warms one contended moderator. A non-nil
+// tracer is installed before the warm-up so the measured runs see a
+// steady-state tracer (the obs E13 family passes its Collector here).
+func newContendedVariant(sharded bool, methods, goroutines int, tracer moderator.Tracer) (*contendedVariant, error) {
 	impl, err := newDomainsModerator(sharded, methods)
 	if err != nil {
-		return 0, err
+		return nil, err
+	}
+	if tracer != nil {
+		switch m := impl.(type) {
+		case *moderator.Moderator:
+			m.SetTracer(tracer)
+		case *moderator.Reference:
+			m.SetTracer(tracer)
+		}
 	}
 	if _, err := domainsThroughput(impl, methods, goroutines, 2000); err != nil { // warm-up
-		return 0, err
+		return nil, err
 	}
-	return domainsThroughput(impl, methods, goroutines, cfg.ops()*10)
+	return &contendedVariant{impl: impl}, nil
+}
+
+// measureContended runs benchTrials interleaved rounds over the variants,
+// keeping each variant's best observed throughput. Interleaving (a, b, a,
+// b, ...) instead of measuring each variant's trials consecutively makes
+// the variants sample the same noise epochs — a slow patch of machine
+// time cannot land entirely on one variant and fabricate a difference.
+func measureContended(cfg Config, methods, goroutines int, variants []*contendedVariant) error {
+	for trial := 0; trial < benchTrials; trial++ {
+		for _, v := range variants {
+			ops, err := domainsThroughput(v.impl, methods, goroutines, cfg.ops()*10)
+			if err != nil {
+				return err
+			}
+			if ops > v.best {
+				v.best = ops
+			}
+		}
+	}
+	return nil
 }
 
 func domainsLatency(cfg Config, sharded bool) (float64, error) {
@@ -208,16 +254,26 @@ func Domains(cfg Config) (DomainsReport, error) {
 		methods    = 8
 		goroutines = 32
 	)
-	rep := DomainsReport{Schema: DomainsSchema, GoMaxProcs: runtime.GOMAXPROCS(0)}
+	sharded, err := newContendedVariant(true, methods, goroutines, nil)
+	if err != nil {
+		return DomainsReport{}, err
+	}
+	ref, err := newContendedVariant(false, methods, goroutines, nil)
+	if err != nil {
+		return DomainsReport{}, err
+	}
+	if err := measureContended(cfg, methods, goroutines, []*contendedVariant{sharded, ref}); err != nil {
+		return DomainsReport{}, err
+	}
+	return domainsReportFrom(cfg, methods, goroutines, sharded.best, ref.best)
+}
 
-	shardedOps, err := domainsContended(cfg, true, methods, goroutines)
-	if err != nil {
-		return rep, err
-	}
-	refOps, err := domainsContended(cfg, false, methods, goroutines)
-	if err != nil {
-		return rep, err
-	}
+// domainsReportFrom assembles the E12 report around already-measured
+// contended-throughput numbers, then measures the latency and churn
+// families. Split out so the combined baseline run (Baselines) can feed
+// in contended numbers measured interleaved with the E13 variants.
+func domainsReportFrom(cfg Config, methods, goroutines int, shardedOps, refOps float64) (DomainsReport, error) {
+	rep := DomainsReport{Schema: DomainsSchema, GoMaxProcs: runtime.GOMAXPROCS(0)}
 	rep.Families = append(rep.Families, DomainsFamily{
 		Name:      FamilyContended,
 		Unit:      "ops/s",

@@ -1,0 +1,145 @@
+package bench
+
+// E13 — the observability overhead family. The obs subsystem promises
+// that tracing hooks cost nothing when disabled (one atomic load and a
+// branch per phase) and stay within a small bound when enabled at the
+// default sampling rate. This benchmark measures both against the same
+// contended workload as E12's contended-throughput family (8 methods, 32
+// goroutines, sharded moderator), and `ambench -obs-json BENCH_3.json`
+// serializes the result so bench_baseline_test.go can hold future PRs to
+// the committed numbers.
+//
+// The hooks-off variant is the E12 contended sharded configuration — the
+// identical moderator, aspects, and workload, with no tracer ever
+// installed. The canonical way to regenerate the committed baselines is
+// therefore ONE invocation writing both files (`ambench -json
+// BENCH_2.json -obs-json BENCH_3.json`, what `make bench` runs): the
+// combined run (Baselines) measures E12-sharded, E12-reference, and
+// hooks-on interleaved in a single pass, so the cross-file comparison the
+// baseline test enforces is between numbers that sampled the same machine
+// epochs rather than separate runs minutes apart.
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/obs"
+)
+
+// ObsSchema identifies the BENCH_3.json format.
+const ObsSchema = "ambench/obs-v1"
+
+// ObsReport is the JSON-serializable result of the E13 family.
+type ObsReport struct {
+	Schema     string `json:"schema"`
+	GoMaxProcs int    `json:"go_max_procs"`
+	// SampleEvery is the rate the hooks-on measurement used.
+	SampleEvery int            `json:"sample_every"`
+	Params      map[string]int `json:"params"`
+	// HooksOffOps is contended throughput with no tracer installed.
+	HooksOffOps float64 `json:"hooks_off_ops"`
+	// HooksOnOps is contended throughput with a default collector.
+	HooksOnOps float64 `json:"hooks_on_ops"`
+	// OverheadPct is (1 - on/off) * 100.
+	OverheadPct float64 `json:"overhead_pct"`
+}
+
+// obsParams are the E13 workload parameters, matching E12's
+// contended-throughput family.
+const (
+	obsMethods    = 8
+	obsGoroutines = 32
+)
+
+func newObsReport(off, on float64) ObsReport {
+	return ObsReport{
+		Schema:      ObsSchema,
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		SampleEvery: obs.DefaultSampleEvery,
+		Params:      map[string]int{"methods": obsMethods, "goroutines": obsGoroutines},
+		HooksOffOps: off,
+		HooksOnOps:  on,
+		OverheadPct: (1 - on/off) * 100,
+	}
+}
+
+// Obs runs the E13 family alone and returns the JSON-serializable report.
+func Obs(cfg Config) (ObsReport, error) {
+	off, err := newContendedVariant(true, obsMethods, obsGoroutines, nil)
+	if err != nil {
+		return ObsReport{}, err
+	}
+	on, err := newContendedVariant(true, obsMethods, obsGoroutines, obs.NewCollector())
+	if err != nil {
+		return ObsReport{}, err
+	}
+	if err := measureContended(cfg, obsMethods, obsGoroutines, []*contendedVariant{off, on}); err != nil {
+		return ObsReport{}, err
+	}
+	return newObsReport(off.best, on.best), nil
+}
+
+// Baselines runs the E12 and E13 families together, measuring the three
+// contended variants (E12 sharded, E12 reference, hooks-on) interleaved
+// in one pass. The E12 sharded number doubles as E13's hooks-off — they
+// are the same configuration, so sharing the measurement makes the
+// committed BENCH_2/BENCH_3 relationship exact instead of subject to
+// cross-run machine drift.
+func Baselines(cfg Config) (DomainsReport, ObsReport, error) {
+	sharded, err := newContendedVariant(true, obsMethods, obsGoroutines, nil)
+	if err != nil {
+		return DomainsReport{}, ObsReport{}, err
+	}
+	ref, err := newContendedVariant(false, obsMethods, obsGoroutines, nil)
+	if err != nil {
+		return DomainsReport{}, ObsReport{}, err
+	}
+	on, err := newContendedVariant(true, obsMethods, obsGoroutines, obs.NewCollector())
+	if err != nil {
+		return DomainsReport{}, ObsReport{}, err
+	}
+	if err := measureContended(cfg, obsMethods, obsGoroutines,
+		[]*contendedVariant{sharded, ref, on}); err != nil {
+		return DomainsReport{}, ObsReport{}, err
+	}
+	domRep, err := domainsReportFrom(cfg, obsMethods, obsGoroutines, sharded.best, ref.best)
+	if err != nil {
+		return DomainsReport{}, ObsReport{}, err
+	}
+	return domRep, newObsReport(sharded.best, on.best), nil
+}
+
+// E13Obs renders the obs overhead report as a standard experiment table,
+// adding a full-sampling row (1 in 1) the JSON report does not carry, to
+// show the cost ceiling of tracing every invocation.
+func E13Obs(cfg Config) (Table, error) {
+	rep, err := Obs(cfg)
+	if err != nil {
+		return Table{}, err
+	}
+	fullV, err := newContendedVariant(true, obsMethods, obsGoroutines,
+		obs.NewCollector(obs.WithSampleEvery(1)))
+	if err != nil {
+		return Table{}, err
+	}
+	if err := measureContended(cfg, obsMethods, obsGoroutines,
+		[]*contendedVariant{fullV}); err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:     "E13",
+		Title:  "observability hook overhead (contended, sharded)",
+		Header: []string{"variant", "params", "ops/s", "overhead"},
+		Notes: fmt.Sprintf("GOMAXPROCS=%d; overhead vs hooks-off; default sampling 1 in %d",
+			rep.GoMaxProcs, rep.SampleEvery),
+	}
+	params := fmt.Sprintf("%dm/%dg", obsMethods, obsGoroutines)
+	row := func(name string, ops float64) {
+		t.Rows = append(t.Rows, []string{name, params, fmtOps(ops),
+			fmt.Sprintf("%.1f%%", (1-ops/rep.HooksOffOps)*100)})
+	}
+	row("hooks-off", rep.HooksOffOps)
+	row(fmt.Sprintf("hooks-on (1/%d)", rep.SampleEvery), rep.HooksOnOps)
+	row("hooks-on (1/1)", fullV.best)
+	return t, nil
+}

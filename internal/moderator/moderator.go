@@ -83,6 +83,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/aspect"
 	"repro/internal/bank"
@@ -192,6 +193,9 @@ type Admission struct {
 	// d caches the admission domain the receipt was issued under (sharded
 	// moderator only), sparing Postactivation the domain-table lookup.
 	d *domain
+	// traced pins the pre-activation sampling decision so one invocation
+	// is traced (or not) consistently across both phases.
+	traced bool
 }
 
 // Len returns the number of admitted aspects.
@@ -257,6 +261,7 @@ func (cs *compState) find(name string) *compLayer {
 // domain is one admission domain: the mutex, wait queues, sticky-ticket
 // sequence, and counters for one participating method or method group.
 type domain struct {
+	id        uint64
 	mu        sync.Mutex
 	queues    map[qkey]*waitq.Queue // guarded by mu
 	ticketSeq uint64                // guarded by mu
@@ -265,10 +270,13 @@ type domain struct {
 	blocks      atomic.Uint64
 	aborts      atomic.Uint64
 	completions atomic.Uint64
+
+	// traceTick drives per-domain trace sampling (see trace.go).
+	traceTick atomic.Uint64
 }
 
 func newDomain() *domain {
-	return &domain{queues: make(map[qkey]*waitq.Queue)}
+	return &domain{id: domainSeq.Add(1), queues: make(map[qkey]*waitq.Queue)}
 }
 
 // active reports whether the domain has ever admitted, parked, aborted, or
@@ -332,6 +340,7 @@ type Moderator struct {
 	admin   sync.Mutex
 	comp    atomic.Pointer[compState]
 	domains atomic.Pointer[domainTable]
+	tracer  atomic.Pointer[tracerBox]
 }
 
 // New creates a moderator for the named component with a single base layer.
@@ -709,10 +718,19 @@ func (m *Moderator) Preactivation(inv *aspect.Invocation) (*Admission, error) {
 		}
 	}
 	d := m.domainFor(inv.Method())
+	tr, traced := m.tracer.Load().gate(&d.traceTick)
 	if total == 0 {
 		// No aspects guard this method: admit immediately.
 		d.admissions.Add(1)
+		if traced {
+			tr.Trace(TraceEvent{Op: TraceAdmit, Component: m.name, Method: inv.Method(),
+				Domain: d.id, Invocation: inv.ID()})
+		}
 		return nil, nil
+	}
+	var preStart time.Time
+	if traced {
+		preStart = time.Now()
 	}
 
 	d.mu.Lock()
@@ -731,7 +749,16 @@ func (m *Moderator) Preactivation(inv *aspect.Invocation) (*Admission, error) {
 			blocked := false
 			var abortErr error
 			for _, e := range l.entries {
+				var hook0 time.Time
+				if traced {
+					hook0 = time.Now()
+				}
 				v := e.Aspect.Precondition(inv)
+				if traced {
+					tr.Trace(TraceEvent{Op: TraceVerdict, Component: m.name, Method: inv.Method(),
+						Domain: d.id, Layer: l.name, Aspect: e.Aspect.Name(), Kind: e.Kind,
+						Verdict: v, Invocation: inv.ID(), Nanos: time.Since(hook0).Nanoseconds()})
+				}
 				if v == aspect.Resume {
 					admitted = append(admitted, e.Aspect)
 					continue
@@ -755,6 +782,11 @@ func (m *Moderator) Preactivation(inv *aspect.Invocation) (*Admission, error) {
 			if abortErr != nil {
 				cancelReverse(admitted, inv)
 				d.aborts.Add(1)
+				if traced {
+					tr.Trace(TraceEvent{Op: TraceAbort, Component: m.name, Method: inv.Method(),
+						Domain: d.id, Layer: l.name, Invocation: inv.ID(),
+						Nanos: time.Since(preStart).Nanoseconds(), Err: abortErr.Error()})
+				}
 				return nil, fmt.Errorf("moderator %s: %s pre-activation (layer %s): %w",
 					m.name, inv.Method(), l.name, abortErr)
 			}
@@ -768,9 +800,34 @@ func (m *Moderator) Preactivation(inv *aspect.Invocation) (*Admission, error) {
 			if ticket == 0 {
 				d.ticketSeq++
 				ticket = d.ticketSeq
+				if tr != nil {
+					tr.Trace(TraceEvent{Op: TraceTicket, Component: m.name, Method: inv.Method(),
+						Domain: d.id, Kind: blockedKind, Invocation: inv.ID(), Ticket: ticket})
+				}
 			}
 			q := m.queueLocked(d, inv.Method(), blockedKind)
-			if err := q.Wait(inv.Context(), inv.Priority, ticket); err != nil {
+			// The park/wake pair is traced for EVERY invocation when a
+			// tracer is installed (not only sampled ones): parking costs a
+			// scheduler round-trip anyway, and complete wait-duration data
+			// is the headline observability payload.
+			var parkStart time.Time
+			if tr != nil {
+				tr.Trace(TraceEvent{Op: TracePark, Component: m.name, Method: inv.Method(),
+					Domain: d.id, Layer: l.name, Aspect: blockedBy.Name(), Kind: blockedKind,
+					Invocation: inv.ID(), Ticket: ticket, Depth: q.Len() + 1})
+				parkStart = time.Now()
+			}
+			err := q.Wait(inv.Context(), inv.Priority, ticket)
+			if tr != nil {
+				wake := TraceEvent{Op: TraceWake, Component: m.name, Method: inv.Method(),
+					Domain: d.id, Kind: blockedKind, Invocation: inv.ID(), Ticket: ticket,
+					Nanos: time.Since(parkStart).Nanoseconds()}
+				if err != nil {
+					wake.Err = err.Error()
+				}
+				tr.Trace(wake)
+			}
+			if err != nil {
 				// The blocked caller abandons: let the blocking aspect
 				// retract anything its Block-returning precondition
 				// recorded (a barrier arrival, a declared intent).
@@ -779,13 +836,23 @@ func (m *Moderator) Preactivation(inv *aspect.Invocation) (*Admission, error) {
 				}
 				cancelReverse(admitted, inv)
 				d.aborts.Add(1)
+				if traced {
+					tr.Trace(TraceEvent{Op: TraceAbort, Component: m.name, Method: inv.Method(),
+						Domain: d.id, Layer: l.name, Invocation: inv.ID(),
+						Nanos: time.Since(preStart).Nanoseconds(), Err: err.Error()})
+				}
 				return nil, fmt.Errorf("moderator %s: %s blocked in layer %s: %w",
 					m.name, inv.Method(), l.name, err)
 			}
 		}
 	}
 	d.admissions.Add(1)
-	return &Admission{admitted: admitted, d: d}, nil
+	if traced {
+		tr.Trace(TraceEvent{Op: TraceAdmit, Component: m.name, Method: inv.Method(),
+			Domain: d.id, Invocation: inv.ID(), Aspects: len(admitted),
+			Nanos: time.Since(preStart).Nanoseconds()})
+	}
+	return &Admission{admitted: admitted, d: d, traced: traced}, nil
 }
 
 // Postactivation runs the postactions of every aspect the invocation was
@@ -807,10 +874,23 @@ func (m *Moderator) Postactivation(inv *aspect.Invocation, adm *Admission) {
 		d = m.domainFor(inv.Method())
 	}
 	d.completions.Add(1)
+	var tr Tracer
+	traced := false
+	if b := m.tracer.Load(); b != nil {
+		tr = b.t
+		traced = adm != nil && adm.traced
+	}
 	if adm.Len() == 0 {
+		if traced {
+			completeEvent(tr, m.name, inv, d.id, 0)
+		}
 		return
 	}
 	admitted := adm.admitted
+	var postStart time.Time
+	if traced {
+		postStart = time.Now()
+	}
 
 	d.mu.Lock()
 
@@ -827,7 +907,16 @@ func (m *Moderator) Postactivation(inv *aspect.Invocation, adm *Admission) {
 	wakeMethods := make(map[string]bool, 2)
 	for i := len(admitted) - 1; i >= 0; i-- {
 		a := admitted[i]
+		var hook0 time.Time
+		if traced {
+			hook0 = time.Now()
+		}
 		a.Postaction(inv)
+		if traced {
+			tr.Trace(TraceEvent{Op: TracePost, Component: m.name, Method: inv.Method(),
+				Domain: d.id, Aspect: a.Name(), Kind: a.Kind(), Invocation: inv.ID(),
+				Nanos: time.Since(hook0).Nanoseconds()})
+		}
 		if w, ok := a.(aspect.Waker); ok {
 			if wakes := w.Wakes(); len(wakes) > 0 {
 				targeted = true
@@ -836,6 +925,11 @@ func (m *Moderator) Postactivation(inv *aspect.Invocation, adm *Admission) {
 				}
 			}
 		}
+	}
+	if traced {
+		// The completion receipt is emitted under the domain mutex, before
+		// the wake fan-out, so it stays ordered with the domain's stream.
+		completeEvent(tr, m.name, inv, d.id, time.Since(postStart).Nanoseconds())
 	}
 	dt := m.domains.Load()
 	if targeted {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/aspect"
 	"repro/internal/bank"
@@ -35,15 +36,21 @@ type Reference struct {
 	blocks      atomic.Uint64
 	aborts      atomic.Uint64
 	completions atomic.Uint64
+
+	// The reference moderator is one domain: one trace shard, one tick.
+	domainID  uint64
+	traceTick atomic.Uint64
+	tracer    atomic.Pointer[tracerBox]
 }
 
 // NewReference creates a single-mutex reference moderator with a single
 // base layer. It accepts the same options as New.
 func NewReference(name string, opts ...Option) *Reference {
 	r := &Reference{
-		name:   name,
-		opts:   buildOptions(opts),
-		queues: make(map[qkey]*waitq.Queue),
+		name:     name,
+		opts:     buildOptions(opts),
+		queues:   make(map[qkey]*waitq.Queue),
+		domainID: domainSeq.Add(1),
 	}
 	b := bank.New()
 	r.comp.Store(&compState{layers: []compLayer{{name: BaseLayer, bank: b, snap: b.Snapshot()}}})
@@ -213,9 +220,18 @@ func (r *Reference) Preactivation(inv *aspect.Invocation) (*Admission, error) {
 			total += len(entries)
 		}
 	}
+	tr, traced := r.tracer.Load().gate(&r.traceTick)
 	if total == 0 {
 		r.admissions.Add(1)
+		if traced {
+			tr.Trace(TraceEvent{Op: TraceAdmit, Component: r.name, Method: inv.Method(),
+				Domain: r.domainID, Invocation: inv.ID()})
+		}
 		return nil, nil
+	}
+	var preStart time.Time
+	if traced {
+		preStart = time.Now()
 	}
 
 	r.mu.Lock()
@@ -231,7 +247,16 @@ func (r *Reference) Preactivation(inv *aspect.Invocation) (*Admission, error) {
 			blocked := false
 			var abortErr error
 			for _, e := range l.entries {
+				var hook0 time.Time
+				if traced {
+					hook0 = time.Now()
+				}
 				v := e.Aspect.Precondition(inv)
+				if traced {
+					tr.Trace(TraceEvent{Op: TraceVerdict, Component: r.name, Method: inv.Method(),
+						Domain: r.domainID, Layer: l.name, Aspect: e.Aspect.Name(), Kind: e.Kind,
+						Verdict: v, Invocation: inv.ID(), Nanos: time.Since(hook0).Nanoseconds()})
+				}
 				if v == aspect.Resume {
 					admitted = append(admitted, e.Aspect)
 					continue
@@ -255,6 +280,11 @@ func (r *Reference) Preactivation(inv *aspect.Invocation) (*Admission, error) {
 			if abortErr != nil {
 				cancelReverse(admitted, inv)
 				r.aborts.Add(1)
+				if traced {
+					tr.Trace(TraceEvent{Op: TraceAbort, Component: r.name, Method: inv.Method(),
+						Domain: r.domainID, Layer: l.name, Invocation: inv.ID(),
+						Nanos: time.Since(preStart).Nanoseconds(), Err: abortErr.Error()})
+				}
 				return nil, fmt.Errorf("moderator %s: %s pre-activation (layer %s): %w",
 					r.name, inv.Method(), l.name, abortErr)
 			}
@@ -267,31 +297,75 @@ func (r *Reference) Preactivation(inv *aspect.Invocation) (*Admission, error) {
 			if ticket == 0 {
 				r.ticketSeq++
 				ticket = r.ticketSeq
+				if tr != nil {
+					tr.Trace(TraceEvent{Op: TraceTicket, Component: r.name, Method: inv.Method(),
+						Domain: r.domainID, Kind: blockedKind, Invocation: inv.ID(), Ticket: ticket})
+				}
 			}
 			q := r.queueLocked(inv.Method(), blockedKind)
-			if err := q.Wait(inv.Context(), inv.Priority, ticket); err != nil {
+			var parkStart time.Time
+			if tr != nil {
+				tr.Trace(TraceEvent{Op: TracePark, Component: r.name, Method: inv.Method(),
+					Domain: r.domainID, Layer: l.name, Aspect: blockedBy.Name(), Kind: blockedKind,
+					Invocation: inv.ID(), Ticket: ticket, Depth: q.Len() + 1})
+				parkStart = time.Now()
+			}
+			err := q.Wait(inv.Context(), inv.Priority, ticket)
+			if tr != nil {
+				wake := TraceEvent{Op: TraceWake, Component: r.name, Method: inv.Method(),
+					Domain: r.domainID, Kind: blockedKind, Invocation: inv.ID(), Ticket: ticket,
+					Nanos: time.Since(parkStart).Nanoseconds()}
+				if err != nil {
+					wake.Err = err.Error()
+				}
+				tr.Trace(wake)
+			}
+			if err != nil {
 				if ab, ok := blockedBy.(aspect.Abandoner); ok {
 					ab.Abandon(inv)
 				}
 				cancelReverse(admitted, inv)
 				r.aborts.Add(1)
+				if traced {
+					tr.Trace(TraceEvent{Op: TraceAbort, Component: r.name, Method: inv.Method(),
+						Domain: r.domainID, Layer: l.name, Invocation: inv.ID(),
+						Nanos: time.Since(preStart).Nanoseconds(), Err: err.Error()})
+				}
 				return nil, fmt.Errorf("moderator %s: %s blocked in layer %s: %w",
 					r.name, inv.Method(), l.name, err)
 			}
 		}
 	}
 	r.admissions.Add(1)
-	return &Admission{admitted: admitted}, nil
+	if traced {
+		tr.Trace(TraceEvent{Op: TraceAdmit, Component: r.name, Method: inv.Method(),
+			Domain: r.domainID, Invocation: inv.ID(), Aspects: len(admitted),
+			Nanos: time.Since(preStart).Nanoseconds()})
+	}
+	return &Admission{admitted: admitted, traced: traced}, nil
 }
 
 // Postactivation runs postactions in reverse admission order under the
 // single admission mutex and wakes blocked callers.
 func (r *Reference) Postactivation(inv *aspect.Invocation, adm *Admission) {
 	r.completions.Add(1)
+	var tr Tracer
+	traced := false
+	if b := r.tracer.Load(); b != nil {
+		tr = b.t
+		traced = adm != nil && adm.traced
+	}
 	if adm.Len() == 0 {
+		if traced {
+			completeEvent(tr, r.name, inv, r.domainID, 0)
+		}
 		return
 	}
 	admitted := adm.admitted
+	var postStart time.Time
+	if traced {
+		postStart = time.Now()
+	}
 
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -303,7 +377,16 @@ func (r *Reference) Postactivation(inv *aspect.Invocation, adm *Admission) {
 	wakeMethods := make(map[string]bool, 2)
 	for i := len(admitted) - 1; i >= 0; i-- {
 		a := admitted[i]
+		var hook0 time.Time
+		if traced {
+			hook0 = time.Now()
+		}
 		a.Postaction(inv)
+		if traced {
+			tr.Trace(TraceEvent{Op: TracePost, Component: r.name, Method: inv.Method(),
+				Domain: r.domainID, Aspect: a.Name(), Kind: a.Kind(), Invocation: inv.ID(),
+				Nanos: time.Since(hook0).Nanoseconds()})
+		}
 		if w, ok := a.(aspect.Waker); ok {
 			if wakes := w.Wakes(); len(wakes) > 0 {
 				targeted = true
@@ -312,6 +395,9 @@ func (r *Reference) Postactivation(inv *aspect.Invocation, adm *Admission) {
 				}
 			}
 		}
+	}
+	if traced {
+		completeEvent(tr, r.name, inv, r.domainID, time.Since(postStart).Nanoseconds())
 	}
 	if targeted {
 		for meth := range wakeMethods {

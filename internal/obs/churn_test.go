@@ -1,0 +1,158 @@
+package obs
+
+// Satellite coverage: the event path under composition churn. While
+// layers are added and removed concurrently with admissions and a hostile
+// reader snapshots the rings, the collector must (a) never block the
+// admission path and (b) never lose per-domain ordering — sequence
+// numbers strictly increase and each invocation's lifecycle events stay
+// in order within its domain. Run under -race via the Makefile.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/aspect"
+	"repro/internal/moderator"
+)
+
+func TestObsUnderLayerChurn(t *testing.T) {
+	mod := moderator.New("churny")
+	const methods = 4
+	names := make([]string, methods)
+	for i := range names {
+		names[i] = fmt.Sprintf("m%d", i)
+		pass := &aspect.Func{AspectName: "pass-" + names[i], AspectKind: aspect.KindSynchronization}
+		if err := mod.Register(names[i], aspect.KindSynchronization, pass); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := NewCollector(WithSampleEvery(1), WithRingCapacity(256))
+	mod.SetTracer(c)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Layer churn: an outer audit layer appears and disappears.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := mod.AddLayer("churn", moderator.Outermost); err != nil {
+				if !errors.Is(err, moderator.ErrLayerExists) {
+					t.Errorf("AddLayer: %v", err)
+					return
+				}
+			} else {
+				for _, m := range names {
+					a := &aspect.Func{AspectName: "churn-" + m, AspectKind: aspect.KindAudit}
+					if err := mod.RegisterIn("churn", m, aspect.KindAudit, a); err != nil {
+						t.Errorf("RegisterIn: %v", err)
+						return
+					}
+				}
+			}
+			if err := mod.RemoveLayer("churn"); err != nil && !errors.Is(err, moderator.ErrNoSuchLayer) {
+				t.Errorf("RemoveLayer: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Hostile reader: keeps snapshotting so ring writers hit TryLock
+	// contention and must drop rather than stall.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				_ = c.Events(0)
+			}
+		}
+	}()
+
+	// Admission traffic across all methods.
+	const perWorker = 2000
+	var workers sync.WaitGroup
+	for w := 0; w < methods; w++ {
+		workers.Add(1)
+		go func(method string) {
+			defer workers.Done()
+			for i := 0; i < perWorker; i++ {
+				inv := aspect.NewInvocation(nil, "churny", method, nil)
+				adm, err := mod.Preactivation(inv)
+				if err != nil {
+					t.Errorf("%s: %v", method, err)
+					return
+				}
+				mod.Postactivation(inv, adm)
+			}
+		}(names[w])
+	}
+	workers.Wait()
+	close(stop)
+	wg.Wait()
+
+	// Per-domain ordering survived the churn.
+	domains := 0
+	c.rings.Range(func(k, v any) bool {
+		domains++
+		r := v.(*Ring)
+		snap := r.Snapshot()
+		for i := 1; i < len(snap); i++ {
+			if snap[i].Seq <= snap[i-1].Seq {
+				t.Fatalf("domain %v: seq order violated at %d: %d then %d",
+					k, i, snap[i-1].Seq, snap[i].Seq)
+			}
+		}
+		// Lifecycle order per invocation: verdicts before admit before
+		// complete, as far as the ring still holds them.
+		type prog struct{ admit, complete bool }
+		seen := make(map[uint64]*prog)
+		for _, e := range snap {
+			if e.Invocation == 0 {
+				continue
+			}
+			p := seen[e.Invocation]
+			if p == nil {
+				p = &prog{}
+				seen[e.Invocation] = p
+			}
+			switch e.Op {
+			case "verdict":
+				if p.admit || p.complete {
+					t.Fatalf("domain %v: verdict after admit/complete for invocation %d", k, e.Invocation)
+				}
+			case "admit":
+				if p.complete {
+					t.Fatalf("domain %v: admit after complete for invocation %d", k, e.Invocation)
+				}
+				p.admit = true
+			case "complete":
+				p.complete = true
+			}
+		}
+		return true
+	})
+	if domains == 0 {
+		t.Fatal("no domain rings populated")
+	}
+	total := uint64(0)
+	for _, e := range c.Events(0) {
+		_ = e
+		total++
+	}
+	if total == 0 {
+		t.Fatal("no events survived churn")
+	}
+	t.Logf("domains=%d buffered=%d drops=%d", domains, total, c.Drops())
+}

@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHTTPEndpoints(t *testing.T) {
+	mod := newBufferModerator(t)
+	c := NewCollector(WithSampleEvery(1))
+	mod.SetTracer(c)
+	c.Watch(mod)
+	for i := 0; i < 10; i++ {
+		invoke(t, mod, "put")
+		invoke(t, mod, "get")
+	}
+
+	srv := httptest.NewServer(NewHTTPHandler(c))
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	metrics, ctype := get("/metrics")
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Fatalf("/metrics content-type = %q", ctype)
+	}
+	for _, want := range []string{
+		`am_admissions_total{component="svc"} 20`,
+		"# TYPE am_preactivation_ns histogram",
+		`am_sampled_admissions_total{method="put"} 10`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Fatalf("/metrics missing %q in:\n%s", want, metrics)
+		}
+	}
+
+	traceBody, ctype := get("/trace?n=5")
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Fatalf("/trace content-type = %q", ctype)
+	}
+	var dump TraceDump
+	if err := json.Unmarshal([]byte(traceBody), &dump); err != nil {
+		t.Fatalf("/trace not JSON: %v", err)
+	}
+	if len(dump.Events) == 0 || len(dump.Events) > 5 {
+		t.Fatalf("/trace?n=5 returned %d events", len(dump.Events))
+	}
+
+	describeBody, _ := get("/describe")
+	var snap DescribeSnapshot
+	if err := json.Unmarshal([]byte(describeBody), &snap); err != nil {
+		t.Fatalf("/describe not JSON: %v", err)
+	}
+	if len(snap.Components) != 1 || snap.Components[0].Name != "svc" {
+		t.Fatalf("/describe components = %+v", snap.Components)
+	}
+	if snap.Components[0].Stats.Admissions != 20 {
+		t.Fatalf("/describe admissions = %d, want 20", snap.Components[0].Stats.Admissions)
+	}
+	if snap.SampleEvery != 1 {
+		t.Fatalf("/describe sample_every = %d", snap.SampleEvery)
+	}
+}

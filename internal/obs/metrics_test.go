@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.CounterOf("x_total", "help", L("m", "open"))
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.CounterOf("x_total", "help", L("m", "open")); again != c {
+		t.Fatal("CounterOf did not return the same instance for equal labels")
+	}
+	g := r.GaugeOf("depth", "", L("m", "open"))
+	g.Add(3)
+	g.Add(-1)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge = %d, want 2", got)
+	}
+}
+
+func TestRegistryKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.CounterOf("dual", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	r.GaugeOf("dual", "")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.Observe(0)  // bucket 0
+	h.Observe(1)  // bucket 1
+	h.Observe(2)  // bucket 2 (len=2)
+	h.Observe(3)  // bucket 2
+	h.Observe(-5) // negative counts as zero: bucket 0
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	if s.Sum != 6 {
+		t.Fatalf("sum = %d, want 6", s.Sum)
+	}
+	want := map[int]uint64{0: 2, 1: 1, 2: 2}
+	for i, n := range s.Buckets {
+		if n != want[i] {
+			t.Fatalf("bucket[%d] = %d, want %d", i, n, want[i])
+		}
+	}
+	if q := s.Quantile(0.5); q != 1 {
+		t.Fatalf("p50 = %g, want 1 (upper bound of bucket 1)", q)
+	}
+	if q := s.Quantile(1); q != 3 {
+		t.Fatalf("p100 = %g, want 3", q)
+	}
+	if m := s.Mean(); m != 6.0/5.0 {
+		t.Fatalf("mean = %g", m)
+	}
+}
+
+func TestHistogramOverflowClamped(t *testing.T) {
+	var h Histogram
+	h.Observe(int64(1) << 62) // Len64 = 63, beyond the top bucket
+	s := h.Snapshot()
+	if s.Buckets[HistBuckets-1] != 1 {
+		t.Fatalf("overflow not absorbed by top bucket: %v", s.Buckets[HistBuckets-1])
+	}
+}
+
+// TestHistogramMergeRace exercises the satellite requirement: merging is
+// race-clean while both histograms are concurrently observed into.
+func TestHistogramMergeRace(t *testing.T) {
+	var a, b, sink Histogram
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for _, h := range []*Histogram{&a, &b} {
+		wg.Add(1)
+		go func(h *Histogram) {
+			defer wg.Done()
+			for i := int64(0); ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					h.Observe(i % 4096)
+				}
+			}
+		}(h)
+	}
+	for i := 0; i < 200; i++ {
+		sink.Merge(&a)
+		sink.Merge(&b)
+		_ = sink.Snapshot()
+	}
+	close(stop)
+	wg.Wait()
+	// Deterministic check once writers are quiet.
+	var c, d Histogram
+	c.Observe(10)
+	c.Observe(100)
+	d.Observe(1000)
+	d.Merge(&c)
+	s := d.Snapshot()
+	if s.Count != 3 || s.Sum != 1110 {
+		t.Fatalf("merge result count=%d sum=%d, want 3/1110", s.Count, s.Sum)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.CounterOf("am_ops_total", "Operations.", L("method", "open")).Add(7)
+	r.GaugeOf("am_depth", "Queue depth.").Set(3)
+	r.GaugeFunc("am_live", "Live value.", func() float64 { return 1.5 })
+	h := r.HistogramOf("am_lat_ns", "Latency.", L("method", "open"))
+	h.Observe(5) // bucket 3, le=7
+	r.Collect(func(emit EmitFunc) {
+		emit("am_pull", "Pulled.", []Label{L("component", "svc")}, 42)
+	})
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE am_ops_total counter",
+		`am_ops_total{method="open"} 7`,
+		"# TYPE am_depth gauge",
+		"am_depth 3",
+		"am_live 1.5",
+		"# TYPE am_lat_ns histogram",
+		`am_lat_ns_bucket{method="open",le="7"} 1`,
+		`am_lat_ns_bucket{method="open",le="+Inf"} 1`,
+		`am_lat_ns_sum{method="open"} 5`,
+		`am_lat_ns_count{method="open"} 1`,
+		"# TYPE am_pull gauge",
+		`am_pull{component="svc"} 42`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	if got := renderLabels([]Label{L("k", "a\"b\\c\nd")}); got != `{k="a\"b\\c\nd"}` {
+		t.Fatalf("escaped labels = %s", got)
+	}
+}

@@ -1,0 +1,269 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/aspect"
+	"repro/internal/moderator"
+)
+
+// newBufferModerator builds a moderator guarding a one-sided buffer: get
+// blocks while empty, put deposits and wakes get. The wake lists group
+// the two methods into one admission domain, so the shared counter needs
+// no locking.
+func newBufferModerator(t *testing.T) *moderator.Moderator {
+	t.Helper()
+	mod := moderator.New("svc")
+	items := 0
+	get := &aspect.Func{
+		AspectName: "sync-get", AspectKind: aspect.KindSynchronization,
+		Pre: func(*aspect.Invocation) aspect.Verdict {
+			if items == 0 {
+				return aspect.Block
+			}
+			items--
+			return aspect.Resume
+		},
+		WakeList: []string{"put"},
+	}
+	put := &aspect.Func{
+		AspectName: "sync-put", AspectKind: aspect.KindSynchronization,
+		Post:     func(*aspect.Invocation) { items++ },
+		WakeList: []string{"get"},
+	}
+	if err := mod.Register("get", aspect.KindSynchronization, get); err != nil {
+		t.Fatal(err)
+	}
+	if err := mod.Register("put", aspect.KindSynchronization, put); err != nil {
+		t.Fatal(err)
+	}
+	deny := &aspect.Func{AspectName: "deny", AspectKind: aspect.KindAuthorization,
+		Pre: func(*aspect.Invocation) aspect.Verdict { return aspect.Abort }}
+	if err := mod.Register("admin", aspect.KindAuthorization, deny); err != nil {
+		t.Fatal(err)
+	}
+	return mod
+}
+
+func invoke(t *testing.T, mod *moderator.Moderator, method string) {
+	t.Helper()
+	inv := aspect.NewInvocation(nil, "svc", method, nil)
+	adm, err := mod.Preactivation(inv)
+	if err != nil {
+		t.Fatalf("%s: %v", method, err)
+	}
+	mod.Postactivation(inv, adm)
+}
+
+func waitFor(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestCollectorEndToEnd(t *testing.T) {
+	mod := newBufferModerator(t)
+	c := NewCollector(WithSampleEvery(1), WithRingCapacity(128))
+	mod.SetTracer(c)
+	c.Watch(mod)
+
+	invoke(t, mod, "put")
+	invoke(t, mod, "get")
+
+	// Park a getter on the empty buffer, then wake it with a put.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		inv := aspect.NewInvocation(nil, "svc", "get", nil)
+		adm, err := mod.Preactivation(inv)
+		if err == nil {
+			mod.Postactivation(inv, adm)
+		}
+	}()
+	waitFor(t, func() bool { return mod.Waiting("get") == 1 }, "getter to park")
+	invoke(t, mod, "put")
+	<-done
+
+	// An aborted invocation.
+	inv := aspect.NewInvocation(nil, "svc", "admin", nil)
+	if _, err := mod.Preactivation(inv); err == nil {
+		t.Fatal("admin admission unexpectedly succeeded")
+	}
+
+	reg := c.Registry()
+	if got := reg.CounterOf("am_parks_total", "",
+		L("method", "get"), L("kind", "synchronization")).Value(); got != 1 {
+		t.Fatalf("am_parks_total = %d, want 1", got)
+	}
+	if got := reg.GaugeOf("am_waiting", "", L("method", "get")).Value(); got != 0 {
+		t.Fatalf("am_waiting = %d, want 0 after wake", got)
+	}
+	if got := reg.CounterOf("am_tickets_total", "", L("method", "get")).Value(); got != 1 {
+		t.Fatalf("am_tickets_total = %d, want 1", got)
+	}
+	if got := reg.CounterOf("am_sampled_aborts_total", "", L("method", "admin")).Value(); got != 1 {
+		t.Fatalf("am_sampled_aborts_total = %d, want 1", got)
+	}
+	if got := reg.CounterOf("am_verdicts_total", "",
+		L("method", "admin"), L("verdict", "abort")).Value(); got != 1 {
+		t.Fatalf("abort verdict count = %d, want 1", got)
+	}
+	wait := reg.HistogramOf("am_wait_ns", "", L("method", "get")).Snapshot()
+	if wait.Count != 1 || wait.Sum <= 0 {
+		t.Fatalf("am_wait_ns count=%d sum=%d, want one positive wait", wait.Count, wait.Sum)
+	}
+	// Sampled admissions: put, put, get, get = 4 (every invocation at rate 1).
+	admits := reg.CounterOf("am_sampled_admissions_total", "", L("method", "put")).Value() +
+		reg.CounterOf("am_sampled_admissions_total", "", L("method", "get")).Value()
+	if admits != 4 {
+		t.Fatalf("sampled admissions = %d, want 4", admits)
+	}
+
+	// The event stream: park and wake for get, in order, same domain.
+	events := c.Events(0)
+	var park, wake *Event
+	for i := range events {
+		e := &events[i]
+		if e.Method != "get" {
+			continue
+		}
+		switch e.Op {
+		case "park":
+			park = e
+		case "wake":
+			wake = e
+		}
+	}
+	if park == nil || wake == nil {
+		t.Fatalf("missing park/wake events in %d events", len(events))
+	}
+	if park.Domain == 0 || park.Domain != wake.Domain {
+		t.Fatalf("park/wake domains = %d/%d, want equal and nonzero", park.Domain, wake.Domain)
+	}
+	if park.Seq >= wake.Seq {
+		t.Fatalf("park seq %d not before wake seq %d", park.Seq, wake.Seq)
+	}
+	if park.Depth != 1 {
+		t.Fatalf("park depth = %d, want 1", park.Depth)
+	}
+	if wake.Nanos <= 0 {
+		t.Fatalf("wake duration = %d, want > 0", wake.Nanos)
+	}
+	if park.Aspect != "sync-get" {
+		t.Fatalf("park blocked-by = %q, want sync-get", park.Aspect)
+	}
+
+	// Pull-side exact aggregates in the exposition.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`am_admissions_total{component="svc"} 4`,
+		`am_blocks_total{component="svc"} 1`,
+		`am_aborts_total{component="svc"} 1`,
+		`am_completions_total{component="svc"} 4`,
+		`am_parked{component="svc",method="get"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+
+	// Describe reflects the watched moderator.
+	snap := c.Describe()
+	if len(snap.Components) != 1 || snap.Components[0].Name != "svc" {
+		t.Fatalf("describe components = %+v", snap.Components)
+	}
+	dc := snap.Components[0]
+	if dc.Stats.Admissions != 4 || dc.Stats.Blocks != 1 || dc.Stats.Aborts != 1 {
+		t.Fatalf("describe stats = %+v", dc.Stats)
+	}
+	if len(dc.Layers) == 0 {
+		t.Fatal("describe has no layers")
+	}
+	if len(dc.Domains) == 0 {
+		t.Fatal("describe has no domains for a sharded moderator")
+	}
+}
+
+// TestSamplingStillTracksParks pins the contract: at a high sampling rate
+// detailed events thin out, but park/wake remains exact.
+func TestSamplingStillTracksParks(t *testing.T) {
+	mod := newBufferModerator(t)
+	c := NewCollector(WithSampleEvery(1 << 20))
+	mod.SetTracer(c)
+
+	for i := 0; i < 100; i++ {
+		invoke(t, mod, "put")
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 101; i++ { // one more get than items: the last parks
+			inv := aspect.NewInvocation(nil, "svc", "get", nil)
+			adm, err := mod.Preactivation(inv)
+			if err == nil {
+				mod.Postactivation(inv, adm)
+			}
+		}
+	}()
+	waitFor(t, func() bool { return mod.Waiting("get") == 1 }, "getter to park")
+	invoke(t, mod, "put")
+	<-done
+
+	reg := c.Registry()
+	if got := reg.CounterOf("am_parks_total", "",
+		L("method", "get"), L("kind", "synchronization")).Value(); got != 1 {
+		t.Fatalf("am_parks_total = %d, want 1 (exact despite sampling)", got)
+	}
+	// Detailed admissions are sampled out at this rate.
+	admits := reg.CounterOf("am_sampled_admissions_total", "", L("method", "put")).Value()
+	if admits != 0 {
+		t.Fatalf("sampled admissions = %d, want 0 at 1-in-2^20", admits)
+	}
+}
+
+// TestReferenceTracer checks the mirror hooks in the single-mutex oracle.
+func TestReferenceTracer(t *testing.T) {
+	ref := moderator.NewReference("oracle")
+	pass := &aspect.Func{AspectName: "pass", AspectKind: aspect.KindSynchronization}
+	if err := ref.Register("m", aspect.KindSynchronization, pass); err != nil {
+		t.Fatal(err)
+	}
+	c := NewCollector(WithSampleEvery(1))
+	ref.SetTracer(c)
+	c.Watch(ref)
+
+	inv := aspect.NewInvocation(nil, "oracle", "m", nil)
+	adm, err := ref.Preactivation(inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.Postactivation(inv, adm)
+
+	if got := c.Registry().CounterOf("am_sampled_admissions_total", "", L("method", "m")).Value(); got != 1 {
+		t.Fatalf("reference sampled admissions = %d, want 1", got)
+	}
+	events := c.Events(0)
+	if len(events) == 0 {
+		t.Fatal("no events from reference moderator")
+	}
+	var sawComplete bool
+	for _, e := range events {
+		if e.Op == "complete" {
+			sawComplete = true
+		}
+	}
+	if !sawComplete {
+		t.Fatal("no complete event from reference moderator")
+	}
+}
