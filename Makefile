@@ -1,6 +1,7 @@
 # Verification stages for the aspect-moderator reproduction.
 #
 #   make tier1       — build + full test suite (the gating check)
+#   make lint        — go vet, plus staticcheck when it is on PATH
 #   make race        — full suite under the race detector, plus a focused
 #                      double-count pass over the sharded-moderator stress
 #                      and differential-oracle tests, and the obs
@@ -8,19 +9,29 @@
 #   make fuzz-smoke  — 10s of coverage-guided fuzzing per wire-decode target
 #   make bench       — regenerate the committed BENCH_2.json + BENCH_3.json
 #                      baselines in one interleaved pass
+#   make bench-matrix — regenerate the committed BENCH_4.json GOMAXPROCS x
+#                      workload matrix (best-of-5, variants interleaved)
 #   make obs-smoke   — boot ticketd with -obs, drive load, assert /metrics
 #                      and /trace serve live non-empty data
-#   make check       — tier1 + race + fuzz-smoke + obs-smoke
+#   make check       — tier1 + lint + race + fuzz-smoke + obs-smoke
 
 GO ?= go
 FUZZTIME ?= 10s
 OBS_SMOKE_DIR := $(or $(TMPDIR),/tmp)/obs-smoke
 
-.PHONY: tier1 race fuzz-smoke bench obs-smoke check
+.PHONY: tier1 lint race fuzz-smoke bench bench-matrix obs-smoke check
 
 tier1:
 	$(GO) build ./...
 	$(GO) test ./...
+
+lint:
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping (go vet ran)"; \
+	fi
 
 race:
 	$(GO) test -race ./...
@@ -29,6 +40,9 @@ race:
 
 bench:
 	$(GO) run ./cmd/ambench -json BENCH_2.json -obs-json BENCH_3.json
+
+bench-matrix:
+	$(GO) run ./cmd/ambench -matrix-json BENCH_4.json
 
 fuzz-smoke:
 	$(GO) test ./internal/amrpc -run '^$$' -fuzz '^FuzzDecodeRequest$$' -fuzztime $(FUZZTIME)
@@ -56,4 +70,4 @@ obs-smoke:
 		$(OBS_SMOKE_DIR)/ticketcli obs -url http://127.0.0.1:7942 -view summary | grep -q "sampling" || { echo "obs-smoke: ticketcli obs summary failed"; exit 1; }'
 	@echo "obs-smoke: OK"
 
-check: tier1 race fuzz-smoke obs-smoke
+check: tier1 lint race fuzz-smoke obs-smoke

@@ -7,6 +7,7 @@
 //	ambench -ops 100000              # heavier measurements
 //	ambench -json BENCH_2.json       # E12 only: write the domains baseline
 //	ambench -obs-json BENCH_3.json   # E13 only: write the obs overhead baseline
+//	ambench -matrix-json BENCH_4.json  # E14 only: write the GOMAXPROCS matrix baseline
 //
 // Passing BOTH -json and -obs-json is the canonical baseline run (what
 // `make bench` does): the contended variants of E12 and E13 are measured
@@ -28,11 +29,12 @@ import (
 
 func main() {
 	var (
-		ops      = flag.Int("ops", 0, "operations per measurement (0 = default)")
-		quick    = flag.Bool("quick", false, "trim sweeps for a fast smoke run")
-		only     = flag.String("only", "", "comma-separated experiment ids (e.g. E1,E3)")
-		jsonPath = flag.String("json", "", "run the E12 domain families and write the JSON report to this path")
-		obsPath  = flag.String("obs-json", "", "run the E13 obs overhead family and write the JSON report to this path")
+		ops        = flag.Int("ops", 0, "operations per measurement (0 = default)")
+		quick      = flag.Bool("quick", false, "trim sweeps for a fast smoke run")
+		only       = flag.String("only", "", "comma-separated experiment ids (e.g. E1,E3)")
+		jsonPath   = flag.String("json", "", "run the E12 domain families and write the JSON report to this path")
+		obsPath    = flag.String("obs-json", "", "run the E13 obs overhead family and write the JSON report to this path")
+		matrixPath = flag.String("matrix-json", "", "run the E14 GOMAXPROCS x workload matrix and write the JSON report to this path")
 	)
 	flag.Parse()
 
@@ -42,6 +44,9 @@ func main() {
 	}
 
 	switch {
+	case *matrixPath != "":
+		writeJSONReport(*matrixPath, func() (any, error) { return bench.Matrix(cfg) })
+		return
 	case *jsonPath != "" && *obsPath != "":
 		domRep, obsRep, err := bench.Baselines(cfg)
 		if err != nil {

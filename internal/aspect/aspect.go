@@ -139,6 +139,32 @@ type Abandoner interface {
 	Abandon(inv *Invocation)
 }
 
+// NonBlocking is implemented by aspects that declare their Precondition
+// never returns Block and that none of their hooks touch cross-invocation
+// guard state (state shared between invocations that the admission lock
+// would otherwise serialize). Stateless authentication checks, passive
+// audit/metrics recorders, and aspects whose state is internally
+// synchronized (atomics, their own mutex) qualify; capacity guards,
+// semaphores, and barriers do not.
+//
+// The declaration is a capability grant: when every aspect guarding a
+// method is NonBlocking, the moderator may evaluate the whole stack on a
+// lock-free fast path — no admission mutex, no wake broadcast — because a
+// stack that cannot block and touches no guard state can neither park a
+// caller nor unblock one. NonBlocking preconditions may still return
+// Abort (rejecting is not blocking); Cancel hooks run as usual during
+// rollback.
+//
+// NonBlocking is consulted when the composition snapshot is published
+// (registration, layer churn, grouping), not per invocation. Returning
+// Block from a Precondition that declared NonBlocking is a contract
+// violation: the fast path rejects the invocation with an error instead
+// of parking the caller.
+type NonBlocking interface {
+	// NonBlocking reports whether the aspect honours the contract above.
+	NonBlocking() bool
+}
+
 // Waker is implemented by aspects whose Postaction changes state that
 // blocked callers of other methods may be waiting on. Wakes returns the
 // names of the methods whose wait queues should be notified after this
@@ -164,13 +190,18 @@ type Func struct {
 	CancelFn   func(inv *Invocation)
 	AbandonFn  func(inv *Invocation)
 	WakeList   []string
+	// NonBlockingFlag opts the adapter into the NonBlocking contract.
+	// Set it only when Pre never returns Block and no hook touches
+	// cross-invocation guard state; see the NonBlocking interface.
+	NonBlockingFlag bool
 }
 
 var (
-	_ Aspect    = (*Func)(nil)
-	_ Canceler  = (*Func)(nil)
-	_ Waker     = (*Func)(nil)
-	_ Abandoner = (*Func)(nil)
+	_ Aspect      = (*Func)(nil)
+	_ Canceler    = (*Func)(nil)
+	_ Waker       = (*Func)(nil)
+	_ Abandoner   = (*Func)(nil)
+	_ NonBlocking = (*Func)(nil)
 )
 
 // Name implements Aspect.
@@ -215,6 +246,9 @@ func (f *Func) Abandon(inv *Invocation) {
 
 // Wakes implements Waker.
 func (f *Func) Wakes() []string { return f.WakeList }
+
+// NonBlocking implements NonBlocking; it reports the adapter's flag.
+func (f *Func) NonBlocking() bool { return f.NonBlockingFlag }
 
 // New returns a Func aspect with the given name, kind, and hooks. Either
 // hook may be nil.

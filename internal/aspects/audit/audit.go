@@ -125,6 +125,9 @@ func (t *Trail) Aspect(name string) aspect.Aspect {
 	return &aspect.Func{
 		AspectName: name,
 		AspectKind: aspect.KindAudit,
+		// The trail carries its own mutex (it spans components), so the
+		// aspect needs no admission lock and never blocks.
+		NonBlockingFlag: true,
 		Pre: func(inv *aspect.Invocation) aspect.Verdict {
 			t.record(inv, PhasePre)
 			return aspect.Resume

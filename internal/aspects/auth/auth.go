@@ -132,6 +132,9 @@ func Authenticator(name string, store *TokenStore) aspect.Aspect {
 	return &aspect.Func{
 		AspectName: name,
 		AspectKind: aspect.KindAuthentication,
+		// Resolves against the internally-locked TokenStore and writes
+		// only invocation attributes; never blocks.
+		NonBlockingFlag: true,
 		Pre: func(inv *aspect.Invocation) aspect.Verdict {
 			tok, ok := TokenOf(inv)
 			if !ok {
@@ -177,6 +180,8 @@ func Authorizer(name string, acl ACL) aspect.Aspect {
 	return &aspect.Func{
 		AspectName: name,
 		AspectKind: aspect.KindAuthorization,
+		// Stateless check over the immutable ACL; never blocks.
+		NonBlockingFlag: true,
 		Pre: func(inv *aspect.Invocation) aspect.Verdict {
 			p := PrincipalOf(inv)
 			if p == nil {

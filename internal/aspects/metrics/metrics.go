@@ -112,6 +112,9 @@ func (r *Recorder) Aspect(name string) aspect.Aspect {
 	return &aspect.Func{
 		AspectName: name,
 		AspectKind: aspect.KindMetrics,
+		// The recorder carries its own mutex (it spans components), so
+		// the aspect needs no admission lock and never blocks.
+		NonBlockingFlag: true,
 		Pre: func(inv *aspect.Invocation) aspect.Verdict {
 			inv.SetAttr(startKey{}, r.now())
 			return aspect.Resume

@@ -67,6 +67,9 @@ func (a *Auditor) Aspect(name string) aspect.Aspect {
 	return &aspect.Func{
 		AspectName: name,
 		AspectKind: Kind,
+		// Passive observer: never blocks, and the collector carries its
+		// own synchronization — eligible for the lock-free fast path.
+		NonBlockingFlag: true,
 		Pre: func(inv *aspect.Invocation) aspect.Verdict {
 			if a.sampled() {
 				inv.SetAttr(key, time.Now())

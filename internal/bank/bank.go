@@ -81,6 +81,19 @@ func (s *Snapshot) Methods() []string {
 	return out
 }
 
+// EachMethod calls fn once per participating method that has at least one
+// aspect registered, in unspecified order, without allocating. Callers that
+// need a stable order use Methods instead; plan compilation (which merges
+// methods from several layers into a map anyway) uses this.
+func (s *Snapshot) EachMethod(fn func(method string)) {
+	if s == nil {
+		return
+	}
+	for m := range s.byMethod {
+		fn(m)
+	}
+}
+
 // Kinds returns the distinct kinds registered for a method, in registration
 // order of their first occurrence.
 func (s *Snapshot) Kinds(method string) []aspect.Kind {

@@ -107,6 +107,7 @@ var Experiments = []Experiment{
 	{"E11", E11Coordination},
 	{"E12", E12Domains},
 	{"E13", E13Obs},
+	{"E14", E14Matrix},
 }
 
 // All runs the experiments whose ids are listed (every experiment when ids

@@ -1,0 +1,410 @@
+package bench
+
+// E14 — the GOMAXPROCS × workload benchmark matrix, written to
+// BENCH_4.json by `ambench -matrix-json` (`make bench-matrix`). Where E12
+// measures each family once at the ambient GOMAXPROCS, the matrix sweeps
+// procs ∈ {1, 4, 8} so the committed baseline pins how the speedups scale
+// with available parallelism, and adds a fourth family for the compiled
+// plans + lock-free fast path work:
+//
+//   - pure-stack: a stack of NonBlocking audit aspects admitted through
+//     the lock-free fast path ("fast") versus the byte-identical stack
+//     without the NonBlocking capability, which must take the domain
+//     mutex ("mutex"). Both run on the sharded Moderator; the comparison
+//     isolates what the capability buys, not what sharding buys.
+//
+// The sharded-vs-reference families reuse the E12 workloads so the two
+// baselines stay comparable. Every cell is best-of-benchTrials with the
+// variants interleaved (see measureContended for why).
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/aspect"
+	"repro/internal/moderator"
+)
+
+// MatrixSchema identifies the BENCH_4.json format.
+const MatrixSchema = "ambench/matrix-v1"
+
+// FamilyPure is the fast-path-vs-mutex family, matrix only.
+const FamilyPure = "pure-stack"
+
+// MatrixVariant names, shared with the baseline test.
+const (
+	VariantSharded   = "sharded"
+	VariantReference = "reference"
+	VariantFast      = "fast"
+	VariantMutex     = "mutex"
+)
+
+// MatrixProcs is the GOMAXPROCS sweep every complete report covers.
+var MatrixProcs = []int{1, 4, 8}
+
+// MatrixFamilyNames lists every family a complete report must contain at
+// each procs setting.
+var MatrixFamilyNames = []string{FamilyContended, FamilyLatency, FamilyChurn, FamilyPure}
+
+// MatrixReport is the JSON-serializable result of the E14 matrix.
+type MatrixReport struct {
+	Schema string       `json:"schema"`
+	NumCPU int          `json:"num_cpu"`
+	Procs  []int        `json:"procs"`
+	Cells  []MatrixCell `json:"cells"`
+}
+
+// MatrixCell is one (procs, family) measurement.
+type MatrixCell struct {
+	Procs  int            `json:"procs"`
+	Family string         `json:"family"`
+	Unit   string         `json:"unit"` // "ops/s" or "ns/op"
+	Params map[string]int `json:"params"`
+	// Variants maps variant name to its measured value in Unit.
+	Variants map[string]float64 `json:"variants"`
+	// Speedup is the first variant's advantage over the second, normalized
+	// so bigger is better for both units (throughput a/b, latency b/a).
+	Speedup float64 `json:"speedup"`
+}
+
+// Cell returns the (procs, family) cell, or false if absent.
+func (r *MatrixReport) Cell(procs int, family string) (MatrixCell, bool) {
+	for _, c := range r.Cells {
+		if c.Procs == procs && c.Family == family {
+			return c, true
+		}
+	}
+	return MatrixCell{}, false
+}
+
+// pureStackDepth is how many audit aspects the pure-stack family chains.
+// Deep enough that the per-aspect precondition loop shows up, shallow
+// enough that admission bookkeeping still dominates.
+const pureStackDepth = 3
+
+// newPureModerator builds a sharded moderator whose methods each carry a
+// stack of no-op audit aspects. With fast=true the aspects declare the
+// NonBlocking capability, making every plan pure and fast-path eligible;
+// with fast=false the same stacks admit through the domain mutex.
+func newPureModerator(fast bool, methods int) (*moderator.Moderator, error) {
+	m := moderator.New("bench-pure")
+	for i := 0; i < methods; i++ {
+		meth := fmt.Sprintf("m%d", i)
+		for j := 0; j < pureStackDepth; j++ {
+			a := &aspect.Func{
+				AspectName:      fmt.Sprintf("audit-%d-%d", i, j),
+				AspectKind:      aspect.KindAudit,
+				NonBlockingFlag: fast,
+			}
+			if err := m.Register(meth, aspect.KindAudit, a); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return m, nil
+}
+
+// pureThroughput drives totalOps admissions from `goroutines` workers
+// striped over `methods` methods, each worker reusing ONE invocation
+// record for all its ops. The general driver (domainsThroughput)
+// allocates a fresh invocation per op, which is realistic for end-to-end
+// families but makes the measurement allocator-bound once the admission
+// path itself stops allocating: the faster variant generates more garbage
+// per second and hands its advantage to the garbage collector. The
+// pure-stack family isolates the admission mechanism, so it reuses the
+// record (admission never retains it).
+func pureThroughput(impl moderator.Admitter, methods, goroutines, totalOps int) (float64, error) {
+	perG := totalOps / goroutines
+	errs := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < goroutines; g++ {
+		inv := aspect.NewInvocation(nil, "bench", fmt.Sprintf("m%d", g%methods), nil)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				adm, err := impl.Preactivation(inv)
+				if err != nil {
+					errs <- err
+					return
+				}
+				impl.Postactivation(inv, adm)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errs:
+		return 0, err
+	default:
+	}
+	return float64(perG*goroutines) / elapsed.Seconds(), nil
+}
+
+// matrixVariant is one prepared throughput target inside a cell.
+type matrixVariant struct {
+	name string
+	impl moderator.Admitter
+	best float64
+}
+
+// measureMatrixThroughput runs `trials` interleaved rounds over the
+// variants (same rationale as measureContended), keeping each variant's
+// best observed ops/s.
+func measureMatrixThroughput(trials, methods, goroutines, totalOps int, variants []*matrixVariant) error {
+	for trial := 0; trial < trials; trial++ {
+		for _, v := range variants {
+			ops, err := domainsThroughput(v.impl, methods, goroutines, totalOps)
+			if err != nil {
+				return err
+			}
+			if ops > v.best {
+				v.best = ops
+			}
+		}
+	}
+	return nil
+}
+
+// throughputCell builds one ops/s cell from measured variants. The
+// speedup numerator is variants[0].
+func throughputCell(procs int, family string, methods, goroutines int, variants []*matrixVariant) MatrixCell {
+	c := MatrixCell{
+		Procs:    procs,
+		Family:   family,
+		Unit:     "ops/s",
+		Params:   map[string]int{"methods": methods, "goroutines": goroutines},
+		Variants: make(map[string]float64, len(variants)),
+	}
+	for _, v := range variants {
+		c.Variants[v.name] = v.best
+	}
+	c.Speedup = variants[0].best / variants[1].best
+	return c
+}
+
+// matrixContended measures the E12 contended workload at the current
+// GOMAXPROCS, sharded vs reference.
+func matrixContended(cfg Config, trials, procs int) (MatrixCell, error) {
+	const methods, goroutines = 8, 32
+	variants := make([]*matrixVariant, 0, 2)
+	for _, s := range []struct {
+		name    string
+		sharded bool
+	}{{VariantSharded, true}, {VariantReference, false}} {
+		impl, err := newDomainsModerator(s.sharded, methods)
+		if err != nil {
+			return MatrixCell{}, err
+		}
+		if _, err := domainsThroughput(impl, methods, goroutines, 2000); err != nil { // warm-up
+			return MatrixCell{}, err
+		}
+		variants = append(variants, &matrixVariant{name: s.name, impl: impl})
+	}
+	if err := measureMatrixThroughput(trials, methods, goroutines, cfg.ops()*5, variants); err != nil {
+		return MatrixCell{}, err
+	}
+	return throughputCell(procs, FamilyContended, methods, goroutines, variants), nil
+}
+
+// matrixPure measures the pure-stack workload at the current GOMAXPROCS,
+// fast path vs mutex path. One worker per method: the families above
+// oversubscribe on purpose (contention is their subject), but here the
+// subject is the admission mechanism itself, and oversubscription on a
+// small host adds OS scheduling noise that swamps the mechanism under
+// measurement — with a pure stack every goroutine is always runnable, so
+// extra workers buy no extra admission concurrency.
+func matrixPure(cfg Config, trials, procs int) (MatrixCell, error) {
+	const methods, goroutines = 8, 8
+	variants := make([]*matrixVariant, 0, 2)
+	for _, s := range []struct {
+		name string
+		fast bool
+	}{{VariantFast, true}, {VariantMutex, false}} {
+		impl, err := newPureModerator(s.fast, methods)
+		if err != nil {
+			return MatrixCell{}, err
+		}
+		if _, err := pureThroughput(impl, methods, goroutines, 2000); err != nil { // warm-up
+			return MatrixCell{}, err
+		}
+		variants = append(variants, &matrixVariant{name: s.name, impl: impl})
+	}
+	totalOps := cfg.ops() * 5
+	for trial := 0; trial < trials; trial++ {
+		for _, v := range variants {
+			ops, err := pureThroughput(v.impl, methods, goroutines, totalOps)
+			if err != nil {
+				return MatrixCell{}, err
+			}
+			if ops > v.best {
+				v.best = ops
+			}
+		}
+	}
+	cell := throughputCell(procs, FamilyPure, methods, goroutines, variants)
+	cell.Params["depth"] = pureStackDepth
+	return cell, nil
+}
+
+// matrixLatency measures single-caller single-method admission latency,
+// sharded vs reference, interleaved, keeping each variant's best (lowest)
+// ns/op.
+func matrixLatency(cfg Config, trials, procs int) (MatrixCell, error) {
+	impls := make([]moderator.Admitter, 2)
+	for i, sharded := range []bool{true, false} {
+		impl, err := newDomainsModerator(sharded, 1)
+		if err != nil {
+			return MatrixCell{}, err
+		}
+		if _, err := latencyOnce(impl, 2000); err != nil { // warm-up
+			return MatrixCell{}, err
+		}
+		impls[i] = impl
+	}
+	// A latency round is milliseconds long, so a GC cycle or scheduler
+	// preemption landing inside one inflates it wholesale. Rounds are
+	// nearly free at this scale, so instead of trials long rounds the
+	// latency family takes the min over trials*16 rounds of a quarter the
+	// length (same interleaving discipline): rounds shorter than the GC
+	// period exist, and the min estimator finds the clean ones.
+	rounds, perRound := trials*16, cfg.ops()/4
+	if perRound < 500 {
+		perRound = 500
+	}
+	best := []float64{0, 0}
+	for trial := 0; trial < rounds; trial++ {
+		for i, impl := range impls {
+			ns, err := latencyOnce(impl, perRound)
+			if err != nil {
+				return MatrixCell{}, err
+			}
+			if best[i] == 0 || ns < best[i] {
+				best[i] = ns
+			}
+		}
+	}
+	return MatrixCell{
+		Procs:  procs,
+		Family: FamilyLatency,
+		Unit:   "ns/op",
+		Params: map[string]int{"methods": 1, "goroutines": 1},
+		Variants: map[string]float64{
+			VariantSharded:   best[0],
+			VariantReference: best[1],
+		},
+		Speedup: best[1] / best[0],
+	}, nil
+}
+
+// latencyOnce times n uncontended admissions through impl.
+func latencyOnce(impl moderator.Admitter, n int) (float64, error) {
+	return measure(n, func(i int) error {
+		inv := aspect.NewInvocation(nil, "bench", "m0", nil)
+		adm, err := impl.Preactivation(inv)
+		if err != nil {
+			return err
+		}
+		impl.Postactivation(inv, adm)
+		return nil
+	})
+}
+
+// matrixChurn measures admission throughput under continuous layer
+// add/remove, sharded vs reference, alternating per trial.
+func matrixChurn(cfg Config, trials, procs int) (MatrixCell, error) {
+	const methods, goroutines = 4, 8
+	best := map[string]float64{}
+	for trial := 0; trial < trials; trial++ {
+		for _, s := range []struct {
+			name    string
+			sharded bool
+		}{{VariantSharded, true}, {VariantReference, false}} {
+			ops, err := domainsChurn(cfg, s.sharded, methods, goroutines)
+			if err != nil {
+				return MatrixCell{}, err
+			}
+			if ops > best[s.name] {
+				best[s.name] = ops
+			}
+		}
+	}
+	return MatrixCell{
+		Procs:    procs,
+		Family:   FamilyChurn,
+		Unit:     "ops/s",
+		Params:   map[string]int{"methods": methods, "goroutines": goroutines},
+		Variants: map[string]float64{VariantSharded: best[VariantSharded], VariantReference: best[VariantReference]},
+		Speedup:  best[VariantSharded] / best[VariantReference],
+	}, nil
+}
+
+// Matrix runs the full E14 sweep and returns the JSON-serializable
+// report. GOMAXPROCS is mutated per procs setting and restored on return;
+// nothing else may run benchmarks concurrently.
+func Matrix(cfg Config) (MatrixReport, error) {
+	rep := MatrixReport{
+		Schema: MatrixSchema,
+		NumCPU: runtime.NumCPU(),
+		Procs:  append([]int(nil), MatrixProcs...),
+	}
+	trials := benchTrials
+	if cfg.Quick {
+		trials = 2
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, procs := range rep.Procs {
+		runtime.GOMAXPROCS(procs)
+		for _, run := range []func(Config, int, int) (MatrixCell, error){
+			matrixContended, matrixLatency, matrixChurn, matrixPure,
+		} {
+			cell, err := run(cfg, trials, procs)
+			if err != nil {
+				return rep, fmt.Errorf("matrix procs=%d: %w", procs, err)
+			}
+			rep.Cells = append(rep.Cells, cell)
+		}
+	}
+	return rep, nil
+}
+
+// E14Matrix renders the matrix as a standard experiment table so
+// `ambench` includes it in the default run.
+func E14Matrix(cfg Config) (Table, error) {
+	rep, err := Matrix(cfg)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:     "E14",
+		Title:  "GOMAXPROCS x workload matrix (incl. lock-free pure-stack fast path)",
+		Header: []string{"procs", "family", "params", "a", "b", "speedup"},
+		Notes: fmt.Sprintf("num_cpu=%d; a/b are sharded/reference, except pure-stack where they are fast/mutex; "+
+			"speedup normalized so >1 favors a", rep.NumCPU),
+	}
+	for _, c := range rep.Cells {
+		a, b := c.Variants[VariantSharded], c.Variants[VariantReference]
+		if c.Family == FamilyPure {
+			a, b = c.Variants[VariantFast], c.Variants[VariantMutex]
+		}
+		var av, bv string
+		if c.Unit == "ns/op" {
+			av, bv = fmtNs(a), fmtNs(b)
+		} else {
+			av, bv = fmtOps(a), fmtOps(b)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(c.Procs),
+			c.Family,
+			fmt.Sprintf("%dm/%dg", c.Params["methods"], c.Params["goroutines"]),
+			av, bv,
+			fmt.Sprintf("%.2fx", c.Speedup),
+		})
+	}
+	return t, nil
+}

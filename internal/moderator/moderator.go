@@ -188,14 +188,53 @@ type qkey struct {
 // under — not whatever the bank holds by then — runs its postactions. The
 // receipt holds the aspect objects themselves, so it stays valid even if
 // the layers they came from are removed while the method body runs.
+//
+// Sharded-moderator receipts are pooled: Postactivation recycles them, so
+// a receipt must not be retained or inspected after it has been passed
+// back.
 type Admission struct {
 	admitted []aspect.Aspect
+	// plan is the compiled plan the receipt was admitted under (sharded
+	// moderator only; nil for Reference receipts). A successful sharded
+	// admission always admits the whole plan, so admitted aliases
+	// plan.aspects and the receipt allocates nothing.
+	plan *compiledPlan
 	// d caches the admission domain the receipt was issued under (sharded
 	// moderator only), sparing Postactivation the domain-table lookup.
 	d *domain
 	// traced pins the pre-activation sampling decision so one invocation
 	// is traced (or not) consistently across both phases.
 	traced bool
+	// fast records that pre-activation ran on the lock-free path, making
+	// post-activation eligible for it too (subject to its own re-check).
+	fast bool
+	// shared marks the plan's immutable fast-path receipt (see
+	// compiledPlan.sharedAdm). Shared receipts are never zeroed or pooled.
+	shared bool
+}
+
+// admissionPool recycles sharded-moderator receipts. Reference receipts
+// are never pooled (their admitted slice is built per invocation).
+var admissionPool = sync.Pool{New: func() any { return new(Admission) }}
+
+func newAdmission(plan *compiledPlan, d *domain, traced, fast bool) *Admission {
+	adm := admissionPool.Get().(*Admission)
+	adm.admitted = plan.aspects
+	adm.plan = plan
+	adm.d = d
+	adm.traced = traced
+	adm.fast = fast
+	return adm
+}
+
+// releaseAdmission returns a pooled receipt. Only sharded receipts
+// (plan != nil) are recycled; nil and Reference receipts pass through.
+func releaseAdmission(adm *Admission) {
+	if adm == nil || adm.plan == nil || adm.shared {
+		return
+	}
+	*adm = Admission{}
+	admissionPool.Put(adm)
 }
 
 // Len returns the number of admitted aspects.
@@ -242,11 +281,64 @@ type compLayer struct {
 	snap *bank.Snapshot
 }
 
+// planEntry is one aspect of a compiled plan, with the layer and bank
+// coordinates it was resolved from (for trace events and error messages).
+type planEntry struct {
+	layer string
+	kind  aspect.Kind
+	a     aspect.Aspect
+}
+
+// planLayer is one layer's contiguous span of plan entries: entries[lo:hi]
+// admit (and roll back, and retry) as a unit.
+type planLayer struct {
+	name   string
+	lo, hi int
+}
+
+// compiledPlan is the publish-time resolution of one method's guard stack:
+// everything Preactivation would otherwise recompute per invocation —
+// layer spans, entry list, the admitted-aspect slice the receipt will
+// carry, the method's admission domain, the pure classification, and the
+// union of the aspects' wake targets. Plans are immutable once published;
+// the hot path reaches one with a single snapshot Load and map lookup.
+type compiledPlan struct {
+	method  string
+	entries []planEntry
+	// aspects lists every entry's aspect in admission order. A successful
+	// admission always admits the whole plan, so receipts alias this slice
+	// (prefixes of it name the partially-admitted state during rollback).
+	aspects []aspect.Aspect
+	layers  []planLayer
+	// d is the method's admission domain as of publication. Grouping
+	// republishes plans, so d can never go stale relative to the snapshot
+	// an invocation loaded.
+	d *domain
+	// pure means every entry declared aspect.NonBlocking: the stack can
+	// never park a caller and touches no cross-invocation guard state, so
+	// the lock-free fast path may run it.
+	pure bool
+	// wakeTargets is the sorted, deduplicated union of the entries'
+	// non-empty Waker lists; targeted is true when any entry declared one.
+	// Precomputing the union is sound because Wakes() lists are static
+	// declarations of guard-state span, not per-invocation decisions.
+	wakeTargets []string
+	targeted    bool
+	// sharedAdm is the one receipt every fast-path admission of a pure
+	// plan returns. A fast-path receipt carries no per-invocation state —
+	// every field is determined by the plan — so all concurrent admissions
+	// can share this immutable instance and the fast path never touches
+	// the receipt pool. Nil for impure plans.
+	sharedAdm *Admission
+}
+
 // compState is the immutable composition snapshot: the layer list,
 // outermost first, with each layer's bank contents fixed at publication
-// time. One atomic Load yields a mutually consistent view of everything.
+// time, plus the per-method compiled plans resolved from those contents.
+// One atomic Load yields a mutually consistent view of everything.
 type compState struct {
 	layers []compLayer
+	plans  map[string]*compiledPlan
 }
 
 func (cs *compState) find(name string) *compLayer {
@@ -341,6 +433,14 @@ type Moderator struct {
 	comp    atomic.Pointer[compState]
 	domains atomic.Pointer[domainTable]
 	tracer  atomic.Pointer[tracerBox]
+
+	// waiters counts callers currently parked (or about to park) on any
+	// wait queue of this moderator. It is incremented under the parking
+	// domain's mutex before the caller releases it inside Wait, so a
+	// fast-path reader that observes zero is guaranteed no caller was
+	// already parked at that instant — the condition under which skipping
+	// the wake fan-out is sound (see Preactivation's fast path).
+	waiters atomic.Int64
 }
 
 // New creates a moderator for the named component with a single base layer.
@@ -375,13 +475,65 @@ func (m *Moderator) Stats() Stats {
 }
 
 // republishLocked rebuilds and publishes the composition snapshot from the
-// layers' current bank contents. The admin mutex must be held.
+// layers' current bank contents, compiling one admission plan per guarded
+// method. The admin mutex must be held.
 func (m *Moderator) republishLocked(layers []compLayer) {
 	next := &compState{layers: make([]compLayer, len(layers))}
+	methods := make(map[string]bool)
 	for i, l := range layers {
 		next.layers[i] = compLayer{name: l.name, bank: l.bank, snap: l.bank.Snapshot()}
+		next.layers[i].snap.EachMethod(func(meth string) { methods[meth] = true })
+	}
+	next.plans = make(map[string]*compiledPlan, len(methods))
+	for meth := range methods {
+		next.plans[meth] = m.compilePlanLocked(next.layers, meth)
 	}
 	m.comp.Store(next)
+}
+
+// compilePlanLocked resolves one method's guard stack against the given
+// layer snapshots. The admin mutex must be held (the plan binds the
+// method's admission domain, creating it if needed).
+func (m *Moderator) compilePlanLocked(layers []compLayer, method string) *compiledPlan {
+	p := &compiledPlan{method: method, pure: true}
+	for _, l := range layers {
+		entries := l.snap.ForMethod(method)
+		if len(entries) == 0 {
+			continue
+		}
+		lo := len(p.entries)
+		for _, e := range entries {
+			p.entries = append(p.entries, planEntry{layer: l.name, kind: e.Kind, a: e.Aspect})
+			p.aspects = append(p.aspects, e.Aspect)
+			if nb, ok := e.Aspect.(aspect.NonBlocking); !ok || !nb.NonBlocking() {
+				p.pure = false
+			}
+			if w, ok := e.Aspect.(aspect.Waker); ok {
+				for _, t := range w.Wakes() {
+					if !containsString(p.wakeTargets, t) {
+						p.wakeTargets = append(p.wakeTargets, t)
+					}
+				}
+			}
+		}
+		p.layers = append(p.layers, planLayer{name: l.name, lo: lo, hi: len(p.entries)})
+	}
+	sort.Strings(p.wakeTargets) // deterministic cross-domain wake order
+	p.targeted = len(p.wakeTargets) > 0
+	p.d = m.domainForLocked(method)
+	if p.pure && len(p.entries) > 0 {
+		p.sharedAdm = &Admission{admitted: p.aspects, plan: p, d: p.d, fast: true, shared: true}
+	}
+	return p
+}
+
+func containsString(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
 }
 
 // Register stores an aspect at (method, kind) in the base layer — the
@@ -551,6 +703,9 @@ func (m *Moderator) groupLocked(methods []string) error {
 	}
 	next.rebuildAll(prev)
 	m.domains.Store(next)
+	// Compiled plans bind each method's domain; re-publish so no plan
+	// keeps pointing at a merged-away domain.
+	m.republishLocked(m.comp.Load().layers)
 	return nil
 }
 
@@ -581,6 +736,12 @@ func (m *Moderator) domainFor(method string) *domain {
 	}
 	m.admin.Lock()
 	defer m.admin.Unlock()
+	return m.domainForLocked(method)
+}
+
+// domainForLocked is domainFor for callers already holding the admin
+// mutex (plan compilation, which runs under it).
+func (m *Moderator) domainForLocked(method string) *domain {
 	dt := m.domains.Load()
 	if d := dt.byMethod[method]; d != nil {
 		return d
@@ -688,12 +849,6 @@ func wakeModeName(w WakeMode) string {
 	return "wake-broadcast"
 }
 
-// resolvedLayer is one layer's aspects as captured at pre-activation time.
-type resolvedLayer struct {
-	name    string
-	entries []bank.Entry
-}
-
 // Preactivation evaluates the preconditions of every aspect registered for
 // the invocation's method, layer by layer, blocking the caller as dictated
 // by Block verdicts. On success it returns the admission receipt, which
@@ -703,33 +858,43 @@ type resolvedLayer struct {
 // returned; Postactivation must not be called.
 //
 // All hooks run under the admission domain of the invoked method; callers
-// of methods in other domains proceed concurrently.
+// of methods in other domains proceed concurrently. A method whose whole
+// guard stack declares aspect.NonBlocking is admitted on a lock-free fast
+// path when no tracer is installed and no caller is parked anywhere on
+// the moderator (see preactivateFast).
 func (m *Moderator) Preactivation(inv *aspect.Invocation) (*Admission, error) {
 	// Resolve the composition once, from a single atomic snapshot:
-	// in-flight invocations are immune to concurrent re-composition.
-	cs := m.comp.Load()
-	plan := make([]resolvedLayer, 0, len(cs.layers))
-	total := 0
-	for _, l := range cs.layers {
-		entries := l.snap.ForMethod(inv.Method())
-		if len(entries) > 0 {
-			plan = append(plan, resolvedLayer{name: l.name, entries: entries})
-			total += len(entries)
-		}
-	}
-	d := m.domainFor(inv.Method())
-	tr, traced := m.tracer.Load().gate(&d.traceTick)
-	if total == 0 {
+	// in-flight invocations are immune to concurrent re-composition, and
+	// the plan was compiled when the snapshot was published — the hot
+	// path resolves nothing and allocates nothing.
+	plan := m.comp.Load().plans[inv.Method()]
+	tb := m.tracer.Load()
+	if plan == nil {
 		// No aspects guard this method: admit immediately.
+		d := m.domainFor(inv.Method())
+		g := tb.gate(&d.traceTick)
 		d.admissions.Add(1)
-		if traced {
-			tr.Trace(TraceEvent{Op: TraceAdmit, Component: m.name, Method: inv.Method(),
+		if g.detail() {
+			g.t.Trace(TraceEvent{Op: TraceAdmit, Component: m.name, Method: inv.Method(),
 				Domain: d.id, Invocation: inv.ID()})
 		}
 		return nil, nil
 	}
+	d := plan.d
+
+	// Lock-free fast path: a pure stack can neither park this caller nor
+	// (through guard state) unblock another, so the domain mutex buys
+	// nothing — provided nobody is parked (a parked caller's wake-up must
+	// stay ordered with completions, which the mutex path's fan-out
+	// provides) and no tracer is installed (events of one domain are
+	// serialized by its mutex).
+	if tb == nil && plan.pure && m.waiters.Load() == 0 {
+		return m.preactivateFast(inv, plan, d)
+	}
+
+	g := tb.gate(&d.traceTick)
 	var preStart time.Time
-	if traced {
+	if g.detail() {
 		preStart = time.Now()
 	}
 
@@ -738,36 +903,39 @@ func (m *Moderator) Preactivation(inv *aspect.Invocation) (*Admission, error) {
 
 	// The sticky arrival ticket keeps a re-parking caller's FIFO/LIFO
 	// position across guard re-evaluations; it is assigned lazily on the
-	// first Block.
+	// first Block. k counts admitted aspects: the admitted state is always
+	// the plan prefix plan.aspects[:k].
 	var ticket uint64
-	admitted := make([]aspect.Aspect, 0, total)
-	for _, l := range plan {
+	k := 0
+	for li := range plan.layers {
+		l := &plan.layers[li]
 		for {
-			mark := len(admitted)
+			mark := k
 			var blockedKind aspect.Kind
 			var blockedBy aspect.Aspect
 			blocked := false
 			var abortErr error
-			for _, e := range l.entries {
+			for i := l.lo; i < l.hi; i++ {
+				e := &plan.entries[i]
 				var hook0 time.Time
-				if traced {
+				if g.detail() {
 					hook0 = time.Now()
 				}
-				v := e.Aspect.Precondition(inv)
-				if traced {
-					tr.Trace(TraceEvent{Op: TraceVerdict, Component: m.name, Method: inv.Method(),
-						Domain: d.id, Layer: l.name, Aspect: e.Aspect.Name(), Kind: e.Kind,
+				v := e.a.Precondition(inv)
+				if g.detail() {
+					g.t.Trace(TraceEvent{Op: TraceVerdict, Component: m.name, Method: inv.Method(),
+						Domain: d.id, Layer: l.name, Aspect: e.a.Name(), Kind: e.kind,
 						Verdict: v, Invocation: inv.ID(), Nanos: time.Since(hook0).Nanoseconds()})
 				}
 				if v == aspect.Resume {
-					admitted = append(admitted, e.Aspect)
+					k++
 					continue
 				}
 				switch v {
 				case aspect.Block:
 					blocked = true
-					blockedKind = e.Kind
-					blockedBy = e.Aspect
+					blockedKind = e.kind
+					blockedBy = e.a
 				case aspect.Abort:
 					abortErr = inv.Err()
 					if abortErr == nil {
@@ -775,15 +943,15 @@ func (m *Moderator) Preactivation(inv *aspect.Invocation) (*Admission, error) {
 					}
 				default:
 					abortErr = fmt.Errorf("moderator %s: aspect %q returned invalid verdict %v: %w",
-						m.name, e.Aspect.Name(), v, aspect.ErrAborted)
+						m.name, e.a.Name(), v, aspect.ErrAborted)
 				}
 				break
 			}
 			if abortErr != nil {
-				cancelReverse(admitted, inv)
+				cancelReverse(plan.aspects[:k], inv)
 				d.aborts.Add(1)
-				if traced {
-					tr.Trace(TraceEvent{Op: TraceAbort, Component: m.name, Method: inv.Method(),
+				if g.detail() {
+					g.t.Trace(TraceEvent{Op: TraceAbort, Component: m.name, Method: inv.Method(),
 						Domain: d.id, Layer: l.name, Invocation: inv.ID(),
 						Nanos: time.Since(preStart).Nanoseconds(), Err: abortErr.Error()})
 				}
@@ -794,38 +962,41 @@ func (m *Moderator) Preactivation(inv *aspect.Invocation) (*Admission, error) {
 				break // layer fully admitted; next layer
 			}
 			// Roll back this layer's partial admissions, park, retry.
-			cancelReverse(admitted[mark:], inv)
-			admitted = admitted[:mark]
+			cancelReverse(plan.aspects[mark:k], inv)
+			k = mark
 			d.blocks.Add(1)
 			if ticket == 0 {
 				d.ticketSeq++
 				ticket = d.ticketSeq
-				if tr != nil {
-					tr.Trace(TraceEvent{Op: TraceTicket, Component: m.name, Method: inv.Method(),
+				if g.exact() {
+					g.t.Trace(TraceEvent{Op: TraceTicket, Component: m.name, Method: inv.Method(),
 						Domain: d.id, Kind: blockedKind, Invocation: inv.ID(), Ticket: ticket})
 				}
 			}
 			q := m.queueLocked(d, inv.Method(), blockedKind)
-			// The park/wake pair is traced for EVERY invocation when a
-			// tracer is installed (not only sampled ones): parking costs a
-			// scheduler round-trip anyway, and complete wait-duration data
-			// is the headline observability payload.
+			// Ticket, park, and wake are always-exact ops (see invTrace):
+			// traced for EVERY invocation when a tracer is installed, not
+			// only sampled ones — parking costs a scheduler round-trip
+			// anyway, and complete wait-duration data is the headline
+			// observability payload.
 			var parkStart time.Time
-			if tr != nil {
-				tr.Trace(TraceEvent{Op: TracePark, Component: m.name, Method: inv.Method(),
+			if g.exact() {
+				g.t.Trace(TraceEvent{Op: TracePark, Component: m.name, Method: inv.Method(),
 					Domain: d.id, Layer: l.name, Aspect: blockedBy.Name(), Kind: blockedKind,
 					Invocation: inv.ID(), Ticket: ticket, Depth: q.Len() + 1})
 				parkStart = time.Now()
 			}
+			m.waiters.Add(1)
 			err := q.Wait(inv.Context(), inv.Priority, ticket)
-			if tr != nil {
+			m.waiters.Add(-1)
+			if g.exact() {
 				wake := TraceEvent{Op: TraceWake, Component: m.name, Method: inv.Method(),
 					Domain: d.id, Kind: blockedKind, Invocation: inv.ID(), Ticket: ticket,
 					Nanos: time.Since(parkStart).Nanoseconds()}
 				if err != nil {
 					wake.Err = err.Error()
 				}
-				tr.Trace(wake)
+				g.t.Trace(wake)
 			}
 			if err != nil {
 				// The blocked caller abandons: let the blocking aspect
@@ -834,10 +1005,10 @@ func (m *Moderator) Preactivation(inv *aspect.Invocation) (*Admission, error) {
 				if ab, ok := blockedBy.(aspect.Abandoner); ok {
 					ab.Abandon(inv)
 				}
-				cancelReverse(admitted, inv)
+				cancelReverse(plan.aspects[:k], inv)
 				d.aborts.Add(1)
-				if traced {
-					tr.Trace(TraceEvent{Op: TraceAbort, Component: m.name, Method: inv.Method(),
+				if g.detail() {
+					g.t.Trace(TraceEvent{Op: TraceAbort, Component: m.name, Method: inv.Method(),
 						Domain: d.id, Layer: l.name, Invocation: inv.ID(),
 						Nanos: time.Since(preStart).Nanoseconds(), Err: err.Error()})
 				}
@@ -847,25 +1018,70 @@ func (m *Moderator) Preactivation(inv *aspect.Invocation) (*Admission, error) {
 		}
 	}
 	d.admissions.Add(1)
-	if traced {
-		tr.Trace(TraceEvent{Op: TraceAdmit, Component: m.name, Method: inv.Method(),
-			Domain: d.id, Invocation: inv.ID(), Aspects: len(admitted),
+	if g.detail() {
+		g.t.Trace(TraceEvent{Op: TraceAdmit, Component: m.name, Method: inv.Method(),
+			Domain: d.id, Invocation: inv.ID(), Aspects: k,
 			Nanos: time.Since(preStart).Nanoseconds()})
 	}
-	return &Admission{admitted: admitted, d: d, traced: traced}, nil
+	return newAdmission(plan, d, g.detail(), false), nil
+}
+
+// preactivateFast admits a pure (all-NonBlocking) plan without taking the
+// domain mutex. Safety rests on the NonBlocking contract: no entry touches
+// cross-invocation guard state, so there is no state the mutex would
+// protect, and no entry may return Block, so the caller never parks. The
+// caller has already checked that no tracer is installed and that no
+// caller is parked moderator-wide; admission counters are the existing
+// atomics. A Block verdict here is a contract violation and is converted
+// into an abort (rolling back like any rejection) rather than a park.
+func (m *Moderator) preactivateFast(inv *aspect.Invocation, plan *compiledPlan, d *domain) (*Admission, error) {
+	k := 0
+	for i := range plan.entries {
+		e := &plan.entries[i]
+		v := e.a.Precondition(inv)
+		if v == aspect.Resume {
+			k++
+			continue
+		}
+		var abortErr error
+		switch v {
+		case aspect.Abort:
+			abortErr = inv.Err()
+			if abortErr == nil {
+				abortErr = aspect.ErrAborted
+			}
+		case aspect.Block:
+			abortErr = fmt.Errorf("moderator %s: NonBlocking aspect %q returned Block: %w",
+				m.name, e.a.Name(), aspect.ErrAborted)
+		default:
+			abortErr = fmt.Errorf("moderator %s: aspect %q returned invalid verdict %v: %w",
+				m.name, e.a.Name(), v, aspect.ErrAborted)
+		}
+		cancelReverse(plan.aspects[:k], inv)
+		d.aborts.Add(1)
+		return nil, fmt.Errorf("moderator %s: %s pre-activation (layer %s): %w",
+			m.name, inv.Method(), e.layer, abortErr)
+	}
+	d.admissions.Add(1)
+	return plan.sharedAdm, nil
 }
 
 // Postactivation runs the postactions of every aspect the invocation was
 // admitted under (per the admission receipt), in reverse admission order —
 // innermost layer first — and wakes blocked callers. It must be called
 // exactly once per successful Preactivation, with the method body's
-// outcome recorded on the invocation. A nil admission (an unguarded
-// method) is a cheap no-op.
+// outcome recorded on the invocation; the receipt is recycled and must not
+// be used afterwards. A nil admission (an unguarded method) is a cheap
+// no-op.
 //
 // Postactions run under the invoked method's admission domain. Wake
 // targets inside that domain are notified while the domain mutex is still
 // held; targets in other domains are notified afterwards, one domain at a
-// time, so no two domain mutexes are ever held together.
+// time, so no two domain mutexes are ever held together. A fast-path
+// receipt (pure stack) completes without the mutex or the wake fan-out
+// when no tracer is installed and no caller is parked: pure postactions
+// touch no guard state, so they cannot unblock anyone, and with nobody
+// parked there is nobody to wake.
 func (m *Moderator) Postactivation(inv *aspect.Invocation, adm *Admission) {
 	var d *domain
 	if adm != nil && adm.d != nil {
@@ -874,21 +1090,27 @@ func (m *Moderator) Postactivation(inv *aspect.Invocation, adm *Admission) {
 		d = m.domainFor(inv.Method())
 	}
 	d.completions.Add(1)
-	var tr Tracer
-	traced := false
-	if b := m.tracer.Load(); b != nil {
-		tr = b.t
-		traced = adm != nil && adm.traced
-	}
+	tb := m.tracer.Load()
 	if adm.Len() == 0 {
-		if traced {
-			completeEvent(tr, m.name, inv, d.id, 0)
-		}
+		releaseAdmission(adm)
 		return
 	}
 	admitted := adm.admitted
+
+	if adm.fast && tb == nil && m.waiters.Load() == 0 {
+		for i := len(admitted) - 1; i >= 0; i-- {
+			admitted[i].Postaction(inv)
+		}
+		releaseAdmission(adm)
+		return
+	}
+
+	g := invTrace{}
+	if tb != nil {
+		g = invTrace{t: tb.t, sampled: adm.traced}
+	}
 	var postStart time.Time
-	if traced {
+	if g.detail() {
 		postStart = time.Now()
 	}
 
@@ -897,54 +1119,48 @@ func (m *Moderator) Postactivation(inv *aspect.Invocation, adm *Admission) {
 	// Reverse admission order realizes the onion: the innermost layer's
 	// last-admitted aspect acts first, the outermost layer's first aspect
 	// acts last (paper Figure 14).
-	//
+	for i := len(admitted) - 1; i >= 0; i-- {
+		a := admitted[i]
+		var hook0 time.Time
+		if g.detail() {
+			hook0 = time.Now()
+		}
+		a.Postaction(inv)
+		if g.detail() {
+			g.t.Trace(TraceEvent{Op: TracePost, Component: m.name, Method: inv.Method(),
+				Domain: d.id, Aspect: a.Name(), Kind: a.Kind(), Invocation: inv.ID(),
+				Nanos: time.Since(hook0).Nanoseconds()})
+		}
+	}
+	if g.detail() {
+		// The completion receipt is emitted under the domain mutex, before
+		// the wake fan-out, so it stays ordered with the domain's stream.
+		completeEvent(g.t, m.name, inv, d.id, time.Since(postStart).Nanoseconds())
+	}
+	dt := m.domains.Load()
+	plan := adm.plan
+	releaseAdmission(adm)
 	// Only a NON-empty wake list counts as targeting: a passive aspect
 	// (metrics, audit) that merely happens to implement Waker with no
 	// targets must not suppress the conservative broadcast, or a receipt
 	// mixing it with a non-Waker guard would wake nobody and strand the
-	// guard's parked callers.
-	targeted := false
-	wakeMethods := make(map[string]bool, 2)
-	for i := len(admitted) - 1; i >= 0; i-- {
-		a := admitted[i]
-		var hook0 time.Time
-		if traced {
-			hook0 = time.Now()
-		}
-		a.Postaction(inv)
-		if traced {
-			tr.Trace(TraceEvent{Op: TracePost, Component: m.name, Method: inv.Method(),
-				Domain: d.id, Aspect: a.Name(), Kind: a.Kind(), Invocation: inv.ID(),
-				Nanos: time.Since(hook0).Nanoseconds()})
-		}
-		if w, ok := a.(aspect.Waker); ok {
-			if wakes := w.Wakes(); len(wakes) > 0 {
-				targeted = true
-				for _, meth := range wakes {
-					wakeMethods[meth] = true
-				}
-			}
-		}
-	}
-	if traced {
-		// The completion receipt is emitted under the domain mutex, before
-		// the wake fan-out, so it stays ordered with the domain's stream.
-		completeEvent(tr, m.name, inv, d.id, time.Since(postStart).Nanoseconds())
-	}
-	dt := m.domains.Load()
-	if targeted {
-		var foreign []string
-		for meth := range wakeMethods {
+	// guard's parked callers. The union of the plan's wake lists was
+	// precomputed (sorted, deduplicated) at publish time.
+	if plan.targeted {
+		foreignFrom := -1
+		for i, meth := range plan.wakeTargets {
 			if dt.byMethod[meth] == d {
 				wakeMethodLocked(d, meth, m.opts.wakeMode)
-			} else {
-				foreign = append(foreign, meth)
+			} else if foreignFrom < 0 {
+				foreignFrom = i
 			}
 		}
 		d.mu.Unlock()
-		sort.Strings(foreign) // deterministic cross-domain wake order
-		for _, meth := range foreign {
-			if od := dt.byMethod[meth]; od != nil {
+		if foreignFrom < 0 {
+			return
+		}
+		for _, meth := range plan.wakeTargets[foreignFrom:] {
+			if od := dt.byMethod[meth]; od != nil && od != d {
 				od.mu.Lock()
 				wakeMethodLocked(od, meth, m.opts.wakeMode)
 				od.mu.Unlock()

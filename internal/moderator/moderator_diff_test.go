@@ -29,7 +29,10 @@ package moderator
 // completions exercise the conservative wake-everything path across all
 // domains. The veneer layer appears and disappears mid-schedule, proving
 // admission receipts outlive RemoveLayer identically in both
-// implementations.
+// implementations. The psi method carries a fully NonBlocking stack, so
+// schedules mix the sharded moderator's lock-free fast path (and its
+// fallbacks: active waiters, the impure veneer) with the guarded mutex
+// path, replayed against the always-locked Reference.
 
 import (
 	"context"
@@ -40,6 +43,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 	"time"
@@ -83,13 +87,13 @@ type diffConfig struct {
 func newDiffConfig(mode WakeMode, rng *rand.Rand) diffConfig {
 	cfg := diffConfig{mode: mode, capAlpha: 1 + rng.Intn(2)}
 	if mode == WakeSingle {
-		cfg.allMethods = []string{"alpha", "beta", "gamma", "delta", "omega", "refill"}
-		cfg.beginMethods = []string{"alpha", "alpha", "beta", "gamma", "gamma", "delta", "omega"}
-		cfg.veneerMethods = []string{"alpha", "gamma"}
+		cfg.allMethods = []string{"alpha", "beta", "gamma", "delta", "omega", "refill", "psi"}
+		cfg.beginMethods = []string{"alpha", "alpha", "beta", "gamma", "gamma", "delta", "omega", "psi", "psi"}
+		cfg.veneerMethods = []string{"alpha", "gamma", "psi"}
 	} else {
-		cfg.allMethods = []string{"alpha", "beta", "delta", "omega", "toggle"}
-		cfg.beginMethods = []string{"alpha", "alpha", "beta", "beta", "delta", "omega"}
-		cfg.veneerMethods = []string{"alpha", "beta"}
+		cfg.allMethods = []string{"alpha", "beta", "delta", "omega", "toggle", "psi"}
+		cfg.beginMethods = []string{"alpha", "alpha", "beta", "beta", "delta", "omega", "psi", "psi"}
+		cfg.veneerMethods = []string{"alpha", "beta", "psi"}
 	}
 	return cfg
 }
@@ -284,6 +288,38 @@ func newDiffScenario(t *testing.T, tag string, impl Admitter, cfg diffConfig) *d
 			return aspect.Resume
 		},
 		Post: func(inv *aspect.Invocation) { s.trace(inv, "post:aborter") },
+	}))
+	// psi: a fully pure stack — every guard declares NonBlocking, so the
+	// sharded implementation may admit it on the lock-free fast path
+	// (when nothing is parked) while the Reference always takes its one
+	// mutex. Every observable must still agree, including rollback order
+	// when the pure gate aborts, and the veneer layer (whose trace aspect
+	// is NOT NonBlocking) toggles the plan between pure and impure
+	// mid-schedule.
+	must(impl.Register("psi", aspect.KindAudit, &aspect.Func{
+		AspectName:      "pure-audit",
+		AspectKind:      aspect.KindAudit,
+		NonBlockingFlag: true,
+		Pre: func(inv *aspect.Invocation) aspect.Verdict {
+			s.trace(inv, "resume:pure-audit")
+			return aspect.Resume
+		},
+		Post:     func(inv *aspect.Invocation) { s.trace(inv, "post:pure-audit") },
+		CancelFn: func(inv *aspect.Invocation) { s.trace(inv, "cancel:pure-audit") },
+	}))
+	must(impl.Register("psi", aspect.KindAuthentication, &aspect.Func{
+		AspectName:      "pure-gate",
+		AspectKind:      aspect.KindAuthentication,
+		NonBlockingFlag: true,
+		Pre: func(inv *aspect.Invocation) aspect.Verdict {
+			if flag, _ := inv.Arg(0).(bool); flag {
+				s.trace(inv, "abort:pure-gate")
+				return aspect.Abort
+			}
+			s.trace(inv, "resume:pure-gate")
+			return aspect.Resume
+		},
+		Post: func(inv *aspect.Invocation) { s.trace(inv, "post:pure-gate") },
 	}))
 	return s
 }
@@ -683,6 +719,11 @@ type concurrentLedger struct {
 	Completions uint64
 	LeakedPair  int
 	LeakedSolo  int
+	// PureHits counts pure-stack preconditions (schedule-determined, so
+	// it must agree exactly); LeakedPure is the pure aspect's pre/post
+	// balance, which must drain to zero.
+	PureHits   uint64
+	LeakedPure int64
 }
 
 func runConcurrentWorkload(t *testing.T, seed int64, mk func() Admitter) concurrentLedger {
@@ -731,6 +772,24 @@ func runConcurrentWorkload(t *testing.T, seed int64, mk func() Admitter) concurr
 			return aspect.Resume
 		},
 	}
+	// "pure" runs a NonBlocking-only stack at full concurrency: the
+	// sharded implementation races its lock-free fast path against the
+	// mutex path (waiters come and go on the sem-guarded methods), and
+	// the hit/balance counters must still match the Reference exactly.
+	var pureHits atomic.Uint64
+	var pureBalance atomic.Int64
+	pure := &aspect.Func{
+		AspectName:      "pure-count",
+		AspectKind:      aspect.KindAudit,
+		NonBlockingFlag: true,
+		Pre: func(inv *aspect.Invocation) aspect.Verdict {
+			pureHits.Add(1)
+			pureBalance.Add(1)
+			return aspect.Resume
+		},
+		Post:     func(*aspect.Invocation) { pureBalance.Add(-1) },
+		CancelFn: func(*aspect.Invocation) { pureBalance.Add(-1) },
+	}
 	for _, reg := range []struct {
 		method string
 		kind   aspect.Kind
@@ -740,6 +799,7 @@ func runConcurrentWorkload(t *testing.T, seed int64, mk func() Admitter) concurr
 		{"get", aspect.KindSynchronization, pairSem},
 		{"solo", aspect.KindSynchronization, soloSem},
 		{"reject", aspect.KindAuthentication, aborter},
+		{"pure", aspect.KindAudit, pure},
 	} {
 		if err := impl.Register(reg.method, reg.kind, reg.a); err != nil {
 			t.Fatal(err)
@@ -748,7 +808,7 @@ func runConcurrentWorkload(t *testing.T, seed int64, mk func() Admitter) concurr
 
 	// Pre-generate each worker's op list so the abort count is a pure
 	// function of the seed — identical for both implementations.
-	methods := []string{"put", "get", "solo", "free", "reject"}
+	methods := []string{"put", "get", "solo", "free", "reject", "pure"}
 	rng := rand.New(rand.NewSource(seed))
 	plans := make([][]diffOp, goroutines)
 	for g := range plans {
@@ -818,5 +878,7 @@ func runConcurrentWorkload(t *testing.T, seed int64, mk func() Admitter) concurr
 		Completions: st.Completions,
 		LeakedPair:  pairUsed,
 		LeakedSolo:  soloUsed,
+		PureHits:    pureHits.Load(),
+		LeakedPure:  pureBalance.Load(),
 	}
 }

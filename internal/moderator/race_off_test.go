@@ -1,0 +1,9 @@
+//go:build !race
+
+package moderator
+
+// raceEnabled reports whether the race detector is compiled in. The
+// allocation-guard test skips under -race: the detector instruments every
+// memory access and allocates shadow state, so AllocsPerRun numbers are
+// meaningless there.
+const raceEnabled = false

@@ -207,6 +207,15 @@ func (r *Reference) DescribeString() string {
 	return describeString(r.name, r.opts, r.Describe())
 }
 
+// resolvedLayer is one layer's aspects as captured at pre-activation time.
+// The sharded Moderator compiles this resolution into the snapshot
+// (compiledPlan); the Reference deliberately keeps the per-invocation
+// resolution of the pre-sharding moderator.
+type resolvedLayer struct {
+	name    string
+	entries []bank.Entry
+}
+
 // Preactivation evaluates preconditions layer by layer under the single
 // admission mutex. See Moderator.Preactivation for the shared semantics.
 func (r *Reference) Preactivation(inv *aspect.Invocation) (*Admission, error) {
@@ -220,17 +229,17 @@ func (r *Reference) Preactivation(inv *aspect.Invocation) (*Admission, error) {
 			total += len(entries)
 		}
 	}
-	tr, traced := r.tracer.Load().gate(&r.traceTick)
+	g := r.tracer.Load().gate(&r.traceTick)
 	if total == 0 {
 		r.admissions.Add(1)
-		if traced {
-			tr.Trace(TraceEvent{Op: TraceAdmit, Component: r.name, Method: inv.Method(),
+		if g.detail() {
+			g.t.Trace(TraceEvent{Op: TraceAdmit, Component: r.name, Method: inv.Method(),
 				Domain: r.domainID, Invocation: inv.ID()})
 		}
 		return nil, nil
 	}
 	var preStart time.Time
-	if traced {
+	if g.detail() {
 		preStart = time.Now()
 	}
 
@@ -248,12 +257,12 @@ func (r *Reference) Preactivation(inv *aspect.Invocation) (*Admission, error) {
 			var abortErr error
 			for _, e := range l.entries {
 				var hook0 time.Time
-				if traced {
+				if g.detail() {
 					hook0 = time.Now()
 				}
 				v := e.Aspect.Precondition(inv)
-				if traced {
-					tr.Trace(TraceEvent{Op: TraceVerdict, Component: r.name, Method: inv.Method(),
+				if g.detail() {
+					g.t.Trace(TraceEvent{Op: TraceVerdict, Component: r.name, Method: inv.Method(),
 						Domain: r.domainID, Layer: l.name, Aspect: e.Aspect.Name(), Kind: e.Kind,
 						Verdict: v, Invocation: inv.ID(), Nanos: time.Since(hook0).Nanoseconds()})
 				}
@@ -280,8 +289,8 @@ func (r *Reference) Preactivation(inv *aspect.Invocation) (*Admission, error) {
 			if abortErr != nil {
 				cancelReverse(admitted, inv)
 				r.aborts.Add(1)
-				if traced {
-					tr.Trace(TraceEvent{Op: TraceAbort, Component: r.name, Method: inv.Method(),
+				if g.detail() {
+					g.t.Trace(TraceEvent{Op: TraceAbort, Component: r.name, Method: inv.Method(),
 						Domain: r.domainID, Layer: l.name, Invocation: inv.ID(),
 						Nanos: time.Since(preStart).Nanoseconds(), Err: abortErr.Error()})
 				}
@@ -297,28 +306,28 @@ func (r *Reference) Preactivation(inv *aspect.Invocation) (*Admission, error) {
 			if ticket == 0 {
 				r.ticketSeq++
 				ticket = r.ticketSeq
-				if tr != nil {
-					tr.Trace(TraceEvent{Op: TraceTicket, Component: r.name, Method: inv.Method(),
+				if g.exact() {
+					g.t.Trace(TraceEvent{Op: TraceTicket, Component: r.name, Method: inv.Method(),
 						Domain: r.domainID, Kind: blockedKind, Invocation: inv.ID(), Ticket: ticket})
 				}
 			}
 			q := r.queueLocked(inv.Method(), blockedKind)
 			var parkStart time.Time
-			if tr != nil {
-				tr.Trace(TraceEvent{Op: TracePark, Component: r.name, Method: inv.Method(),
+			if g.exact() {
+				g.t.Trace(TraceEvent{Op: TracePark, Component: r.name, Method: inv.Method(),
 					Domain: r.domainID, Layer: l.name, Aspect: blockedBy.Name(), Kind: blockedKind,
 					Invocation: inv.ID(), Ticket: ticket, Depth: q.Len() + 1})
 				parkStart = time.Now()
 			}
 			err := q.Wait(inv.Context(), inv.Priority, ticket)
-			if tr != nil {
+			if g.exact() {
 				wake := TraceEvent{Op: TraceWake, Component: r.name, Method: inv.Method(),
 					Domain: r.domainID, Kind: blockedKind, Invocation: inv.ID(), Ticket: ticket,
 					Nanos: time.Since(parkStart).Nanoseconds()}
 				if err != nil {
 					wake.Err = err.Error()
 				}
-				tr.Trace(wake)
+				g.t.Trace(wake)
 			}
 			if err != nil {
 				if ab, ok := blockedBy.(aspect.Abandoner); ok {
@@ -326,8 +335,8 @@ func (r *Reference) Preactivation(inv *aspect.Invocation) (*Admission, error) {
 				}
 				cancelReverse(admitted, inv)
 				r.aborts.Add(1)
-				if traced {
-					tr.Trace(TraceEvent{Op: TraceAbort, Component: r.name, Method: inv.Method(),
+				if g.detail() {
+					g.t.Trace(TraceEvent{Op: TraceAbort, Component: r.name, Method: inv.Method(),
 						Domain: r.domainID, Layer: l.name, Invocation: inv.ID(),
 						Nanos: time.Since(preStart).Nanoseconds(), Err: err.Error()})
 				}
@@ -337,33 +346,31 @@ func (r *Reference) Preactivation(inv *aspect.Invocation) (*Admission, error) {
 		}
 	}
 	r.admissions.Add(1)
-	if traced {
-		tr.Trace(TraceEvent{Op: TraceAdmit, Component: r.name, Method: inv.Method(),
+	if g.detail() {
+		g.t.Trace(TraceEvent{Op: TraceAdmit, Component: r.name, Method: inv.Method(),
 			Domain: r.domainID, Invocation: inv.ID(), Aspects: len(admitted),
 			Nanos: time.Since(preStart).Nanoseconds()})
 	}
-	return &Admission{admitted: admitted, traced: traced}, nil
+	return &Admission{admitted: admitted, traced: g.detail()}, nil
 }
 
 // Postactivation runs postactions in reverse admission order under the
 // single admission mutex and wakes blocked callers.
 func (r *Reference) Postactivation(inv *aspect.Invocation, adm *Admission) {
 	r.completions.Add(1)
-	var tr Tracer
-	traced := false
+	g := invTrace{}
 	if b := r.tracer.Load(); b != nil {
-		tr = b.t
-		traced = adm != nil && adm.traced
+		g = invTrace{t: b.t, sampled: adm != nil && adm.traced}
 	}
 	if adm.Len() == 0 {
-		if traced {
-			completeEvent(tr, r.name, inv, r.domainID, 0)
+		if g.detail() {
+			completeEvent(g.t, r.name, inv, r.domainID, 0)
 		}
 		return
 	}
 	admitted := adm.admitted
 	var postStart time.Time
-	if traced {
+	if g.detail() {
 		postStart = time.Now()
 	}
 
@@ -378,12 +385,12 @@ func (r *Reference) Postactivation(inv *aspect.Invocation, adm *Admission) {
 	for i := len(admitted) - 1; i >= 0; i-- {
 		a := admitted[i]
 		var hook0 time.Time
-		if traced {
+		if g.detail() {
 			hook0 = time.Now()
 		}
 		a.Postaction(inv)
-		if traced {
-			tr.Trace(TraceEvent{Op: TracePost, Component: r.name, Method: inv.Method(),
+		if g.detail() {
+			g.t.Trace(TraceEvent{Op: TracePost, Component: r.name, Method: inv.Method(),
 				Domain: r.domainID, Aspect: a.Name(), Kind: a.Kind(), Invocation: inv.ID(),
 				Nanos: time.Since(hook0).Nanoseconds()})
 		}
@@ -396,8 +403,8 @@ func (r *Reference) Postactivation(inv *aspect.Invocation, adm *Admission) {
 			}
 		}
 	}
-	if traced {
-		completeEvent(tr, r.name, inv, r.domainID, time.Since(postStart).Nanoseconds())
+	if g.detail() {
+		completeEvent(g.t, r.name, inv, r.domainID, time.Since(postStart).Nanoseconds())
 	}
 	if targeted {
 		for meth := range wakeMethods {

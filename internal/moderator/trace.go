@@ -173,17 +173,40 @@ func newTracerBox(t Tracer) *tracerBox {
 	return &tracerBox{t: t, every: every}
 }
 
+// invTrace is one invocation's pinned tracing decision, shared by the
+// sharded Moderator and the Reference so both apply the same gating rule:
+//
+//   - exact ops — ticket issue, park, wake — are emitted for EVERY
+//     invocation while a tracer is installed. Parking costs a scheduler
+//     round-trip anyway, and complete wait-duration data is the headline
+//     observability payload, so these are never sampled out.
+//   - detail ops — verdicts, admits, aborts, postactions, completions, and
+//     the clock reads that time them — are emitted only for sampled-in
+//     invocations (one in SampleEvery per admission domain).
+//
+// The zero value means tracing is off: both predicates return false.
+type invTrace struct {
+	t       Tracer
+	sampled bool
+}
+
+// exact reports whether always-exact ops (ticket/park/wake) are emitted.
+func (g invTrace) exact() bool { return g.t != nil }
+
+// detail reports whether sampled per-invocation detail is emitted.
+func (g invTrace) detail() bool { return g.sampled }
+
 // gate decides whether one invocation carries full trace detail: nil box
 // means tracing is off; otherwise one in `every` invocations of the
 // domain-local tick is sampled in.
-func (b *tracerBox) gate(tick *atomic.Uint64) (Tracer, bool) {
+func (b *tracerBox) gate(tick *atomic.Uint64) invTrace {
 	if b == nil {
-		return nil, false
+		return invTrace{}
 	}
 	if b.every <= 1 {
-		return b.t, true
+		return invTrace{t: b.t, sampled: true}
 	}
-	return b.t, tick.Add(1)%b.every == 0
+	return invTrace{t: b.t, sampled: tick.Add(1)%b.every == 0}
 }
 
 // completeEvent emits the post-activation receipt, carrying the method
