@@ -11,15 +11,23 @@
 #                      baselines in one interleaved pass
 #   make bench-matrix — regenerate the committed BENCH_4.json GOMAXPROCS x
 #                      workload matrix (best-of-5, variants interleaved)
+#   make bench-shadow — regenerate the committed BENCH_5.json shadow
+#                      admission overhead baseline
 #   make obs-smoke   — boot ticketd with -obs, drive load, assert /metrics
 #                      and /trace serve live non-empty data
-#   make check       — tier1 + lint + race + fuzz-smoke + obs-smoke
+#   make shadow-smoke — boot ticketd with -shadow 1 (every admission
+#                      replayed against the reference semantics), drive
+#                      load, assert /shadow reports samples and ZERO
+#                      divergences on the stock ticket application
+#   make check       — tier1 + lint + race + fuzz-smoke + obs-smoke +
+#                      shadow-smoke
 
 GO ?= go
 FUZZTIME ?= 10s
 OBS_SMOKE_DIR := $(or $(TMPDIR),/tmp)/obs-smoke
+SHADOW_SMOKE_DIR := $(or $(TMPDIR),/tmp)/shadow-smoke
 
-.PHONY: tier1 lint race fuzz-smoke bench bench-matrix obs-smoke check
+.PHONY: tier1 lint race fuzz-smoke bench bench-matrix bench-shadow obs-smoke shadow-smoke check
 
 tier1:
 	$(GO) build ./...
@@ -44,9 +52,13 @@ bench:
 bench-matrix:
 	$(GO) run ./cmd/ambench -matrix-json BENCH_4.json
 
+bench-shadow:
+	$(GO) run ./cmd/ambench -shadow-json BENCH_5.json
+
 fuzz-smoke:
 	$(GO) test ./internal/amrpc -run '^$$' -fuzz '^FuzzDecodeRequest$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/amrpc -run '^$$' -fuzz '^FuzzDecodeResponse$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/moderator -run '^$$' -fuzz '^FuzzInterferenceChecker$$' -fuzztime $(FUZZTIME)
 
 # End-to-end introspection smoke: a real ticketd process with the obs
 # endpoint enabled, a real ticketcli driving load over amrpc, then the
@@ -70,4 +82,30 @@ obs-smoke:
 		$(OBS_SMOKE_DIR)/ticketcli obs -url http://127.0.0.1:7942 -view summary | grep -q "sampling" || { echo "obs-smoke: ticketcli obs summary failed"; exit 1; }'
 	@echo "obs-smoke: OK"
 
-check: tier1 lint race fuzz-smoke obs-smoke
+# End-to-end shadow-admission smoke: a real ticketd with shadow mode
+# replaying EVERY admission against the reference semantics, a real
+# ticketcli driving load over amrpc, then /shadow must report samples and
+# zero divergences — the differential oracle holding as a production
+# safety net on the stock ticket application.
+shadow-smoke:
+	rm -rf $(SHADOW_SMOKE_DIR) && mkdir -p $(SHADOW_SMOKE_DIR)
+	$(GO) build -o $(SHADOW_SMOKE_DIR)/ticketd ./cmd/ticketd
+	$(GO) build -o $(SHADOW_SMOKE_DIR)/ticketcli ./cmd/ticketcli
+	$(SHADOW_SMOKE_DIR)/ticketd -addr 127.0.0.1:7943 -obs 127.0.0.1:7944 -shadow 1 -audit 0 \
+		> $(SHADOW_SMOKE_DIR)/ticketd.log 2>&1 & echo $$! > $(SHADOW_SMOKE_DIR)/ticketd.pid
+	sh -c 'trap "kill $$(cat $(SHADOW_SMOKE_DIR)/ticketd.pid) 2>/dev/null" EXIT; \
+		for i in $$(seq 1 50); do \
+			$(SHADOW_SMOKE_DIR)/ticketcli -addr 127.0.0.1:7943 open smoke "shadow smoke" >/dev/null 2>&1 && break; \
+			sleep 0.1; \
+		done; \
+		$(SHADOW_SMOKE_DIR)/ticketcli -addr 127.0.0.1:7943 load -n 100 >/dev/null; \
+		sleep 0.3; \
+		curl -sf http://127.0.0.1:7944/shadow > $(SHADOW_SMOKE_DIR)/shadow.json; \
+		grep -q "\"sampled\": *[1-9]" $(SHADOW_SMOKE_DIR)/shadow.json || { echo "shadow-smoke: no sampled admissions in /shadow"; cat $(SHADOW_SMOKE_DIR)/shadow.json; exit 1; }; \
+		grep -q "\"verdict_divergences\": *0" $(SHADOW_SMOKE_DIR)/shadow.json || { echo "shadow-smoke: verdict divergences on the stock app"; cat $(SHADOW_SMOKE_DIR)/shadow.json; exit 1; }; \
+		grep -q "\"stack_divergences\": *0" $(SHADOW_SMOKE_DIR)/shadow.json || { echo "shadow-smoke: stack divergences on the stock app"; cat $(SHADOW_SMOKE_DIR)/shadow.json; exit 1; }; \
+		grep -q "\"wake_divergences\": *0" $(SHADOW_SMOKE_DIR)/shadow.json || { echo "shadow-smoke: wake divergences on the stock app"; cat $(SHADOW_SMOKE_DIR)/shadow.json; exit 1; }; \
+		$(SHADOW_SMOKE_DIR)/ticketcli obs -url http://127.0.0.1:7944 -view shadow | grep -q "\"replayed\"" || { echo "shadow-smoke: ticketcli obs -view shadow failed"; exit 1; }'
+	@echo "shadow-smoke: OK"
+
+check: tier1 lint race fuzz-smoke obs-smoke shadow-smoke

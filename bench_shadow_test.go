@@ -1,0 +1,59 @@
+package repro_test
+
+// Tier-1 guard for the committed shadow-admission baseline: BENCH_5.json
+// (the E15 shadow overhead report written by `make bench-shadow`) must
+// parse, declare the current schema, and show the engine staying cheap
+// and SILENT — the shadow replays a stock workload against the reference
+// semantics, so any committed divergence count other than zero means the
+// two admission implementations disagreed in production mode and the
+// baseline must not be merged.
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/moderator"
+)
+
+func TestShadowBaselineTrajectory(t *testing.T) {
+	data, err := os.ReadFile("BENCH_5.json")
+	if err != nil {
+		t.Fatalf("committed shadow baseline missing (run `make bench-shadow`): %v", err)
+	}
+	var rep bench.ShadowReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("BENCH_5.json does not parse: %v", err)
+	}
+	if rep.Schema != bench.ShadowSchema {
+		t.Fatalf("schema = %q, want %q", rep.Schema, bench.ShadowSchema)
+	}
+	if rep.GoMaxProcs < 1 {
+		t.Fatalf("go_max_procs = %d, want >= 1", rep.GoMaxProcs)
+	}
+	if rep.SampleEvery != moderator.DefaultShadowSampleEvery {
+		t.Fatalf("sample_every = %d, want the default stride %d",
+			rep.SampleEvery, moderator.DefaultShadowSampleEvery)
+	}
+	if rep.ShadowOffOps <= 0 || rep.ShadowOnOps <= 0 {
+		t.Fatalf("non-positive throughput: off=%.0f on=%.0f", rep.ShadowOffOps, rep.ShadowOnOps)
+	}
+	// The sampling promise: at the default stride the admission path costs
+	// no more than 15% — the same bound the obs hooks commit to in
+	// BENCH_3.json.
+	if rep.OverheadPct > 15.0 {
+		t.Fatalf("shadow overhead at 1/%d = %.1f%%, want <= 15%%", rep.SampleEvery, rep.OverheadPct)
+	}
+	// The safety-net promise: replays happened and none diverged.
+	if rep.Sampled == 0 || rep.Replayed == 0 {
+		t.Fatalf("baseline sampled %d / replayed %d admissions, want both > 0", rep.Sampled, rep.Replayed)
+	}
+	if rep.Replayed > rep.Sampled {
+		t.Fatalf("replayed %d > sampled %d", rep.Replayed, rep.Sampled)
+	}
+	if rep.Divergences != 0 {
+		t.Fatalf("committed baseline carries %d divergences: live and reference admission "+
+			"semantics disagreed on the stock workload", rep.Divergences)
+	}
+}

@@ -1,4 +1,4 @@
-// Command ambench runs the reproduction's experiment suite (E1-E13 of
+// Command ambench runs the reproduction's experiment suite (E1-E15 of
 // EXPERIMENTS.md) and prints one table per experiment.
 //
 //	ambench                          # full run
@@ -8,6 +8,7 @@
 //	ambench -json BENCH_2.json       # E12 only: write the domains baseline
 //	ambench -obs-json BENCH_3.json   # E13 only: write the obs overhead baseline
 //	ambench -matrix-json BENCH_4.json  # E14 only: write the GOMAXPROCS matrix baseline
+//	ambench -shadow-json BENCH_5.json  # E15 only: write the shadow overhead baseline
 //
 // Passing BOTH -json and -obs-json is the canonical baseline run (what
 // `make bench` does): the contended variants of E12 and E13 are measured
@@ -35,6 +36,7 @@ func main() {
 		jsonPath   = flag.String("json", "", "run the E12 domain families and write the JSON report to this path")
 		obsPath    = flag.String("obs-json", "", "run the E13 obs overhead family and write the JSON report to this path")
 		matrixPath = flag.String("matrix-json", "", "run the E14 GOMAXPROCS x workload matrix and write the JSON report to this path")
+		shadowPath = flag.String("shadow-json", "", "run the E15 shadow admission overhead family and write the JSON report to this path")
 	)
 	flag.Parse()
 
@@ -46,6 +48,9 @@ func main() {
 	switch {
 	case *matrixPath != "":
 		writeJSONReport(*matrixPath, func() (any, error) { return bench.Matrix(cfg) })
+		return
+	case *shadowPath != "":
+		writeJSONReport(*shadowPath, func() (any, error) { return bench.Shadow(cfg) })
 		return
 	case *jsonPath != "" && *obsPath != "":
 		domRep, obsRep, err := bench.Baselines(cfg)

@@ -24,14 +24,14 @@ import (
 func runObs(args []string) error {
 	fs := flag.NewFlagSet("obs", flag.ContinueOnError)
 	url := fs.String("url", "http://127.0.0.1:7070", "ticketd introspection base URL")
-	view := fs.String("view", "summary", "summary | metrics | trace | describe")
+	view := fs.String("view", "summary", "summary | metrics | trace | describe | shadow")
 	n := fs.Int("n", 15, "events to show (summary and trace views)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	base := strings.TrimRight(*url, "/")
 	switch *view {
-	case "metrics", "trace", "describe":
+	case "metrics", "trace", "describe", "shadow":
 		path := "/" + *view
 		if *view == "trace" {
 			path = fmt.Sprintf("/trace?n=%d", *n)
@@ -48,7 +48,7 @@ func runObs(args []string) error {
 	case "summary":
 		return summarize(base, *n)
 	default:
-		return fmt.Errorf("unknown view %q (want summary, metrics, trace, or describe)", *view)
+		return fmt.Errorf("unknown view %q (want summary, metrics, trace, describe, or shadow)", *view)
 	}
 }
 
@@ -104,6 +104,14 @@ func summarize(base string, n int) error {
 			}
 			fmt.Printf("  admission domains: %s\n", strings.Join(groups, " "))
 		}
+		if comp.Epoch > 0 {
+			line := fmt.Sprintf("  plan epoch: %d", comp.Epoch)
+			if comp.Canary != nil {
+				line += fmt.Sprintf("   canary: epoch %d at %d%% [%s]",
+					comp.Canary.CandidateEpoch, comp.Canary.Percent, strings.Join(comp.Canary.Layers, " > "))
+			}
+			fmt.Println(line)
+		}
 		fmt.Printf("  admissions %d   blocks %d   aborts %d   completions %d\n",
 			comp.Stats.Admissions, comp.Stats.Blocks, comp.Stats.Aborts, comp.Stats.Completions)
 		if len(comp.Parked) > 0 {
@@ -127,6 +135,25 @@ func summarize(base string, n int) error {
 			s := comp.Queues[q]
 			fmt.Printf("  queue %-28s waits=%d notifies=%d broadcasts=%d cancels=%d\n",
 				q, s.Waits, s.Notifies, s.Broadcasts, s.Cancels)
+		}
+	}
+
+	// Shadow admission, when the server runs it. Absence (older server,
+	// shadow off) is not an error.
+	if body, err := fetch(base + "/shadow"); err == nil {
+		var sd obs.ShadowDump
+		if err := json.Unmarshal(body, &sd); err == nil && len(sd.Components) > 0 {
+			for _, sc := range sd.Components {
+				fmt.Printf("\nshadow %s (1 in %d admissions)\n", sc.Component, sc.SampleEvery)
+				st := sc.Stats
+				fmt.Printf("  sampled %d   replayed %d   agreements %d   inconclusive %d   dropped %d\n",
+					st.Sampled, st.Replayed, st.Agreements, st.Inconclusive, st.Dropped)
+				fmt.Printf("  divergences: verdict=%d stack=%d wake=%d\n",
+					st.VerdictDivergences, st.StackDivergences, st.WakeDivergences)
+				for _, div := range sc.Divergences {
+					fmt.Printf("  !! [%s] %s epoch=%d: %s\n", div.Class, div.Method, div.Epoch, div.Detail)
+				}
+			}
 		}
 	}
 

@@ -4,7 +4,8 @@
 //
 //	ticketd -addr :7000 -capacity 16
 //	ticketd -addr :7000 -naming 127.0.0.1:7500 -auth -issue alice:client,bob:agent
-//	ticketd -addr :7000 -obs 127.0.0.1:7070   # /metrics /trace /describe
+//	ticketd -addr :7000 -obs 127.0.0.1:7070   # /metrics /trace /describe /shadow
+//	ticketd -addr :7000 -obs 127.0.0.1:7070 -shadow 64   # shadow admission, 1 in 64
 //
 // With -auth, tokens for the principals listed in -issue are printed at
 // startup (name:role[,role...] pairs separated by commas between entries
@@ -45,19 +46,20 @@ func main() {
 		auditCap   = flag.Int("audit", 1024, "audit trail capacity (0 disables)")
 		readTO     = flag.Duration("read-timeout", 5*time.Minute, "per-connection inactivity deadline (0 disables)")
 		maxLine    = flag.Int("max-line", 4*1024*1024, "max request frame size in bytes")
-		obsAddr    = flag.String("obs", "", "introspection HTTP address serving /metrics, /trace, /describe (empty disables)")
+		obsAddr    = flag.String("obs", "", "introspection HTTP address serving /metrics, /trace, /describe, /shadow (empty disables)")
 		obsSample  = flag.Int("obs-sample", obs.DefaultSampleEvery, "trace 1 in N admissions in detail (<=1 traces all)")
 		obsTrace   = flag.Int("obs-trace", obs.DefaultRingCapacity, "per-domain trace ring capacity")
+		shadow     = flag.Int("shadow", 0, "shadow admission: replay 1 in N live admissions against the reference semantics (0 disables)")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *capacity, *namingAddr, *ttl, *enableAuth, *issue, *auditCap, *readTO, *maxLine, *obsAddr, *obsSample, *obsTrace); err != nil {
+	if err := run(*addr, *capacity, *namingAddr, *ttl, *enableAuth, *issue, *auditCap, *readTO, *maxLine, *obsAddr, *obsSample, *obsTrace, *shadow); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr string, capacity int, namingAddr string, ttl time.Duration, enableAuth bool, issue string, auditCap int, readTO time.Duration, maxLine int, obsAddr string, obsSample, obsTrace int) error {
-	cfg := ticket.GuardedConfig{Capacity: capacity, Metrics: metrics.NewRecorder()}
+func run(addr string, capacity int, namingAddr string, ttl time.Duration, enableAuth bool, issue string, auditCap int, readTO time.Duration, maxLine int, obsAddr string, obsSample, obsTrace, shadowEvery int) error {
+	cfg := ticket.GuardedConfig{Capacity: capacity, Metrics: metrics.NewRecorder(), ShadowSampleEvery: shadowEvery}
 	var collector *obs.Collector
 	if obsAddr != "" {
 		collector = obs.NewCollector(obs.WithSampleEvery(obsSample), obs.WithRingCapacity(obsTrace))
@@ -75,6 +77,9 @@ func run(addr string, capacity int, namingAddr string, ttl time.Duration, enable
 	g, err := ticket.NewGuarded(cfg)
 	if err != nil {
 		return err
+	}
+	if sh := g.Shadow(); sh != nil {
+		log.Printf("shadow admission on: replaying 1 in %d admissions against reference semantics", sh.SampleEvery())
 	}
 	if enableAuth {
 		store := auth.NewTokenStore()
@@ -189,6 +194,12 @@ func run(addr string, capacity int, namingAddr string, ttl time.Duration, enable
 	stats := g.Moderator().Stats()
 	log.Printf("final stats: %d admissions, %d blocks, %d aborts, buffer %d",
 		stats.Admissions, stats.Blocks, stats.Aborts, g.Server().Size())
+	if sh := g.Shadow(); sh != nil {
+		g.StopShadow()
+		ss := sh.Stats()
+		log.Printf("shadow stats: %d sampled, %d replayed, %d agreements, %d inconclusive, %d divergences",
+			ss.Sampled, ss.Replayed, ss.Agreements, ss.Inconclusive, ss.Divergences())
+	}
 	if cfg.Metrics != nil {
 		fmt.Print(cfg.Metrics.Report())
 	}

@@ -108,6 +108,7 @@ var Experiments = []Experiment{
 	{"E12", E12Domains},
 	{"E13", E13Obs},
 	{"E14", E14Matrix},
+	{"E15", E15Shadow},
 }
 
 // All runs the experiments whose ids are listed (every experiment when ids

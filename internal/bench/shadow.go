@@ -1,0 +1,126 @@
+package bench
+
+// E15 — the shadow-admission overhead family. Shadow mode replays a
+// sampled fraction of live admissions against the Reference semantics off
+// the hot path; its promise is that the admission path pays only one
+// atomic load when no engine is installed, and a small bounded cost at
+// the default stride (one sample in 64 per domain) when it is. This
+// benchmark measures both against the same contended workload as the E12
+// and E13 families (8 methods, 32 goroutines, sharded moderator), and
+// `ambench -shadow-json BENCH_5.json` serializes the result so
+// bench_shadow_test.go can hold future PRs to the committed numbers.
+//
+// The shadow-off variant is the identical moderator and workload with no
+// engine installed. The shadow-on variant runs a started engine at the
+// default stride; its replay counters ride along in the report, and a
+// divergence count other than zero fails the trajectory guard — the
+// production safety net must stay silent on the stock workload.
+
+import (
+	"fmt"
+	"runtime"
+
+	"repro/internal/moderator"
+)
+
+// ShadowSchema identifies the BENCH_5.json format.
+const ShadowSchema = "ambench/shadow-v1"
+
+// ShadowReport is the JSON-serializable result of the E15 family.
+type ShadowReport struct {
+	Schema     string `json:"schema"`
+	GoMaxProcs int    `json:"go_max_procs"`
+	// SampleEvery is the stride the shadow-on measurement used.
+	SampleEvery int            `json:"sample_every"`
+	Params      map[string]int `json:"params"`
+	// ShadowOffOps is contended throughput with no shadow engine.
+	ShadowOffOps float64 `json:"shadow_off_ops"`
+	// ShadowOnOps is contended throughput with the engine sampling at the
+	// default stride.
+	ShadowOnOps float64 `json:"shadow_on_ops"`
+	// OverheadPct is (1 - on/off) * 100.
+	OverheadPct float64 `json:"overhead_pct"`
+	// Sampled / Replayed / Divergences are the engine's counters over the
+	// whole measured run.
+	Sampled     uint64 `json:"sampled"`
+	Replayed    uint64 `json:"replayed"`
+	Divergences uint64 `json:"divergences"`
+}
+
+// Shadow runs the E15 family and returns the JSON-serializable report.
+func Shadow(cfg Config) (ShadowReport, error) {
+	off, err := newContendedVariant(true, obsMethods, obsGoroutines, nil)
+	if err != nil {
+		return ShadowReport{}, err
+	}
+	on, err := newContendedVariant(true, obsMethods, obsGoroutines, nil)
+	if err != nil {
+		return ShadowReport{}, err
+	}
+	m, ok := on.impl.(*moderator.Moderator)
+	if !ok {
+		return ShadowReport{}, fmt.Errorf("bench: shadow variant is not a sharded moderator")
+	}
+	sh := moderator.NewShadow(m)
+	sh.Start()
+	m.SetShadow(sh)
+	err = measureContended(cfg, obsMethods, obsGoroutines, []*contendedVariant{off, on})
+	m.SetShadow(nil)
+	sh.Stop()
+	if err != nil {
+		return ShadowReport{}, err
+	}
+	st := sh.Stats()
+	return ShadowReport{
+		Schema:       ShadowSchema,
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		SampleEvery:  sh.SampleEvery(),
+		Params:       map[string]int{"methods": obsMethods, "goroutines": obsGoroutines},
+		ShadowOffOps: off.best,
+		ShadowOnOps:  on.best,
+		OverheadPct:  (1 - on.best/off.best) * 100,
+		Sampled:      st.Sampled,
+		Replayed:     st.Replayed,
+		Divergences:  st.Divergences(),
+	}, nil
+}
+
+// E15Shadow renders the shadow overhead report as a standard experiment
+// table, adding a full-sampling row (1 in 1) the JSON report does not
+// carry, to show the cost ceiling of replaying every admission.
+func E15Shadow(cfg Config) (Table, error) {
+	rep, err := Shadow(cfg)
+	if err != nil {
+		return Table{}, err
+	}
+	fullV, err := newContendedVariant(true, obsMethods, obsGoroutines, nil)
+	if err != nil {
+		return Table{}, err
+	}
+	fm := fullV.impl.(*moderator.Moderator)
+	fsh := moderator.NewShadow(fm, moderator.WithShadowSampleEvery(1))
+	fsh.Start()
+	fm.SetShadow(fsh)
+	err = measureContended(cfg, obsMethods, obsGoroutines, []*contendedVariant{fullV})
+	fm.SetShadow(nil)
+	fsh.Stop()
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:     "E15",
+		Title:  "shadow admission overhead (contended, sharded)",
+		Header: []string{"variant", "params", "ops/s", "overhead"},
+		Notes: fmt.Sprintf("GOMAXPROCS=%d; overhead vs shadow-off; default stride 1 in %d; %d replays, %d divergences",
+			rep.GoMaxProcs, rep.SampleEvery, rep.Replayed, rep.Divergences),
+	}
+	params := fmt.Sprintf("%dm/%dg", obsMethods, obsGoroutines)
+	row := func(name string, ops float64) {
+		t.Rows = append(t.Rows, []string{name, params, fmtOps(ops),
+			fmt.Sprintf("%.1f%%", (1-ops/rep.ShadowOffOps)*100)})
+	}
+	row("shadow-off", rep.ShadowOffOps)
+	row(fmt.Sprintf("shadow-on (1/%d)", rep.SampleEvery), rep.ShadowOnOps)
+	row("shadow-on (1/1)", fullV.best)
+	return t, nil
+}

@@ -1,0 +1,456 @@
+package moderator
+
+// Canary plan epochs: versioned composition snapshots that let a candidate
+// aspect stack take a controlled fraction of live traffic before replacing
+// the stable stack wholesale.
+//
+// The composition snapshot (compState) carries a monotonically increasing
+// epoch number. StageCanary clones the stable layer set (fresh banks, the
+// same aspect instances), applies the caller's edits through a CanaryTx,
+// compiles a second plan set for the clone, and publishes BOTH plan sets
+// in one snapshot: stable traffic keeps admitting under the stable epoch
+// while a deterministic percentage of invocations — selected by hashing
+// the method name with the invocation's route key — admits under the
+// candidate epoch. PromoteCanary swaps the candidate in as the new stable
+// in one atomic store; RollbackCanary discards it the same way. Both plan
+// sets share the moderator's admission domains, wait queues, and waiters
+// counter, so a caller parked under one epoch is fully visible to
+// admissions of the other (see the fast-path gate in Preactivation).
+//
+// Routing is a pure function of (method, route key, fraction): replaying a
+// workload with the same route keys reproduces exactly the same epoch
+// assignment, which is what makes canary runs comparable and divergences
+// attributable. Invocations carry an optional aspect.Invocation.RouteKey;
+// when zero the process-unique invocation ID is used instead.
+//
+// Publishing a candidate is gated by the interference checker
+// (interference.go): wake-list overlap that cannot be merged into one
+// admission domain, stateful guards shared across domains or epochs, and
+// NonBlocking capability violations refuse the stage with a structured
+// report instead of letting an invasive composition reach live traffic.
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/aspect"
+	"repro/internal/bank"
+)
+
+// ErrCanaryActive is returned by StageCanary while a candidate epoch is
+// already staged: promote or roll back first.
+var ErrCanaryActive = errors.New("moderator: a canary epoch is already staged")
+
+// ErrNoCanary is returned by the canary controls when no candidate epoch
+// is staged.
+var ErrNoCanary = errors.New("moderator: no canary epoch is staged")
+
+// canaryState is a staged candidate epoch: its own layer set (cloned banks
+// frozen at stage time) and, on the sharded moderator, its own compiled
+// plan set. It is immutable once published; changing the routed fraction
+// republishes a copy.
+type canaryState struct {
+	epoch uint64
+	// pct is the percentage of traffic routed to the candidate (0..100).
+	pct uint32
+	// layers is the candidate composition, outermost first.
+	layers []compLayer
+	// plans is the candidate's compiled plan set (sharded moderator only;
+	// the Reference resolves candidate layers per invocation, exactly as
+	// it does for stable ones).
+	plans map[string]*compiledPlan
+}
+
+// clone copies the canary state so a published snapshot is never mutated.
+func (c *canaryState) clone() *canaryState {
+	cp := *c
+	return &cp
+}
+
+// CanaryInfo is the introspection snapshot of a staged candidate epoch.
+type CanaryInfo struct {
+	// StableEpoch is the epoch serving non-canary traffic.
+	StableEpoch uint64 `json:"stable_epoch"`
+	// CandidateEpoch is the staged epoch's number.
+	CandidateEpoch uint64 `json:"candidate_epoch"`
+	// Percent of traffic routed to the candidate (0..100).
+	Percent int `json:"percent"`
+	// Layers are the candidate's layer names, outermost first.
+	Layers []string `json:"layers"`
+}
+
+func clampPct(pct int) uint32 {
+	if pct < 0 {
+		return 0
+	}
+	if pct > 100 {
+		return 100
+	}
+	return uint32(pct)
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// routeToCandidate decides, deterministically, whether one invocation of
+// method with the given route key is served by the candidate epoch. The
+// hash is FNV-1a over the method name followed by the key's eight bytes:
+// the method term spreads a single key across methods, the key term
+// spreads callers within a method. pct is the candidate's share in
+// percent; the decision is reproducible across processes and replays.
+func routeToCandidate(method string, key uint64, pct uint32) bool {
+	if pct == 0 {
+		return false
+	}
+	if pct >= 100 {
+		return true
+	}
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(method); i++ {
+		h ^= uint64(method[i])
+		h *= fnvPrime64
+	}
+	for i := 0; i < 8; i++ {
+		h ^= key & 0xff
+		h *= fnvPrime64
+		key >>= 8
+	}
+	return h%100 < uint64(pct)
+}
+
+// routeKeyOf returns the identity canary routing hashes for an
+// invocation: the caller-provided RouteKey, or the invocation ID.
+func routeKeyOf(inv *aspect.Invocation) uint64 {
+	if inv.RouteKey != 0 {
+		return inv.RouteKey
+	}
+	return inv.ID()
+}
+
+// planFor resolves the compiled plan serving one invocation: the
+// candidate's when a canary is staged and the route hash selects it, the
+// stable epoch's otherwise. With no canary staged the cost over a direct
+// map lookup is one nil check.
+func (cs *compState) planFor(inv *aspect.Invocation) *compiledPlan {
+	if c := cs.cand; c != nil && routeToCandidate(inv.Method(), routeKeyOf(inv), c.pct) {
+		return c.plans[inv.Method()]
+	}
+	return cs.plans[inv.Method()]
+}
+
+// routedLayers resolves the layer set serving (method, key): the
+// candidate's or the stable epoch's. The Reference admission path and the
+// shadow replayer resolve aspects from layers rather than plans.
+func (cs *compState) routedLayers(method string, key uint64) []compLayer {
+	if c := cs.cand; c != nil && routeToCandidate(method, key, c.pct) {
+		return c.layers
+	}
+	return cs.layers
+}
+
+// CanaryTx edits the candidate composition during StageCanary. It starts
+// as a deep clone of the stable layer set — fresh banks holding the SAME
+// aspect instances — so edits never touch the stable epoch. The editing
+// surface mirrors the moderator's composition mutators. Unlike live
+// RegisterIn, registering a Waker aspect does not merge admission domains
+// immediately: domain merging is deferred to the interference checker,
+// which refuses the stage when a candidate wake span cannot be merged.
+type CanaryTx struct {
+	layers []compLayer
+}
+
+func cloneLayers(layers []compLayer) ([]compLayer, error) {
+	out := make([]compLayer, 0, len(layers))
+	for _, l := range layers {
+		nb := bank.New()
+		for _, meth := range l.snap.Methods() {
+			for _, e := range l.snap.ForMethod(meth) {
+				if err := nb.Register(meth, e.Kind, e.Aspect); err != nil {
+					return nil, fmt.Errorf("clone layer %q: %w", l.name, err)
+				}
+			}
+		}
+		out = append(out, compLayer{name: l.name, bank: nb, snap: nb.Snapshot()})
+	}
+	return out, nil
+}
+
+func (tx *CanaryTx) find(name string) *compLayer {
+	for i := range tx.layers {
+		if tx.layers[i].name == name {
+			return &tx.layers[i]
+		}
+	}
+	return nil
+}
+
+// Layers returns the candidate's current layer names, outermost first.
+func (tx *CanaryTx) Layers() []string {
+	out := make([]string, len(tx.layers))
+	for i := range tx.layers {
+		out[i] = tx.layers[i].name
+	}
+	return out
+}
+
+// AddLayer introduces a new, empty layer into the candidate composition.
+func (tx *CanaryTx) AddLayer(name string, pos Position) error {
+	if name == "" {
+		return errors.New("canary: empty layer name")
+	}
+	if tx.find(name) != nil {
+		return fmt.Errorf("canary: add layer %q: %w", name, ErrLayerExists)
+	}
+	b := bank.New()
+	nl := compLayer{name: name, bank: b, snap: b.Snapshot()}
+	if pos == Innermost {
+		tx.layers = append(tx.layers, nl)
+		return nil
+	}
+	tx.layers = append([]compLayer{nl}, tx.layers...)
+	return nil
+}
+
+// RemoveLayer removes a candidate layer and all its aspects.
+func (tx *CanaryTx) RemoveLayer(name string) error {
+	for i := range tx.layers {
+		if tx.layers[i].name == name {
+			tx.layers = append(tx.layers[:i], tx.layers[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("canary: remove layer %q: %w", name, ErrNoSuchLayer)
+}
+
+// Register stores an aspect at (method, kind) in the candidate's base
+// layer.
+func (tx *CanaryTx) Register(method string, kind aspect.Kind, a aspect.Aspect) error {
+	return tx.RegisterIn(BaseLayer, method, kind, a)
+}
+
+// RegisterIn stores an aspect at (method, kind) in the named candidate
+// layer.
+func (tx *CanaryTx) RegisterIn(layerName, method string, kind aspect.Kind, a aspect.Aspect) error {
+	l := tx.find(layerName)
+	if l == nil {
+		return fmt.Errorf("canary: register %s/%s in %q: %w", method, kind, layerName, ErrNoSuchLayer)
+	}
+	if err := l.bank.Register(method, kind, a); err != nil {
+		return fmt.Errorf("canary: %w", err)
+	}
+	l.snap = l.bank.Snapshot()
+	return nil
+}
+
+// Unregister removes every aspect at (method, kind) from the named
+// candidate layer, reporting how many were removed.
+func (tx *CanaryTx) Unregister(layerName, method string, kind aspect.Kind) (int, error) {
+	l := tx.find(layerName)
+	if l == nil {
+		return 0, fmt.Errorf("canary: unregister from %q: %w", layerName, ErrNoSuchLayer)
+	}
+	n := l.bank.Unregister(method, kind)
+	if n > 0 {
+		l.snap = l.bank.Snapshot()
+	}
+	return n, nil
+}
+
+// Epoch returns the epoch number of the stable plan set.
+func (m *Moderator) Epoch() uint64 { return m.comp.Load().epoch }
+
+// CanaryInfo reports the staged candidate epoch, if any.
+func (m *Moderator) CanaryInfo() (CanaryInfo, bool) {
+	return canaryInfoOf(m.comp.Load())
+}
+
+func canaryInfoOf(cs *compState) (CanaryInfo, bool) {
+	c := cs.cand
+	if c == nil {
+		return CanaryInfo{}, false
+	}
+	info := CanaryInfo{StableEpoch: cs.epoch, CandidateEpoch: c.epoch, Percent: int(c.pct)}
+	for _, l := range c.layers {
+		info.Layers = append(info.Layers, l.name)
+	}
+	return info, true
+}
+
+// StageCanary stages a candidate plan epoch: the stable composition is
+// cloned, edit shapes the clone through the CanaryTx, the interference
+// checker vets the result, and on success the candidate is published with
+// pct percent of traffic routed to it. A stage that the checker flags is
+// refused with an *InterferenceError carrying the structured report; the
+// stable epoch is never perturbed (any admission-domain merges performed
+// while vetting candidate wake spans persist — merging quiescent domains
+// only reduces concurrency, it never changes admission semantics).
+//
+// Only one candidate can be staged at a time; promote or roll back before
+// staging another. Candidate layers are frozen at stage time: later
+// mutations of the stable composition do not leak into the candidate.
+func (m *Moderator) StageCanary(pct int, edit func(*CanaryTx) error) error {
+	m.admin.Lock()
+	defer m.admin.Unlock()
+	cur := m.comp.Load()
+	if cur.cand != nil {
+		return fmt.Errorf("moderator %s: stage canary: %w", m.name, ErrCanaryActive)
+	}
+	cloned, err := cloneLayers(cur.layers)
+	if err != nil {
+		return fmt.Errorf("moderator %s: stage canary: %w", m.name, err)
+	}
+	tx := &CanaryTx{layers: cloned}
+	if edit != nil {
+		if err := edit(tx); err != nil {
+			return fmt.Errorf("moderator %s: stage canary: %w", m.name, err)
+		}
+	}
+	epoch := m.epochSeq + 1
+	cand := &canaryState{epoch: epoch, pct: clampPct(pct), layers: tx.layers}
+
+	findings := checkCapability(cand.layers)
+	// Vetting wake spans merges the spanned admission domains (the merge
+	// is exactly what makes the span safe); a span that cannot merge is a
+	// wake-overlap finding. Merging republishes the stable snapshot, so
+	// reload before compiling candidate plans against the final domains.
+	findings = append(findings, m.checkWakeOverlapLocked(cand.layers)...)
+	cur = m.comp.Load()
+	cand.plans = m.compilePlansLocked(cand.layers, epoch)
+	findings = append(findings, checkSharedGuards(cur.plans, cand.plans)...)
+	if len(findings) > 0 {
+		sortFindings(findings)
+		return &InterferenceError{
+			Component: m.name,
+			Report:    InterferenceReport{CandidateEpoch: epoch, Findings: findings},
+		}
+	}
+
+	m.epochSeq = epoch
+	m.comp.Store(&compState{epoch: cur.epoch, layers: cur.layers, plans: cur.plans, cand: cand})
+	return nil
+}
+
+// SetCanaryFraction changes the percentage of traffic routed to the
+// staged candidate (clamped to 0..100) without restaging it.
+func (m *Moderator) SetCanaryFraction(pct int) error {
+	m.admin.Lock()
+	defer m.admin.Unlock()
+	cur := m.comp.Load()
+	if cur.cand == nil {
+		return fmt.Errorf("moderator %s: set canary fraction: %w", m.name, ErrNoCanary)
+	}
+	cand := cur.cand.clone()
+	cand.pct = clampPct(pct)
+	m.comp.Store(&compState{epoch: cur.epoch, layers: cur.layers, plans: cur.plans, cand: cand})
+	return nil
+}
+
+// PromoteCanary makes the staged candidate the stable epoch in one atomic
+// snapshot swap: all traffic admits under the candidate's plans from the
+// next invocation on. In-flight invocations complete under the plan they
+// were admitted with, exactly as during layer churn.
+func (m *Moderator) PromoteCanary() error {
+	m.admin.Lock()
+	defer m.admin.Unlock()
+	cur := m.comp.Load()
+	if cur.cand == nil {
+		return fmt.Errorf("moderator %s: promote canary: %w", m.name, ErrNoCanary)
+	}
+	c := cur.cand
+	m.comp.Store(&compState{epoch: c.epoch, layers: c.layers, plans: c.plans})
+	return nil
+}
+
+// RollbackCanary discards the staged candidate in one atomic snapshot
+// swap; the burned epoch number is never reused. In-flight canary-routed
+// invocations complete under the candidate plans they were admitted with.
+func (m *Moderator) RollbackCanary() error {
+	m.admin.Lock()
+	defer m.admin.Unlock()
+	cur := m.comp.Load()
+	if cur.cand == nil {
+		return fmt.Errorf("moderator %s: rollback canary: %w", m.name, ErrNoCanary)
+	}
+	m.comp.Store(&compState{epoch: cur.epoch, layers: cur.layers, plans: cur.plans})
+	return nil
+}
+
+// Epoch returns the epoch number of the reference's stable composition.
+func (r *Reference) Epoch() uint64 { return r.comp.Load().epoch }
+
+// CanaryInfo reports the staged candidate epoch, if any.
+func (r *Reference) CanaryInfo() (CanaryInfo, bool) {
+	return canaryInfoOf(r.comp.Load())
+}
+
+// StageCanary stages a candidate epoch on the reference moderator, with
+// the same cloning, routing, and one-at-a-time semantics as the sharded
+// implementation but WITHOUT interference checking: under one admission
+// mutex every method is one domain, so wake-overlap and shared-guard
+// hazards are structurally impossible, and with no lock-free fast path a
+// NonBlocking capability violation has nothing to subvert. The
+// differential oracle therefore only stages candidates the sharded
+// checker accepts.
+func (r *Reference) StageCanary(pct int, edit func(*CanaryTx) error) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur := r.comp.Load()
+	if cur.cand != nil {
+		return fmt.Errorf("moderator %s: stage canary: %w", r.name, ErrCanaryActive)
+	}
+	cloned, err := cloneLayers(cur.layers)
+	if err != nil {
+		return fmt.Errorf("moderator %s: stage canary: %w", r.name, err)
+	}
+	tx := &CanaryTx{layers: cloned}
+	if edit != nil {
+		if err := edit(tx); err != nil {
+			return fmt.Errorf("moderator %s: stage canary: %w", r.name, err)
+		}
+	}
+	r.epochSeq++
+	cand := &canaryState{epoch: r.epochSeq, pct: clampPct(pct), layers: tx.layers}
+	r.comp.Store(&compState{epoch: cur.epoch, layers: cur.layers, cand: cand})
+	return nil
+}
+
+// SetCanaryFraction changes the candidate's routed share.
+func (r *Reference) SetCanaryFraction(pct int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur := r.comp.Load()
+	if cur.cand == nil {
+		return fmt.Errorf("moderator %s: set canary fraction: %w", r.name, ErrNoCanary)
+	}
+	cand := cur.cand.clone()
+	cand.pct = clampPct(pct)
+	r.comp.Store(&compState{epoch: cur.epoch, layers: cur.layers, cand: cand})
+	return nil
+}
+
+// PromoteCanary makes the staged candidate the stable composition.
+func (r *Reference) PromoteCanary() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur := r.comp.Load()
+	if cur.cand == nil {
+		return fmt.Errorf("moderator %s: promote canary: %w", r.name, ErrNoCanary)
+	}
+	c := cur.cand
+	r.comp.Store(&compState{epoch: c.epoch, layers: c.layers})
+	return nil
+}
+
+// RollbackCanary discards the staged candidate.
+func (r *Reference) RollbackCanary() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur := r.comp.Load()
+	if cur.cand == nil {
+		return fmt.Errorf("moderator %s: rollback canary: %w", r.name, ErrNoCanary)
+	}
+	r.comp.Store(&compState{epoch: cur.epoch, layers: cur.layers})
+	return nil
+}

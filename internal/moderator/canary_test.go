@@ -1,0 +1,427 @@
+package moderator
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/aspect"
+)
+
+func routedInv(method string, key uint64) *aspect.Invocation {
+	i := aspect.NewInvocation(context.Background(), "comp", method, nil)
+	i.RouteKey = key
+	return i
+}
+
+// countingAspect records which plan set admitted an invocation by bumping a
+// counter; registered only in the candidate, its count is exactly the
+// canary-routed traffic.
+func countingAspect(name string, n *atomic.Int64) *aspect.Func {
+	return &aspect.Func{
+		AspectName: name,
+		AspectKind: aspect.KindMetrics,
+		Pre: func(*aspect.Invocation) aspect.Verdict {
+			n.Add(1)
+			return aspect.Resume
+		},
+	}
+}
+
+func TestRouteToCandidateDeterministicAndClamped(t *testing.T) {
+	if routeToCandidate("open", 7, 0) {
+		t.Error("pct 0 must never route to candidate")
+	}
+	if !routeToCandidate("open", 7, 100) {
+		t.Error("pct 100 must always route to candidate")
+	}
+	for key := uint64(1); key <= 200; key++ {
+		first := routeToCandidate("open", key, 25)
+		for i := 0; i < 3; i++ {
+			if routeToCandidate("open", key, 25) != first {
+				t.Fatalf("routing for key %d not deterministic", key)
+			}
+		}
+	}
+	// The hash spreads keys: a 25% fraction should land in a broad band
+	// over 1000 sequential keys.
+	hits := 0
+	for key := uint64(1); key <= 1000; key++ {
+		if routeToCandidate("open", key, 25) {
+			hits++
+		}
+	}
+	if hits < 150 || hits > 350 {
+		t.Errorf("25%% fraction routed %d of 1000 keys to candidate", hits)
+	}
+	// Raising the fraction only adds keys, never removes them (h%100 < pct
+	// is monotone in pct): a canary ramp keeps earlier canary users on the
+	// candidate.
+	for key := uint64(1); key <= 200; key++ {
+		if routeToCandidate("open", key, 25) && !routeToCandidate("open", key, 60) {
+			t.Fatalf("key %d routed at 25%% but not at 60%%", key)
+		}
+	}
+}
+
+func TestStageCanaryRoutesFractionThenPromote(t *testing.T) {
+	m := New("comp")
+	var stable, cand atomic.Int64
+	if err := m.Register("open", aspect.KindMetrics, countingAspect("stable-mark", &stable)); err != nil {
+		t.Fatal(err)
+	}
+	if m.Epoch() != 1 {
+		t.Fatalf("fresh moderator epoch = %d, want 1", m.Epoch())
+	}
+	if _, staged := m.CanaryInfo(); staged {
+		t.Fatal("fresh moderator reports a staged canary")
+	}
+
+	err := m.StageCanary(0, func(tx *CanaryTx) error {
+		return tx.Register("open", aspect.KindMetrics, countingAspect("cand-mark", &cand))
+	})
+	if err != nil {
+		t.Fatalf("stage: %v", err)
+	}
+	info, staged := m.CanaryInfo()
+	if !staged || info.StableEpoch != 1 || info.CandidateEpoch != 2 || info.Percent != 0 {
+		t.Fatalf("canary info = %+v staged=%v", info, staged)
+	}
+
+	drive := func(n int) {
+		t.Helper()
+		for key := 1; key <= n; key++ {
+			i := routedInv("open", uint64(key))
+			adm, err := m.Preactivation(i)
+			if err != nil {
+				t.Fatalf("preactivation key %d: %v", key, err)
+			}
+			m.Postactivation(i, adm)
+		}
+	}
+
+	// Fraction 0: all stable.
+	drive(100)
+	if got := cand.Load(); got != 0 {
+		t.Fatalf("at 0%%, candidate admitted %d invocations", got)
+	}
+	if got := stable.Load(); got != 100 {
+		t.Fatalf("at 0%%, stable admitted %d of 100", got)
+	}
+
+	// Fraction 100: all candidate (the candidate stack contains the cloned
+	// stable marker too, so stable-mark keeps counting — assert via the
+	// candidate-only marker).
+	if err := m.SetCanaryFraction(100); err != nil {
+		t.Fatal(err)
+	}
+	cand.Store(0)
+	drive(100)
+	if got := cand.Load(); got != 100 {
+		t.Fatalf("at 100%%, candidate admitted %d of 100", got)
+	}
+
+	// An intermediate fraction routes exactly the keys the hash selects.
+	if err := m.SetCanaryFraction(25); err != nil {
+		t.Fatal(err)
+	}
+	cand.Store(0)
+	want := int64(0)
+	for key := 1; key <= 200; key++ {
+		if routeToCandidate("open", uint64(key), 25) {
+			want++
+		}
+	}
+	drive(200)
+	if got := cand.Load(); got != want {
+		t.Fatalf("at 25%%, candidate admitted %d, hash selects %d", got, want)
+	}
+
+	if err := m.PromoteCanary(); err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	if m.Epoch() != 2 {
+		t.Fatalf("epoch after promote = %d, want 2", m.Epoch())
+	}
+	if _, staged := m.CanaryInfo(); staged {
+		t.Fatal("canary still staged after promote")
+	}
+	cand.Store(0)
+	drive(50)
+	if got := cand.Load(); got != 50 {
+		t.Fatalf("after promote, candidate stack admitted %d of 50", got)
+	}
+}
+
+func TestRollbackCanaryRestoresStableAndBurnsEpoch(t *testing.T) {
+	m := New("comp")
+	var cand atomic.Int64
+	if err := m.Register("open", aspect.KindMetrics, countingAspect("stable-mark", new(atomic.Int64))); err != nil {
+		t.Fatal(err)
+	}
+	err := m.StageCanary(100, func(tx *CanaryTx) error {
+		return tx.Register("open", aspect.KindMetrics, countingAspect("cand-mark", &cand))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := routedInv("open", 1)
+	adm, err := m.Preactivation(i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Postactivation(i, adm)
+	if cand.Load() != 1 {
+		t.Fatalf("staged candidate at 100%% admitted %d", cand.Load())
+	}
+	if err := m.RollbackCanary(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Epoch() != 1 {
+		t.Fatalf("epoch after rollback = %d, want 1", m.Epoch())
+	}
+	cand.Store(0)
+	i = routedInv("open", 1)
+	adm, err = m.Preactivation(i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Postactivation(i, adm)
+	if cand.Load() != 0 {
+		t.Fatal("candidate marker still admitting after rollback")
+	}
+	// The burned epoch number is not reused: the next stage gets epoch 3.
+	if err := m.StageCanary(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	info, _ := m.CanaryInfo()
+	if info.CandidateEpoch != 3 {
+		t.Fatalf("epoch after rollback+restage = %d, want 3", info.CandidateEpoch)
+	}
+}
+
+func TestCanaryControlErrors(t *testing.T) {
+	m := New("comp")
+	if err := m.PromoteCanary(); !errors.Is(err, ErrNoCanary) {
+		t.Errorf("promote with no canary: %v", err)
+	}
+	if err := m.RollbackCanary(); !errors.Is(err, ErrNoCanary) {
+		t.Errorf("rollback with no canary: %v", err)
+	}
+	if err := m.SetCanaryFraction(10); !errors.Is(err, ErrNoCanary) {
+		t.Errorf("set fraction with no canary: %v", err)
+	}
+	if err := m.StageCanary(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.StageCanary(0, nil); !errors.Is(err, ErrCanaryActive) {
+		t.Errorf("double stage: %v", err)
+	}
+	// An edit error aborts the stage cleanly.
+	if err := m.RollbackCanary(); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	if err := m.StageCanary(0, func(*CanaryTx) error { return boom }); !errors.Is(err, boom) {
+		t.Errorf("edit error not surfaced: %v", err)
+	}
+	if _, staged := m.CanaryInfo(); staged {
+		t.Error("failed stage left a canary staged")
+	}
+}
+
+func TestCanaryTxEditsCandidateOnly(t *testing.T) {
+	m := New("comp")
+	if err := m.Register("open", aspect.KindAudit, &aspect.Func{AspectName: "stable-audit", AspectKind: aspect.KindAudit}); err != nil {
+		t.Fatal(err)
+	}
+	err := m.StageCanary(100, func(tx *CanaryTx) error {
+		if err := tx.AddLayer("candidate-extras", Outermost); err != nil {
+			return err
+		}
+		if err := tx.RegisterIn("candidate-extras", "open", aspect.KindMetrics,
+			&aspect.Func{AspectName: "cand-extra", AspectKind: aspect.KindMetrics}); err != nil {
+			return err
+		}
+		if n, err := tx.Unregister(BaseLayer, "open", aspect.KindAudit); err != nil || n != 1 {
+			t.Errorf("tx unregister = %d, %v", n, err)
+		}
+		if got := tx.Layers(); len(got) != 2 || got[0] != "candidate-extras" || got[1] != BaseLayer {
+			t.Errorf("tx layers = %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The stable composition is untouched by the candidate's edits.
+	if got := m.Layers(); len(got) != 1 || got[0] != BaseLayer {
+		t.Errorf("stable layers = %v", got)
+	}
+	if aspects := m.Aspects("open"); len(aspects) != 1 || aspects[0].Name() != "stable-audit" {
+		t.Errorf("stable aspects = %v", aspects)
+	}
+	info, _ := m.CanaryInfo()
+	if len(info.Layers) != 2 || info.Layers[0] != "candidate-extras" {
+		t.Errorf("candidate layers = %v", info.Layers)
+	}
+}
+
+// TestCanaryUnguardsMethod: a candidate that removes a method's whole
+// stack admits routed invocations unguarded while stable traffic keeps
+// its guards.
+func TestCanaryUnguardsMethod(t *testing.T) {
+	m := New("comp")
+	var stable atomic.Int64
+	if err := m.Register("open", aspect.KindMetrics, countingAspect("stable-mark", &stable)); err != nil {
+		t.Fatal(err)
+	}
+	err := m.StageCanary(100, func(tx *CanaryTx) error {
+		n, err := tx.Unregister(BaseLayer, "open", aspect.KindMetrics)
+		if n != 1 {
+			t.Errorf("unregistered %d", n)
+		}
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	i := routedInv("open", 1)
+	adm, err := m.Preactivation(i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adm.Len() != 0 {
+		t.Errorf("candidate-routed admission carries %d aspects", adm.Len())
+	}
+	m.Postactivation(i, adm)
+	if stable.Load() != 0 {
+		t.Error("stable guard ran for a candidate-routed invocation")
+	}
+}
+
+// TestReferenceCanaryMirrorsModerator drives the same canary lifecycle on
+// both implementations and requires identical routing and epochs.
+func TestReferenceCanaryMirrorsModerator(t *testing.T) {
+	m := New("comp")
+	r := NewReference("comp")
+	var mc, rc atomic.Int64
+	for _, err := range []error{
+		m.Register("open", aspect.KindMetrics, countingAspect("stable", new(atomic.Int64))),
+		r.Register("open", aspect.KindMetrics, countingAspect("stable", new(atomic.Int64))),
+		m.StageCanary(25, func(tx *CanaryTx) error {
+			return tx.Register("open", aspect.KindMetrics, countingAspect("cand", &mc))
+		}),
+		r.StageCanary(25, func(tx *CanaryTx) error {
+			return tx.Register("open", aspect.KindMetrics, countingAspect("cand", &rc))
+		}),
+	} {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	mi, _ := m.CanaryInfo()
+	ri, _ := r.CanaryInfo()
+	if mi.StableEpoch != ri.StableEpoch || mi.CandidateEpoch != ri.CandidateEpoch || mi.Percent != ri.Percent {
+		t.Fatalf("canary info diverges: sharded %+v reference %+v", mi, ri)
+	}
+	for key := 1; key <= 400; key++ {
+		for _, impl := range []Admitter{m, r} {
+			i := routedInv("open", uint64(key))
+			adm, err := impl.Preactivation(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			impl.Postactivation(i, adm)
+		}
+	}
+	if mc.Load() != rc.Load() {
+		t.Fatalf("routing diverges: sharded admitted %d via candidate, reference %d", mc.Load(), rc.Load())
+	}
+	if err := m.PromoteCanary(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.PromoteCanary(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Epoch() != r.Epoch() {
+		t.Fatalf("epoch diverges after promote: %d vs %d", m.Epoch(), r.Epoch())
+	}
+}
+
+// TestStableWaiterSuppressesCandidateFastPath is the epoch-swap regression
+// for the fast-path gate: a caller parked under the STABLE epoch must
+// force candidate-routed invocations of a pure stack onto the mutex path,
+// whose conservative broadcast is what wakes the parked caller. The
+// waiters counter is moderator-wide, not per-epoch — this test pins that.
+func TestStableWaiterSuppressesCandidateFastPath(t *testing.T) {
+	m := New("comp")
+	var token atomic.Int64
+	gate := &aspect.Func{
+		AspectName: "token-gate",
+		AspectKind: aspect.KindSynchronization,
+		Pre: func(*aspect.Invocation) aspect.Verdict {
+			if token.Load() == 0 {
+				return aspect.Block
+			}
+			return aspect.Resume
+		},
+	}
+	if err := m.Register("gate", aspect.KindSynchronization, gate); err != nil {
+		t.Fatal(err)
+	}
+	// The candidate introduces a brand-new pure method: its whole stack
+	// declares NonBlocking, so with no waiters it would take the lock-free
+	// fast path and never broadcast.
+	err := m.StageCanary(100, func(tx *CanaryTx) error {
+		return tx.Register("pure", aspect.KindMetrics,
+			&aspect.Func{AspectName: "pure-mark", AspectKind: aspect.KindMetrics, NonBlockingFlag: true})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	parked := make(chan error, 1)
+	go func() {
+		i := routedInv("gate", 1)
+		adm, err := m.Preactivation(i)
+		if err == nil {
+			m.Postactivation(i, adm)
+		}
+		parked <- err
+	}()
+	deadline := time.After(5 * time.Second)
+	for m.Waiting("gate") == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("caller never parked on gate")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Open the gate WITHOUT waking anyone: only the candidate-routed pure
+	// invocation's completion broadcast can release the parked caller —
+	// and only if the waiters counter pushed it off the fast path.
+	token.Store(1)
+	i := routedInv("pure", 7)
+	adm, err := m.Preactivation(i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adm.fast {
+		t.Error("candidate-routed invocation took the fast path with a stable-epoch caller parked")
+	}
+	m.Postactivation(i, adm)
+
+	select {
+	case err := <-parked:
+		if err != nil {
+			t.Fatalf("parked caller failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("parked caller never woke: candidate completion skipped the wake fan-out")
+	}
+}

@@ -1,0 +1,267 @@
+package moderator
+
+// Publish-time interference checking for staged canary epochs.
+//
+// A candidate composition does not run alone: while staged, its plans
+// admit a fraction of traffic side by side with the stable epoch, over
+// the SAME admission domains, wait queues, and guard instances. Three
+// mechanically checkable interference classes can make that coexistence
+// unsound, and StageCanary refuses a candidate that exhibits any of them:
+//
+//   - wake-overlap: a candidate aspect declares a wake span (aspect.Waker
+//     with a non-empty list) that cannot be merged into one admission
+//     domain — typically because two of the spanned domains already saw
+//     traffic under the stable epoch. Admitting such a stack would let
+//     its hooks touch guard state across domain mutexes. Spans that CAN
+//     merge are merged during the check, exactly as live registration
+//     would; a merge of quiescent domains only reduces concurrency and
+//     never changes admission semantics, so merges performed while
+//     vetting a candidate that is ultimately refused are harmless.
+//
+//   - shared-guard: one stateful guard instance (synchronization or
+//     scheduling kind, not declared NonBlocking) is bound to more than
+//     one admission domain — either across two candidate methods, or
+//     across a candidate method and a stable method that grouping did
+//     not co-locate. Its hooks would mutate shared guard state under
+//     different mutexes. Observational aspects (metrics, audit,
+//     authentication) are exempt: sharing a passive instance across
+//     domains is the normal veneer pattern.
+//
+//   - capability: an aspect declares NonBlocking — granting the whole
+//     stack the lock-free fast path when its peers do too — while also
+//     declaring behaviour only meaningful for blocking guards: a
+//     non-empty wake list (wake fan-out is skipped on the fast path) or
+//     an Abandon hook (only blocked callers abandon). The declaration
+//     contradicts itself; admitting it could strand parked callers.
+//
+// The taxonomy follows the "invasive pattern" classification literature:
+// these are exactly the compositions where an independently authored
+// aspect observably perturbs concerns it never named.
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"strings"
+
+	"repro/internal/aspect"
+)
+
+// Interference classes reported by the checker.
+const (
+	InterferenceWakeOverlap = "wake-overlap"
+	InterferenceSharedGuard = "shared-guard"
+	InterferenceCapability  = "capability"
+)
+
+// ErrInterference is the sentinel wrapped by every InterferenceError.
+var ErrInterference = errors.New("moderator: canary interference detected")
+
+// InterferenceFinding is one refused pattern in a candidate composition.
+type InterferenceFinding struct {
+	Class  string `json:"class"`
+	Method string `json:"method"`
+	Aspect string `json:"aspect"`
+	Detail string `json:"detail"`
+}
+
+// InterferenceReport is the structured result of vetting one candidate
+// epoch.
+type InterferenceReport struct {
+	CandidateEpoch uint64                `json:"candidate_epoch"`
+	Findings       []InterferenceFinding `json:"findings"`
+}
+
+// OK reports whether the candidate was free of interference findings.
+func (r InterferenceReport) OK() bool { return len(r.Findings) == 0 }
+
+// String renders the report for logs and error messages.
+func (r InterferenceReport) String() string {
+	if r.OK() {
+		return fmt.Sprintf("epoch %d: no interference", r.CandidateEpoch)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "epoch %d: %d interference finding(s)", r.CandidateEpoch, len(r.Findings))
+	for _, f := range r.Findings {
+		fmt.Fprintf(&b, "\n  [%s] %s (aspect %q): %s", f.Class, f.Method, f.Aspect, f.Detail)
+	}
+	return b.String()
+}
+
+// InterferenceError refuses a StageCanary whose candidate the checker
+// flagged. It wraps ErrInterference and carries the structured report.
+type InterferenceError struct {
+	Component string
+	Report    InterferenceReport
+}
+
+func (e *InterferenceError) Error() string {
+	return fmt.Sprintf("moderator %s: stage canary refused: %s", e.Component, e.Report.String())
+}
+
+func (e *InterferenceError) Unwrap() error { return ErrInterference }
+
+// sortFindings orders findings deterministically: by class, then method,
+// then aspect, then detail.
+func sortFindings(fs []InterferenceFinding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Class != b.Class {
+			return a.Class < b.Class
+		}
+		if a.Method != b.Method {
+			return a.Method < b.Method
+		}
+		if a.Aspect != b.Aspect {
+			return a.Aspect < b.Aspect
+		}
+		return a.Detail < b.Detail
+	})
+}
+
+// abandons reports whether the aspect carries an Abandon hook. The Func
+// adapter implements every optional interface unconditionally, so for it
+// the actual hook field decides.
+func abandons(a aspect.Aspect) bool {
+	if f, ok := a.(*aspect.Func); ok {
+		return f.AbandonFn != nil
+	}
+	_, ok := a.(aspect.Abandoner)
+	return ok
+}
+
+// declaresNonBlocking reports whether the aspect grants the fast-path
+// capability.
+func declaresNonBlocking(a aspect.Aspect) bool {
+	nb, ok := a.(aspect.NonBlocking)
+	return ok && nb.NonBlocking()
+}
+
+// wakeSpan returns the aspect's declared wake list, or nil.
+func wakeSpan(a aspect.Aspect) []string {
+	if w, ok := a.(aspect.Waker); ok {
+		return w.Wakes()
+	}
+	return nil
+}
+
+// statefulGuard classifies an aspect entry as carrying cross-invocation
+// guard state: synchronization- or scheduling-kind (or wake-declaring)
+// and not exempted by a NonBlocking declaration.
+func statefulGuard(kind aspect.Kind, a aspect.Aspect) bool {
+	if declaresNonBlocking(a) {
+		return false
+	}
+	if kind == aspect.KindSynchronization || kind == aspect.KindScheduling {
+		return true
+	}
+	return len(wakeSpan(a)) > 0
+}
+
+// checkCapability flags NonBlocking declarations that contradict
+// themselves (class "capability"). Pure structural scan; no locks needed.
+func checkCapability(layers []compLayer) []InterferenceFinding {
+	var out []InterferenceFinding
+	for _, l := range layers {
+		for _, meth := range l.snap.Methods() {
+			for _, e := range l.snap.ForMethod(meth) {
+				if !declaresNonBlocking(e.Aspect) {
+					continue
+				}
+				if span := wakeSpan(e.Aspect); len(span) > 0 {
+					out = append(out, InterferenceFinding{
+						Class: InterferenceCapability, Method: meth, Aspect: e.Aspect.Name(),
+						Detail: fmt.Sprintf("declares NonBlocking but wakes %v: the lock-free fast path skips wake fan-out, so its completions could strand parked callers", span),
+					})
+				}
+				if abandons(e.Aspect) {
+					out = append(out, InterferenceFinding{
+						Class: InterferenceCapability, Method: meth, Aspect: e.Aspect.Name(),
+						Detail: "declares NonBlocking but implements Abandon: only blocked callers abandon, and a NonBlocking precondition must never block",
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkWakeOverlapLocked vets every candidate wake span by merging it into
+// one admission domain, exactly as live Waker registration would. A span
+// that cannot merge (two spanned domains already active) is a
+// "wake-overlap" finding. The admin mutex must be held.
+func (m *Moderator) checkWakeOverlapLocked(layers []compLayer) []InterferenceFinding {
+	var out []InterferenceFinding
+	for _, l := range layers {
+		for _, meth := range l.snap.Methods() {
+			for _, e := range l.snap.ForMethod(meth) {
+				span := wakeSpan(e.Aspect)
+				if len(span) == 0 {
+					continue
+				}
+				group := append([]string{meth}, span...)
+				if err := m.groupLocked(group); err != nil {
+					out = append(out, InterferenceFinding{
+						Class: InterferenceWakeOverlap, Method: meth, Aspect: e.Aspect.Name(),
+						Detail: fmt.Sprintf("wake span %v cannot merge into one admission domain: %v", span, err),
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkSharedGuards flags stateful guard instances bound to more than one
+// admission domain across the candidate's plans and the stable epoch's
+// (class "shared-guard"). Instances whose dynamic type is not comparable
+// cannot be identity-tracked and are skipped (such aspects cannot be
+// registered twice as the same instance anyway).
+func checkSharedGuards(stable, cand map[string]*compiledPlan) []InterferenceFinding {
+	type binding struct {
+		d      *domain
+		method string
+	}
+	seen := make(map[aspect.Aspect]binding)
+	var out []InterferenceFinding
+	flag := func(method string, a aspect.Aspect, prev binding, epoch string) {
+		out = append(out, InterferenceFinding{
+			Class: InterferenceSharedGuard, Method: method, Aspect: a.Name(),
+			Detail: fmt.Sprintf("stateful guard instance also bound to %s method %q in a different admission domain: its hooks would mutate shared state under two mutexes", epoch, prev.method),
+		})
+	}
+	scan := func(plans map[string]*compiledPlan, epoch string, record bool) {
+		methods := make([]string, 0, len(plans))
+		for meth := range plans {
+			methods = append(methods, meth)
+		}
+		sort.Strings(methods)
+		for _, meth := range methods {
+			p := plans[meth]
+			for i := range p.entries {
+				e := &p.entries[i]
+				if !statefulGuard(e.kind, e.a) {
+					continue
+				}
+				if !reflect.TypeOf(e.a).Comparable() {
+					continue
+				}
+				if prev, ok := seen[e.a]; ok {
+					if prev.d != p.d {
+						flag(meth, e.a, prev, epoch)
+					}
+					continue
+				}
+				if record {
+					seen[e.a] = binding{d: p.d, method: meth}
+				}
+			}
+		}
+	}
+	// Record candidate bindings first, then check them against each other
+	// and against the stable epoch's bindings.
+	scan(cand, "candidate", true)
+	scan(stable, "candidate", false)
+	return out
+}

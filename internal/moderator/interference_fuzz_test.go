@@ -1,0 +1,148 @@
+package moderator
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/aspect"
+)
+
+// FuzzInterferenceChecker feeds the publish-time checker candidate
+// compositions decoded from raw bytes and asserts soundness: a candidate
+// that exhibits a known-invasive pattern by construction must NEVER be
+// staged successfully. Over-flagging (refusing a pattern the predicate
+// below calls safe) is allowed — the checker is conservative — but a
+// false "safe" is a bug.
+//
+// Decoding: the input is consumed in 3-byte specs, at most 6:
+//
+//	b0: bits 0-1 method index (mod 3), bit 2 NonBlocking, bit 3
+//	    registration kind (1 = synchronization, 0 = metrics)
+//	b1: bits 0-2 wake mask over the method set
+//	b2: bits 0-1 shared-instance id (specs with one id share one aspect
+//	    instance; the first spec fixes its flags)
+//
+// The stable composition always has one private guard per method and all
+// three admission domains active (one admission driven through each), so
+// the invasive predicates below are exact:
+//
+//	capability:   an instance declares NonBlocking with a non-empty wake
+//	              list
+//	wake-overlap: a registration's wake span names a method other than
+//	              its own (all domains are active and distinct, so the
+//	              span cannot merge)
+//	shared-guard: one stateful instance (blocking-capable: registered at
+//	              synchronization kind or declaring wakes, and not
+//	              NonBlocking) is registered on two distinct methods
+func FuzzInterferenceChecker(f *testing.F) {
+	// One known-invasive encoding per class, plus safe shapes.
+	f.Add([]byte{0x0C, 0x02, 0x00})                   // capability: NonBlocking + wakes m1
+	f.Add([]byte{0x08, 0x02, 0x00})                   // wake-overlap: guard on m0 wakes m1
+	f.Add([]byte{0x08, 0x00, 0x01, 0x09, 0x00, 0x01}) // shared-guard: one sync instance on m0 and m1
+	f.Add([]byte{0x00, 0x00, 0x00})                   // safe: private metrics veneer
+	f.Add([]byte{0x0C, 0x00, 0x02, 0x0D, 0x00, 0x02}) // safe: shared NonBlocking instance, no wakes
+	f.Add([]byte{0x08, 0x01, 0x00})                   // safe: guard wakes only its own method
+
+	methods := []string{"m0", "m1", "m2"}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		type spec struct {
+			method   string
+			kind     aspect.Kind
+			instance *aspect.Func
+		}
+		instances := map[byte]*aspect.Func{}
+		var specs []spec
+		for i := 0; i+3 <= len(data) && len(specs) < 6; i += 3 {
+			b0, b1, b2 := data[i], data[i+1], data[i+2]
+			id := b2 % 4
+			inst, ok := instances[id]
+			if !ok {
+				var wakes []string
+				for bit, meth := range methods {
+					if b1&(1<<bit) != 0 {
+						wakes = append(wakes, meth)
+					}
+				}
+				inst = &aspect.Func{
+					AspectName:      fmt.Sprintf("fuzz-%d", id),
+					AspectKind:      aspect.KindSynchronization,
+					NonBlockingFlag: b0&0x04 != 0,
+					WakeList:        wakes,
+					Pre:             func(*aspect.Invocation) aspect.Verdict { return aspect.Resume },
+				}
+				instances[id] = inst
+			}
+			kind := aspect.KindMetrics
+			if b0&0x08 != 0 {
+				kind = aspect.KindSynchronization
+			}
+			specs = append(specs, spec{method: methods[b0%3], kind: kind, instance: inst})
+		}
+		if len(specs) == 0 {
+			return
+		}
+
+		// Independent invasiveness predicate, straight from the decoded
+		// specs — no checker internals involved.
+		mustFlag := false
+		stateful := func(s spec) bool {
+			if s.instance.NonBlockingFlag {
+				return false
+			}
+			return s.kind == aspect.KindSynchronization || len(s.instance.WakeList) > 0
+		}
+		bound := map[*aspect.Func]string{}
+		for _, s := range specs {
+			if s.instance.NonBlockingFlag && len(s.instance.WakeList) > 0 {
+				mustFlag = true // capability
+			}
+			for _, w := range s.instance.WakeList {
+				if w != s.method {
+					mustFlag = true // wake-overlap: span crosses active domains
+				}
+			}
+			if stateful(s) {
+				if prev, ok := bound[s.instance]; ok && prev != s.method {
+					mustFlag = true // shared-guard across distinct domains
+				} else if !ok {
+					bound[s.instance] = s.method
+				}
+			}
+		}
+
+		m := New("fuzz")
+		for _, meth := range methods {
+			if err := m.Register(meth, aspect.KindSynchronization, syncGuard("stable-"+meth)); err != nil {
+				t.Fatal(err)
+			}
+			admitComplete(t, m, meth)
+		}
+		err := m.StageCanary(50, func(tx *CanaryTx) error {
+			for _, s := range specs {
+				if err := tx.Register(s.method, s.kind, s.instance); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if mustFlag {
+			if err == nil {
+				t.Fatalf("checker staged a known-invasive candidate: specs %+v", specs)
+			}
+			if !errors.Is(err, ErrInterference) {
+				t.Fatalf("invasive candidate refused with a non-interference error: %v", err)
+			}
+		}
+		if err == nil {
+			// An accepted candidate must be live and promotable.
+			if _, staged := m.CanaryInfo(); !staged {
+				t.Fatal("accepted stage reports no canary")
+			}
+			if err := m.PromoteCanary(); err != nil {
+				t.Fatalf("promote accepted candidate: %v", err)
+			}
+		}
+	})
+}

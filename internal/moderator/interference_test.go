@@ -1,0 +1,293 @@
+package moderator
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/aspect"
+)
+
+func syncGuard(name string) *aspect.Func {
+	return &aspect.Func{
+		AspectName: name,
+		AspectKind: aspect.KindSynchronization,
+		Pre:        func(*aspect.Invocation) aspect.Verdict { return aspect.Resume },
+	}
+}
+
+func admitComplete(t *testing.T, m *Moderator, method string) {
+	t.Helper()
+	i := aspect.NewInvocation(context.Background(), "comp", method, nil)
+	adm, err := m.Preactivation(i)
+	if err != nil {
+		t.Fatalf("preactivation(%s): %v", method, err)
+	}
+	m.Postactivation(i, adm)
+}
+
+// findingsOf asserts err is a refusal and returns its report.
+func findingsOf(t *testing.T, err error) InterferenceReport {
+	t.Helper()
+	if err == nil {
+		t.Fatal("stage accepted, want interference refusal")
+	}
+	if !errors.Is(err, ErrInterference) {
+		t.Fatalf("refusal does not wrap ErrInterference: %v", err)
+	}
+	var ie *InterferenceError
+	if !errors.As(err, &ie) {
+		t.Fatalf("refusal is not an *InterferenceError: %v", err)
+	}
+	if ie.Component == "" || ie.Report.OK() {
+		t.Fatalf("refusal carries empty report: %+v", ie)
+	}
+	return ie.Report
+}
+
+func hasFinding(r InterferenceReport, class, method string) bool {
+	for _, f := range r.Findings {
+		if f.Class == class && f.Method == method {
+			return true
+		}
+	}
+	return false
+}
+
+func TestInterferenceWakeOverlapAcrossActiveDomains(t *testing.T) {
+	m := New("comp")
+	if err := m.Register("a", aspect.KindSynchronization, syncGuard("guard-a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register("b", aspect.KindSynchronization, syncGuard("guard-b")); err != nil {
+		t.Fatal(err)
+	}
+	// Both domains see traffic under the stable epoch; they can no longer
+	// merge.
+	admitComplete(t, m, "a")
+	admitComplete(t, m, "b")
+
+	err := m.StageCanary(10, func(tx *CanaryTx) error {
+		return tx.Register("a", aspect.KindScheduling, &aspect.Func{
+			AspectName: "cross-waker",
+			AspectKind: aspect.KindScheduling,
+			WakeList:   []string{"b"},
+		})
+	})
+	report := findingsOf(t, err)
+	if !hasFinding(report, InterferenceWakeOverlap, "a") {
+		t.Errorf("missing wake-overlap finding for method a:\n%s", report)
+	}
+	// The refusal leaves no canary staged and burns no epoch number.
+	if _, staged := m.CanaryInfo(); staged {
+		t.Error("refused stage left a canary staged")
+	}
+	if err := m.StageCanary(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if info, _ := m.CanaryInfo(); info.CandidateEpoch != 2 {
+		t.Errorf("epoch after refusal+restage = %d, want 2 (refusals must not burn epochs)", info.CandidateEpoch)
+	}
+}
+
+func TestInterferenceWakeSpanMergesQuiescentDomains(t *testing.T) {
+	m := New("comp")
+	if err := m.Register("a", aspect.KindSynchronization, syncGuard("guard-a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register("b", aspect.KindSynchronization, syncGuard("guard-b")); err != nil {
+		t.Fatal(err)
+	}
+	// Only a has seen traffic: {a,b} can merge into a's domain, exactly as
+	// live Waker registration would.
+	admitComplete(t, m, "a")
+	err := m.StageCanary(10, func(tx *CanaryTx) error {
+		return tx.Register("a", aspect.KindScheduling, &aspect.Func{
+			AspectName: "cross-waker",
+			AspectKind: aspect.KindScheduling,
+			WakeList:   []string{"b"},
+		})
+	})
+	if err != nil {
+		t.Fatalf("stage with mergeable wake span refused: %v", err)
+	}
+	var merged bool
+	for _, group := range m.Domains() {
+		if len(group) == 2 && group[0] == "a" && group[1] == "b" {
+			merged = true
+		}
+	}
+	if !merged {
+		t.Errorf("wake-span vetting did not merge {a,b}: domains %v", m.Domains())
+	}
+	// The merge persists after rollback — it reduced concurrency only.
+	if err := m.RollbackCanary(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(m.Domains()); got != 1 {
+		t.Errorf("merge did not persist after rollback: domains %v", m.Domains())
+	}
+}
+
+func TestInterferenceSharedGuardAcrossCandidateDomains(t *testing.T) {
+	m := New("comp")
+	if err := m.Register("x", aspect.KindSynchronization, syncGuard("guard-x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register("y", aspect.KindSynchronization, syncGuard("guard-y")); err != nil {
+		t.Fatal(err)
+	}
+	shared := syncGuard("shared-guard")
+	err := m.StageCanary(10, func(tx *CanaryTx) error {
+		if err := tx.Register("x", aspect.KindSynchronization, shared); err != nil {
+			return err
+		}
+		return tx.Register("y", aspect.KindSynchronization, shared)
+	})
+	report := findingsOf(t, err)
+	if !hasFinding(report, InterferenceSharedGuard, "y") {
+		t.Errorf("missing shared-guard finding for method y:\n%s", report)
+	}
+}
+
+func TestInterferenceSharedGuardCandidateVsStable(t *testing.T) {
+	m := New("comp")
+	shared := syncGuard("shared-guard")
+	if err := m.Register("x", aspect.KindSynchronization, shared); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register("y", aspect.KindSynchronization, syncGuard("guard-y")); err != nil {
+		t.Fatal(err)
+	}
+	// The candidate drops the stable binding on x and rebinds the instance
+	// on y: the stable epoch still drives it under x's domain while the
+	// candidate would drive it under y's.
+	err := m.StageCanary(10, func(tx *CanaryTx) error {
+		if _, err := tx.Unregister(BaseLayer, "x", aspect.KindSynchronization); err != nil {
+			return err
+		}
+		return tx.Register("y", aspect.KindSynchronization, shared)
+	})
+	report := findingsOf(t, err)
+	if !hasFinding(report, InterferenceSharedGuard, "x") {
+		t.Errorf("missing shared-guard finding for stable method x:\n%s", report)
+	}
+}
+
+func TestInterferenceSharedVeneerExempt(t *testing.T) {
+	m := New("comp")
+	if err := m.Register("x", aspect.KindSynchronization, syncGuard("guard-x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register("y", aspect.KindSynchronization, syncGuard("guard-y")); err != nil {
+		t.Fatal(err)
+	}
+	// A passive observational instance shared across domains is the normal
+	// veneer pattern, not interference.
+	veneer := &aspect.Func{
+		AspectName: "shared-metrics",
+		AspectKind: aspect.KindMetrics,
+		Pre:        func(*aspect.Invocation) aspect.Verdict { return aspect.Resume },
+	}
+	err := m.StageCanary(10, func(tx *CanaryTx) error {
+		if err := tx.Register("x", aspect.KindMetrics, veneer); err != nil {
+			return err
+		}
+		return tx.Register("y", aspect.KindMetrics, veneer)
+	})
+	if err != nil {
+		t.Fatalf("shared observational veneer refused: %v", err)
+	}
+}
+
+func TestInterferenceCapabilityViolations(t *testing.T) {
+	cases := []struct {
+		name   string
+		aspect *aspect.Func
+		detail string
+	}{
+		{
+			name: "nonblocking-with-wakes",
+			aspect: &aspect.Func{
+				AspectName:      "nb-waker",
+				AspectKind:      aspect.KindSynchronization,
+				NonBlockingFlag: true,
+				WakeList:        []string{"other"},
+			},
+			detail: "wake fan-out",
+		},
+		{
+			name: "nonblocking-with-abandon",
+			aspect: &aspect.Func{
+				AspectName:      "nb-abandoner",
+				AspectKind:      aspect.KindSynchronization,
+				NonBlockingFlag: true,
+				AbandonFn:       func(*aspect.Invocation) {},
+			},
+			detail: "never block",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := New("comp")
+			if err := m.Register("open", aspect.KindSynchronization, syncGuard("stable-guard")); err != nil {
+				t.Fatal(err)
+			}
+			err := m.StageCanary(10, func(tx *CanaryTx) error {
+				return tx.Register("open", aspect.KindSynchronization, tc.aspect)
+			})
+			report := findingsOf(t, err)
+			if !hasFinding(report, InterferenceCapability, "open") {
+				t.Fatalf("missing capability finding:\n%s", report)
+			}
+			var found bool
+			for _, f := range report.Findings {
+				if strings.Contains(f.Detail, tc.detail) {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("no finding detail mentions %q:\n%s", tc.detail, report)
+			}
+		})
+	}
+}
+
+// TestInterferenceReportDeterministic: findings arrive sorted by class,
+// method, aspect, so refusal reports are stable across runs.
+func TestInterferenceReportDeterministic(t *testing.T) {
+	m := New("comp")
+	if err := m.Register("a", aspect.KindSynchronization, syncGuard("guard-a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register("b", aspect.KindSynchronization, syncGuard("guard-b")); err != nil {
+		t.Fatal(err)
+	}
+	admitComplete(t, m, "a")
+	admitComplete(t, m, "b")
+	shared := syncGuard("shared-guard")
+	err := m.StageCanary(10, func(tx *CanaryTx) error {
+		if err := tx.Register("b", aspect.KindScheduling, &aspect.Func{
+			AspectName: "cross-waker",
+			AspectKind: aspect.KindScheduling,
+			WakeList:   []string{"a"},
+		}); err != nil {
+			return err
+		}
+		if err := tx.Register("a", aspect.KindSynchronization, shared); err != nil {
+			return err
+		}
+		return tx.Register("b", aspect.KindSynchronization, shared)
+	})
+	report := findingsOf(t, err)
+	if len(report.Findings) < 2 {
+		t.Fatalf("want at least 2 findings, got:\n%s", report)
+	}
+	for i := 1; i < len(report.Findings); i++ {
+		a, b := report.Findings[i-1], report.Findings[i]
+		if a.Class > b.Class || (a.Class == b.Class && a.Method > b.Method) {
+			t.Errorf("findings not sorted at %d:\n%s", i, report)
+		}
+	}
+}

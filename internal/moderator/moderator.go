@@ -265,6 +265,12 @@ type Admitter interface {
 	Waiting(method string) int
 	Stats() Stats
 	QueueStats() map[string]waitq.Stats
+	Epoch() uint64
+	CanaryInfo() (CanaryInfo, bool)
+	StageCanary(pct int, edit func(*CanaryTx) error) error
+	SetCanaryFraction(pct int) error
+	PromoteCanary() error
+	RollbackCanary() error
 }
 
 var (
@@ -304,6 +310,10 @@ type planLayer struct {
 // the hot path reaches one with a single snapshot Load and map lookup.
 type compiledPlan struct {
 	method  string
+	// epoch is the composition epoch the plan was compiled under: the
+	// stable epoch, or a staged candidate's (canary.go). It tags shadow
+	// divergences and trace output; admission semantics never read it.
+	epoch   uint64
 	entries []planEntry
 	// aspects lists every entry's aspect in admission order. A successful
 	// admission always admits the whole plan, so receipts alias this slice
@@ -337,8 +347,16 @@ type compiledPlan struct {
 // time, plus the per-method compiled plans resolved from those contents.
 // One atomic Load yields a mutually consistent view of everything.
 type compState struct {
+	// epoch numbers this stable composition; it increases monotonically
+	// whenever a staged candidate is promoted (canary.go) and is never
+	// reused after a rollback.
+	epoch  uint64
 	layers []compLayer
 	plans  map[string]*compiledPlan
+	// cand, when non-nil, is the staged candidate epoch: a second layer
+	// set and plan set that serves the canary-routed fraction of traffic
+	// (see planFor in canary.go).
+	cand *canaryState
 }
 
 func (cs *compState) find(name string) *compLayer {
@@ -365,6 +383,8 @@ type domain struct {
 
 	// traceTick drives per-domain trace sampling (see trace.go).
 	traceTick atomic.Uint64
+	// shadowTick drives per-domain shadow-admission sampling (shadow.go).
+	shadowTick atomic.Uint64
 }
 
 func newDomain() *domain {
@@ -433,6 +453,13 @@ type Moderator struct {
 	comp    atomic.Pointer[compState]
 	domains atomic.Pointer[domainTable]
 	tracer  atomic.Pointer[tracerBox]
+	// shadow, when set, samples admission outcomes for off-hot-path replay
+	// against the Reference semantics (shadow.go).
+	shadow atomic.Pointer[Shadow]
+
+	// epochSeq issues epoch numbers for staged candidates; guarded by
+	// admin. The stable snapshot's current epoch lives in compState.
+	epochSeq uint64
 
 	// waiters counts callers currently parked (or about to park) on any
 	// wait queue of this moderator. It is incremented under the parking
@@ -445,9 +472,9 @@ type Moderator struct {
 
 // New creates a moderator for the named component with a single base layer.
 func New(name string, opts ...Option) *Moderator {
-	m := &Moderator{name: name, opts: buildOptions(opts)}
+	m := &Moderator{name: name, opts: buildOptions(opts), epochSeq: 1}
 	b := bank.New()
-	m.comp.Store(&compState{layers: []compLayer{{name: BaseLayer, bank: b, snap: b.Snapshot()}}})
+	m.comp.Store(&compState{epoch: 1, layers: []compLayer{{name: BaseLayer, bank: b, snap: b.Snapshot()}}})
 	m.domains.Store(&domainTable{byMethod: make(map[string]*domain)})
 	return m
 }
@@ -476,26 +503,45 @@ func (m *Moderator) Stats() Stats {
 
 // republishLocked rebuilds and publishes the composition snapshot from the
 // layers' current bank contents, compiling one admission plan per guarded
-// method. The admin mutex must be held.
+// method. The stable epoch is preserved; a staged candidate's plans are
+// recompiled too, because a grouping merge may have replaced the domains
+// they bind (candidate layers themselves are frozen at stage time). The
+// admin mutex must be held.
 func (m *Moderator) republishLocked(layers []compLayer) {
-	next := &compState{layers: make([]compLayer, len(layers))}
-	methods := make(map[string]bool)
+	cur := m.comp.Load()
+	next := &compState{epoch: cur.epoch, layers: make([]compLayer, len(layers))}
 	for i, l := range layers {
 		next.layers[i] = compLayer{name: l.name, bank: l.bank, snap: l.bank.Snapshot()}
-		next.layers[i].snap.EachMethod(func(meth string) { methods[meth] = true })
 	}
-	next.plans = make(map[string]*compiledPlan, len(methods))
-	for meth := range methods {
-		next.plans[meth] = m.compilePlanLocked(next.layers, meth)
+	next.plans = m.compilePlansLocked(next.layers, cur.epoch)
+	if c := cur.cand; c != nil {
+		cand := c.clone()
+		cand.plans = m.compilePlansLocked(cand.layers, cand.epoch)
+		next.cand = cand
 	}
 	m.comp.Store(next)
+}
+
+// compilePlansLocked compiles one admission plan per method guarded by the
+// given layer snapshots, tagged with the given epoch. The admin mutex must
+// be held.
+func (m *Moderator) compilePlansLocked(layers []compLayer, epoch uint64) map[string]*compiledPlan {
+	methods := make(map[string]bool)
+	for i := range layers {
+		layers[i].snap.EachMethod(func(meth string) { methods[meth] = true })
+	}
+	plans := make(map[string]*compiledPlan, len(methods))
+	for meth := range methods {
+		plans[meth] = m.compilePlanLocked(layers, meth, epoch)
+	}
+	return plans
 }
 
 // compilePlanLocked resolves one method's guard stack against the given
 // layer snapshots. The admin mutex must be held (the plan binds the
 // method's admission domain, creating it if needed).
-func (m *Moderator) compilePlanLocked(layers []compLayer, method string) *compiledPlan {
-	p := &compiledPlan{method: method, pure: true}
+func (m *Moderator) compilePlanLocked(layers []compLayer, method string, epoch uint64) *compiledPlan {
+	p := &compiledPlan{method: method, epoch: epoch, pure: true}
 	for _, l := range layers {
 		entries := l.snap.ForMethod(method)
 		if len(entries) == 0 {
@@ -866,9 +912,13 @@ func (m *Moderator) Preactivation(inv *aspect.Invocation) (*Admission, error) {
 	// Resolve the composition once, from a single atomic snapshot:
 	// in-flight invocations are immune to concurrent re-composition, and
 	// the plan was compiled when the snapshot was published — the hot
-	// path resolves nothing and allocates nothing.
-	plan := m.comp.Load().plans[inv.Method()]
+	// path resolves nothing and allocates nothing. With a canary staged,
+	// planFor deterministically routes a fraction of invocations to the
+	// candidate epoch's plans (canary.go).
+	cs := m.comp.Load()
+	plan := cs.planFor(inv)
 	tb := m.tracer.Load()
+	sh := m.shadow.Load()
 	if plan == nil {
 		// No aspects guard this method: admit immediately.
 		d := m.domainFor(inv.Method())
@@ -889,7 +939,13 @@ func (m *Moderator) Preactivation(inv *aspect.Invocation) (*Admission, error) {
 	// provides) and no tracer is installed (events of one domain are
 	// serialized by its mutex).
 	if tb == nil && plan.pure && m.waiters.Load() == 0 {
-		return m.preactivateFast(inv, plan, d)
+		adm, err := m.preactivateFast(inv, plan, d)
+		if sh != nil {
+			// Fast-path errors are always aborts (a pure stack never
+			// parks), so err==nil fully determines the admission outcome.
+			sh.observe(cs, plan, inv, err == nil)
+		}
+		return adm, err
 	}
 
 	g := tb.gate(&d.traceTick)
@@ -954,6 +1010,9 @@ func (m *Moderator) Preactivation(inv *aspect.Invocation) (*Admission, error) {
 					g.t.Trace(TraceEvent{Op: TraceAbort, Component: m.name, Method: inv.Method(),
 						Domain: d.id, Layer: l.name, Invocation: inv.ID(),
 						Nanos: time.Since(preStart).Nanoseconds(), Err: abortErr.Error()})
+				}
+				if sh != nil {
+					sh.observe(cs, plan, inv, false)
 				}
 				return nil, fmt.Errorf("moderator %s: %s pre-activation (layer %s): %w",
 					m.name, inv.Method(), l.name, abortErr)
@@ -1022,6 +1081,9 @@ func (m *Moderator) Preactivation(inv *aspect.Invocation) (*Admission, error) {
 		g.t.Trace(TraceEvent{Op: TraceAdmit, Component: m.name, Method: inv.Method(),
 			Domain: d.id, Invocation: inv.ID(), Aspects: k,
 			Nanos: time.Since(preStart).Nanoseconds()})
+	}
+	if sh != nil {
+		sh.observe(cs, plan, inv, true)
 	}
 	return newAdmission(plan, d, g.detail(), false), nil
 }

@@ -31,6 +31,7 @@ type Reference struct {
 	comp      atomic.Pointer[compState]
 	queues    map[qkey]*waitq.Queue
 	ticketSeq uint64 // guarded by mu
+	epochSeq  uint64 // guarded by mu; issues candidate epoch numbers
 
 	admissions  atomic.Uint64
 	blocks      atomic.Uint64
@@ -51,9 +52,10 @@ func NewReference(name string, opts ...Option) *Reference {
 		opts:     buildOptions(opts),
 		queues:   make(map[qkey]*waitq.Queue),
 		domainID: domainSeq.Add(1),
+		epochSeq: 1,
 	}
 	b := bank.New()
-	r.comp.Store(&compState{layers: []compLayer{{name: BaseLayer, bank: b, snap: b.Snapshot()}}})
+	r.comp.Store(&compState{epoch: 1, layers: []compLayer{{name: BaseLayer, bank: b, snap: b.Snapshot()}}})
 	return r
 }
 
@@ -76,10 +78,13 @@ func (r *Reference) Stats() Stats {
 	}
 }
 
-// republishLocked rebuilds and publishes the composition snapshot. r.mu
+// republishLocked rebuilds and publishes the composition snapshot,
+// carrying the stable epoch and any staged candidate forward (candidate
+// layers are frozen at stage time, so they republish unchanged). r.mu
 // must be held.
 func (r *Reference) republishLocked(layers []compLayer) {
-	next := &compState{layers: make([]compLayer, len(layers))}
+	cur := r.comp.Load()
+	next := &compState{epoch: cur.epoch, cand: cur.cand, layers: make([]compLayer, len(layers))}
 	for i, l := range layers {
 		next.layers[i] = compLayer{name: l.name, bank: l.bank, snap: l.bank.Snapshot()}
 	}
@@ -220,9 +225,12 @@ type resolvedLayer struct {
 // admission mutex. See Moderator.Preactivation for the shared semantics.
 func (r *Reference) Preactivation(inv *aspect.Invocation) (*Admission, error) {
 	cs := r.comp.Load()
-	plan := make([]resolvedLayer, 0, len(cs.layers))
+	// With a canary staged, the same deterministic route hash as the
+	// sharded moderator selects the candidate layer set (canary.go).
+	layers := cs.routedLayers(inv.Method(), routeKeyOf(inv))
+	plan := make([]resolvedLayer, 0, len(layers))
 	total := 0
-	for _, l := range cs.layers {
+	for _, l := range layers {
 		entries := l.snap.ForMethod(inv.Method())
 		if len(entries) > 0 {
 			plan = append(plan, resolvedLayer{name: l.name, entries: entries})

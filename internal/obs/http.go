@@ -45,6 +45,8 @@ type DescribeLayer struct {
 // DescribeComponent is one watched source's structural snapshot.
 type DescribeComponent struct {
 	Name    string                 `json:"name"`
+	Epoch   uint64                 `json:"epoch,omitempty"`
+	Canary  *moderator.CanaryInfo  `json:"canary,omitempty"`
 	Layers  []DescribeLayer        `json:"layers"`
 	Domains [][]string             `json:"domains,omitempty"`
 	Stats   moderator.Stats        `json:"stats"`
@@ -80,6 +82,12 @@ func (c *Collector) Describe() DescribeSnapshot {
 		}
 		if ds, ok := s.(domainsSource); ok {
 			comp.Domains = ds.Domains()
+		}
+		if es, ok := s.(epochSource); ok {
+			comp.Epoch = es.Epoch()
+			if info, staged := es.CanaryInfo(); staged {
+				comp.Canary = &info
+			}
 		}
 		parked := make(map[string]int)
 		for q := range comp.Queues {
@@ -123,6 +131,9 @@ func NewHTTPHandler(c *Collector) http.Handler {
 	})
 	mux.HandleFunc("/describe", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, c.Describe())
+	})
+	mux.HandleFunc("/shadow", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, c.ShadowSnapshot())
 	})
 	return mux
 }

@@ -81,6 +81,13 @@ type domainsSource interface {
 	Domains() [][]string
 }
 
+// epochSource is optionally implemented by sources with versioned plan
+// epochs and canary staging (both moderator implementations).
+type epochSource interface {
+	Epoch() uint64
+	CanaryInfo() (moderator.CanaryInfo, bool)
+}
+
 // Collector implements moderator.Tracer: it routes lifecycle events into
 // per-domain rings and pre-resolved metric instruments. Trace never
 // blocks (ring writes drop on contention) and never calls back into the
@@ -95,6 +102,7 @@ type Collector struct {
 
 	mu      sync.Mutex
 	sources []Source
+	shadows []ShadowSource
 }
 
 // NewCollector creates a Collector with its own Registry.

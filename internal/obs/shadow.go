@@ -1,0 +1,84 @@
+package obs
+
+// Shadow-admission observability: the collector polls each registered
+// shadow engine at scrape time (exact counters, like Watch sources) and
+// serves the recent-divergence log at /shadow. Nothing here touches the
+// admission path — the engine's own handoff already never blocks it.
+
+import (
+	"repro/internal/moderator"
+)
+
+// ShadowSource is the surface the collector polls for shadow-admission
+// results. *moderator.Shadow satisfies it.
+type ShadowSource interface {
+	Component() string
+	SampleEvery() int
+	Stats() moderator.ShadowStats
+	Divergences() []moderator.ShadowDivergence
+}
+
+var _ ShadowSource = (*moderator.Shadow)(nil)
+
+// WatchShadow registers a shadow engine: its exact counters appear at
+// every /metrics scrape as am_shadow_* series and its stats plus recent
+// divergences are served at /shadow.
+func (c *Collector) WatchShadow(s ShadowSource) {
+	c.mu.Lock()
+	c.shadows = append(c.shadows, s)
+	c.mu.Unlock()
+	c.reg.Collect(func(emit EmitFunc) { collectShadow(s, emit) })
+}
+
+func (c *Collector) watchedShadows() []ShadowSource {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]ShadowSource(nil), c.shadows...)
+}
+
+func collectShadow(s ShadowSource, emit EmitFunc) {
+	comp := L("component", s.Component())
+	st := s.Stats()
+	emit("am_shadow_sampled_total", "Admissions sampled for shadow replay.", []Label{comp}, float64(st.Sampled))
+	emit("am_shadow_dropped_total", "Shadow samples dropped on a full handoff buffer.", []Label{comp}, float64(st.Dropped))
+	emit("am_shadow_replayed_total", "Shadow samples replayed against the reference semantics.", []Label{comp}, float64(st.Replayed))
+	emit("am_shadow_agreements_total", "Shadow replays whose verdict matched the live path.", []Label{comp}, float64(st.Agreements))
+	emit("am_shadow_inconclusive_total", "Shadow replays blocked under possibly-changed guard state.", []Label{comp}, float64(st.Inconclusive))
+	emit("am_shadow_divergences_total", "Shadow divergences, by class.",
+		[]Label{comp, L("class", "verdict")}, float64(st.VerdictDivergences))
+	emit("am_shadow_divergences_total", "Shadow divergences, by class.",
+		[]Label{comp, L("class", "stack")}, float64(st.StackDivergences))
+	emit("am_shadow_divergences_total", "Shadow divergences, by class.",
+		[]Label{comp, L("class", "wake")}, float64(st.WakeDivergences))
+}
+
+// ShadowComponent is one engine's snapshot in a /shadow response.
+type ShadowComponent struct {
+	Component   string                       `json:"component"`
+	SampleEvery int                          `json:"sample_every"`
+	Stats       moderator.ShadowStats        `json:"stats"`
+	Divergences []moderator.ShadowDivergence `json:"divergences"`
+}
+
+// ShadowDump is the /shadow response body.
+type ShadowDump struct {
+	Components []ShadowComponent `json:"components"`
+}
+
+// ShadowSnapshot builds the introspection snapshot served at /shadow.
+func (c *Collector) ShadowSnapshot() ShadowDump {
+	dump := ShadowDump{Components: []ShadowComponent{}}
+	for _, s := range c.watchedShadows() {
+		sc := ShadowComponent{
+			Component:   s.Component(),
+			SampleEvery: s.SampleEvery(),
+			Stats:       s.Stats(),
+			Divergences: s.Divergences(),
+		}
+		if sc.Divergences == nil {
+			sc.Divergences = []moderator.ShadowDivergence{}
+		}
+		dump.Components = append(dump.Components, sc)
+	}
+	return dump
+}
