@@ -6,7 +6,9 @@
 #                      double-count pass over the sharded-moderator stress
 #                      and differential-oracle tests, and the obs
 #                      ring/histogram/churn concurrency tests
-#   make fuzz-smoke  — 10s of coverage-guided fuzzing per wire-decode target
+#   make fuzz-smoke  — 10s of coverage-guided fuzzing per target: the
+#                      wire decoders, the interference checker, and the
+#                      seqlock guard-eval differential target
 #   make bench       — regenerate the committed BENCH_2.json + BENCH_3.json
 #                      baselines in one interleaved pass
 #   make bench-matrix — regenerate the committed BENCH_4.json GOMAXPROCS x
@@ -59,6 +61,7 @@ fuzz-smoke:
 	$(GO) test ./internal/amrpc -run '^$$' -fuzz '^FuzzDecodeRequest$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/amrpc -run '^$$' -fuzz '^FuzzDecodeResponse$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/moderator -run '^$$' -fuzz '^FuzzInterferenceChecker$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/moderator -run '^$$' -fuzz '^FuzzSeqlockGuardEval$$' -fuzztime $(FUZZTIME)
 
 # End-to-end introspection smoke: a real ticketd process with the obs
 # endpoint enabled, a real ticketcli driving load over amrpc, then the

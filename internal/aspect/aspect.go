@@ -14,12 +14,16 @@
 // Aspects are passive: they are driven by a moderator, which guarantees that
 // Precondition, Postaction, and Cancel for all aspects of one admission
 // domain — one participating method, or one explicitly declared method
-// group — are executed under that domain's single admission lock. Aspect
-// implementations therefore need no internal locking for state that is only
-// touched from those hooks, provided every method the state spans belongs
-// to the same domain. An aspect that implements Waker with a non-empty wake
-// list has its methods grouped automatically; wiring code can also declare
-// groups with the moderator's GroupMethods.
+// group — are executed under mutual exclusion: either the domain's
+// admission lock, or (for uncontended admissions on an
+// optimistic-eligible plan) the domain's guard cell, which every
+// guard-state access — locked or optimistic — holds. The two are never
+// held by different hook invocations at once, so aspect implementations
+// need no internal locking for state that is only touched from those
+// hooks, provided every method the state spans belongs to the same
+// domain. An aspect that implements Waker with a non-empty wake list has
+// its methods grouped automatically; wiring code can also declare groups
+// with the moderator's GroupMethods.
 package aspect
 
 import (

@@ -13,6 +13,19 @@ package bench
 //     mutex ("mutex"). Both run on the sharded Moderator; the comparison
 //     isolates what the capability buys, not what sharding buys.
 //
+// and two single-caller latency families for the optimistic guarded
+// admission work:
+//
+//   - pure-latency: the ns/op floor of the pure fast path vs the same
+//     stack on the mutex path, with the invocation record reused so the
+//     admission mechanism itself is the only thing on the clock.
+//   - guarded-fast: a guarded-but-uncontended stack admitted through the
+//     optimistic seqlock guard cell ("optimistic") vs the same moderator
+//     with WithOptimisticAdmission(false) ("mutex"). The committed claim
+//     is that optimistic guarded admission lands within 2x of the pure
+//     fast path's latency — i.e. guard evaluation no longer costs a
+//     mutex round trip when nobody is waiting.
+//
 // The sharded-vs-reference families reuse the E12 workloads so the two
 // baselines stay comparable. Every cell is best-of-benchTrials with the
 // variants interleaved (see measureContended for why).
@@ -30,15 +43,29 @@ import (
 // MatrixSchema identifies the BENCH_4.json format.
 const MatrixSchema = "ambench/matrix-v1"
 
-// FamilyPure is the fast-path-vs-mutex family, matrix only.
+// FamilyPure is the fast-path-vs-mutex throughput family, matrix only.
 const FamilyPure = "pure-stack"
+
+// FamilyPureLatency is the single-caller admission latency of a pure
+// stack: the lock-free fast path ("fast") versus the byte-identical
+// stack without the NonBlocking capability ("mutex"). This is the
+// absolute floor every other admission mechanism is measured against.
+const FamilyPureLatency = "pure-latency"
+
+// FamilyGuardedFast is the single-caller admission latency of a
+// guarded-but-uncontended stack — one self-waking synchronization guard
+// between NonBlocking audits: the optimistic seqlock guard-cell path
+// ("optimistic") versus the same moderator with optimistic admission
+// disabled, which takes the domain mutex on every admission ("mutex").
+const FamilyGuardedFast = "guarded-fast"
 
 // MatrixVariant names, shared with the baseline test.
 const (
-	VariantSharded   = "sharded"
-	VariantReference = "reference"
-	VariantFast      = "fast"
-	VariantMutex     = "mutex"
+	VariantSharded    = "sharded"
+	VariantReference  = "reference"
+	VariantFast       = "fast"
+	VariantMutex      = "mutex"
+	VariantOptimistic = "optimistic"
 )
 
 // MatrixProcs is the GOMAXPROCS sweep every complete report covers.
@@ -46,7 +73,10 @@ var MatrixProcs = []int{1, 4, 8}
 
 // MatrixFamilyNames lists every family a complete report must contain at
 // each procs setting.
-var MatrixFamilyNames = []string{FamilyContended, FamilyLatency, FamilyChurn, FamilyPure}
+var MatrixFamilyNames = []string{
+	FamilyContended, FamilyLatency, FamilyChurn, FamilyPure,
+	FamilyPureLatency, FamilyGuardedFast,
+}
 
 // MatrixReport is the JSON-serializable result of the E14 matrix.
 type MatrixReport struct {
@@ -87,9 +117,13 @@ const pureStackDepth = 3
 // newPureModerator builds a sharded moderator whose methods each carry a
 // stack of no-op audit aspects. With fast=true the aspects declare the
 // NonBlocking capability, making every plan pure and fast-path eligible;
-// with fast=false the same stacks admit through the domain mutex.
+// with fast=false the same stacks admit through the domain mutex —
+// optimistic admission is disabled on that variant, because a guarded
+// no-WakeList stack is otherwise optimistic-eligible and the family
+// would quietly measure the seqlock path instead of the lock it is
+// defined against (guarded-fast covers optimistic-vs-mutex explicitly).
 func newPureModerator(fast bool, methods int) (*moderator.Moderator, error) {
-	m := moderator.New("bench-pure")
+	m := moderator.New("bench-pure", moderator.WithOptimisticAdmission(fast))
 	for i := 0; i < methods; i++ {
 		meth := fmt.Sprintf("m%d", i)
 		for j := 0; j < pureStackDepth; j++ {
@@ -314,6 +348,135 @@ func latencyOnce(impl moderator.Admitter, n int) (float64, error) {
 	})
 }
 
+// latencyReuseOnce times n uncontended admissions reusing ONE invocation
+// record, isolating the admission mechanism itself (same rationale as
+// pureThroughput: once the path stops allocating, per-op invocation
+// construction is the measurement's allocator noise, not its subject).
+func latencyReuseOnce(impl moderator.Admitter, n int) (float64, error) {
+	inv := aspect.NewInvocation(nil, "bench", "m0", nil)
+	return measure(n, func(i int) error {
+		adm, err := impl.Preactivation(inv)
+		if err != nil {
+			return err
+		}
+		impl.Postactivation(inv, adm)
+		return nil
+	})
+}
+
+// newGuardedFastModerator builds a sharded moderator whose single method
+// carries the guarded-fast shape: a NonBlocking audit, one self-waking
+// capacity guard (never blocking for a single caller), and a NonBlocking
+// metrics tail. With optimistic=false the same stack is forced onto the
+// domain-mutex path on every admission.
+func newGuardedFastModerator(optimistic bool) (*moderator.Moderator, error) {
+	m := moderator.New("bench-guarded", moderator.WithOptimisticAdmission(optimistic))
+	used := 0
+	regs := []struct {
+		kind aspect.Kind
+		a    *aspect.Func
+	}{
+		{aspect.KindAudit, &aspect.Func{
+			AspectName: "audit-pre", AspectKind: aspect.KindAudit, NonBlockingFlag: true,
+		}},
+		{aspect.KindSynchronization, &aspect.Func{
+			AspectName: "sem", AspectKind: aspect.KindSynchronization,
+			Pre: func(*aspect.Invocation) aspect.Verdict {
+				if used >= 1 {
+					return aspect.Block
+				}
+				used++
+				return aspect.Resume
+			},
+			Post:     func(*aspect.Invocation) { used-- },
+			CancelFn: func(*aspect.Invocation) { used-- },
+			WakeList: []string{"m0"},
+		}},
+		{aspect.KindMetrics, &aspect.Func{
+			AspectName: "audit-post", AspectKind: aspect.KindMetrics, NonBlockingFlag: true,
+		}},
+	}
+	for _, r := range regs {
+		if err := m.Register("m0", r.kind, r.a); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// minLatencyCell runs the short-round min-estimator (same discipline as
+// matrixLatency) over two prepared implementations and builds a ns/op
+// cell where speedup = b/a (bigger favors a).
+func minLatencyCell(cfg Config, trials, procs int, family string, names [2]string, impls [2]moderator.Admitter) (MatrixCell, error) {
+	for _, impl := range impls {
+		if _, err := latencyReuseOnce(impl, 2000); err != nil { // warm-up
+			return MatrixCell{}, err
+		}
+	}
+	rounds, perRound := trials*16, cfg.ops()/4
+	if perRound < 500 {
+		perRound = 500
+	}
+	best := []float64{0, 0}
+	for trial := 0; trial < rounds; trial++ {
+		for i, impl := range impls {
+			ns, err := latencyReuseOnce(impl, perRound)
+			if err != nil {
+				return MatrixCell{}, err
+			}
+			if best[i] == 0 || ns < best[i] {
+				best[i] = ns
+			}
+		}
+	}
+	return MatrixCell{
+		Procs:  procs,
+		Family: family,
+		Unit:   "ns/op",
+		Params: map[string]int{"methods": 1, "goroutines": 1},
+		Variants: map[string]float64{
+			names[0]: best[0],
+			names[1]: best[1],
+		},
+		Speedup: best[1] / best[0],
+	}, nil
+}
+
+// matrixPureLatency measures the pure-stack single-caller admission
+// latency, fast path vs mutex path.
+func matrixPureLatency(cfg Config, trials, procs int) (MatrixCell, error) {
+	var impls [2]moderator.Admitter
+	for i, fast := range []bool{true, false} {
+		impl, err := newPureModerator(fast, 1)
+		if err != nil {
+			return MatrixCell{}, err
+		}
+		impls[i] = impl
+	}
+	cell, err := minLatencyCell(cfg, trials, procs, FamilyPureLatency,
+		[2]string{VariantFast, VariantMutex}, impls)
+	if err != nil {
+		return MatrixCell{}, err
+	}
+	cell.Params["depth"] = pureStackDepth
+	return cell, nil
+}
+
+// matrixGuardedFast measures the guarded-but-uncontended single-caller
+// admission latency, optimistic seqlock path vs forced mutex path.
+func matrixGuardedFast(cfg Config, trials, procs int) (MatrixCell, error) {
+	var impls [2]moderator.Admitter
+	for i, optimistic := range []bool{true, false} {
+		impl, err := newGuardedFastModerator(optimistic)
+		if err != nil {
+			return MatrixCell{}, err
+		}
+		impls[i] = impl
+	}
+	return minLatencyCell(cfg, trials, procs, FamilyGuardedFast,
+		[2]string{VariantOptimistic, VariantMutex}, impls)
+}
+
 // matrixChurn measures admission throughput under continuous layer
 // add/remove, sharded vs reference, alternating per trial.
 func matrixChurn(cfg Config, trials, procs int) (MatrixCell, error) {
@@ -362,6 +525,7 @@ func Matrix(cfg Config) (MatrixReport, error) {
 		runtime.GOMAXPROCS(procs)
 		for _, run := range []func(Config, int, int) (MatrixCell, error){
 			matrixContended, matrixLatency, matrixChurn, matrixPure,
+			matrixPureLatency, matrixGuardedFast,
 		} {
 			cell, err := run(cfg, trials, procs)
 			if err != nil {
@@ -382,15 +546,19 @@ func E14Matrix(cfg Config) (Table, error) {
 	}
 	t := Table{
 		ID:     "E14",
-		Title:  "GOMAXPROCS x workload matrix (incl. lock-free pure-stack fast path)",
+		Title:  "GOMAXPROCS x workload matrix (incl. lock-free pure and guarded fast paths)",
 		Header: []string{"procs", "family", "params", "a", "b", "speedup"},
-		Notes: fmt.Sprintf("num_cpu=%d; a/b are sharded/reference, except pure-stack where they are fast/mutex; "+
+		Notes: fmt.Sprintf("num_cpu=%d; a/b are sharded/reference, except pure-stack and pure-latency "+
+			"where they are fast/mutex and guarded-fast where they are optimistic/mutex; "+
 			"speedup normalized so >1 favors a", rep.NumCPU),
 	}
 	for _, c := range rep.Cells {
 		a, b := c.Variants[VariantSharded], c.Variants[VariantReference]
-		if c.Family == FamilyPure {
+		switch c.Family {
+		case FamilyPure, FamilyPureLatency:
 			a, b = c.Variants[VariantFast], c.Variants[VariantMutex]
+		case FamilyGuardedFast:
+			a, b = c.Variants[VariantOptimistic], c.Variants[VariantMutex]
 		}
 		var av, bv string
 		if c.Unit == "ns/op" {

@@ -7,10 +7,16 @@ package moderator
 //   - pure stack (all aspects NonBlocking), uncontended: 0 allocs/op —
 //     the lock-free fast path touches only the snapshot, the plan, the
 //     domain atomics, and the receipt pool.
-//   - guarded stack (mutex path), uncontended: at most 2 allocs/op of
-//     slack for the receipt-pool round trip and mutex-path bookkeeping
-//     (in practice this is also 0 — the bound leaves room for runtime
-//     pool internals, not for per-invocation plan resolution).
+//   - guarded stack, uncontended (optimistic guard-cell path): 0
+//     allocs/op — the optimistic commit returns the plan's shared
+//     receipt, so nothing per-invocation is ever materialized.
+//   - guarded stack forced onto the mutex path (optimistic admission
+//     disabled — the same code every fallback runs): at most 2 allocs/op
+//     of slack for the receipt-pool round trip and mutex-path
+//     bookkeeping (in practice this is also 0 — the bound leaves room
+//     for runtime pool internals, not for per-invocation plan
+//     resolution). A Block handoff additionally materializes one
+//     optResume, which parking dwarfs.
 
 import (
 	"context"
@@ -57,11 +63,32 @@ func TestAdmissionAllocationsPureStack(t *testing.T) {
 	}
 }
 
-func TestAdmissionAllocationsGuardedStack(t *testing.T) {
+func TestAdmissionAllocationsGuardedFastOptimistic(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation counts are meaningless under the race detector")
 	}
 	m := New("alloc")
+	occupancy := optSemStack(t, m)
+	if got := measureAdmissionAllocs(t, m, "m"); got != 0 {
+		t.Fatalf("optimistic guarded admission allocated %.1f times per op, want 0", got)
+	}
+	// Prove the measurement exercised the optimistic path, not a silent
+	// mutex fallback that happened to stay within budget.
+	if os := m.OptimisticStats(); os.Admits == 0 || os.Completes == 0 {
+		t.Fatalf("optimistic path never committed during the measurement: %+v", os)
+	}
+	if got := occupancy(); got != 0 {
+		t.Fatalf("semaphore leaked %d admissions", got)
+	}
+}
+
+func TestAdmissionAllocationsGuardedStackMutexPath(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are meaningless under the race detector")
+	}
+	// Disabling optimistic admission forces the exact code path every
+	// optimistic fallback takes, pinning the documented fallback bound.
+	m := New("alloc", WithOptimisticAdmission(false))
 	used := 0
 	guard := &aspect.Func{
 		AspectName: "sem",

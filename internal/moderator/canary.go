@@ -329,6 +329,7 @@ func (m *Moderator) StageCanary(pct int, edit func(*CanaryTx) error) error {
 
 	m.epochSeq = epoch
 	m.comp.Store(&compState{epoch: cur.epoch, layers: cur.layers, plans: cur.plans, cand: cand})
+	m.retireLocked(cur)
 	return nil
 }
 
@@ -344,6 +345,7 @@ func (m *Moderator) SetCanaryFraction(pct int) error {
 	cand := cur.cand.clone()
 	cand.pct = clampPct(pct)
 	m.comp.Store(&compState{epoch: cur.epoch, layers: cur.layers, plans: cur.plans, cand: cand})
+	m.retireLocked(cur)
 	return nil
 }
 
@@ -360,6 +362,7 @@ func (m *Moderator) PromoteCanary() error {
 	}
 	c := cur.cand
 	m.comp.Store(&compState{epoch: c.epoch, layers: c.layers, plans: c.plans})
+	m.retireLocked(cur)
 	return nil
 }
 
@@ -374,6 +377,7 @@ func (m *Moderator) RollbackCanary() error {
 		return fmt.Errorf("moderator %s: rollback canary: %w", m.name, ErrNoCanary)
 	}
 	m.comp.Store(&compState{epoch: cur.epoch, layers: cur.layers, plans: cur.plans})
+	m.retireLocked(cur)
 	return nil
 }
 

@@ -149,8 +149,9 @@ var ErrDomainActive = errors.New("moderator: admission domain already active")
 
 // options carries the configuration shared by Moderator and Reference.
 type options struct {
-	policy   waitq.Policy
-	wakeMode WakeMode
+	policy     waitq.Policy
+	wakeMode   WakeMode
+	optimistic bool
 }
 
 // Option configures a Moderator (or a Reference).
@@ -169,8 +170,17 @@ func WithWakeMode(w WakeMode) Option {
 	return func(o *options) { o.wakeMode = w }
 }
 
+// WithOptimisticAdmission enables or disables the optimistic guard-cell
+// admission path for guarded-but-uncontended plans (default enabled; see
+// optimistic.go). Disabling it forces every guarded admission through the
+// domain mutex — useful as a benchmark baseline and as a conservative
+// escape hatch. The Reference ignores it (it has no fast paths at all).
+func WithOptimisticAdmission(on bool) Option {
+	return func(o *options) { o.optimistic = on }
+}
+
 func buildOptions(opts []Option) options {
-	o := options{policy: waitq.FIFO, wakeMode: WakeBroadcast}
+	o := options{policy: waitq.FIFO, wakeMode: WakeBroadcast, optimistic: true}
 	for _, opt := range opts {
 		opt(&o)
 	}
@@ -328,6 +338,12 @@ type compiledPlan struct {
 	// never park a caller and touches no cross-invocation guard state, so
 	// the lock-free fast path may run it.
 	pure bool
+	// optimistic means the (impure) stack is eligible for the optimistic
+	// guard-cell path: its guard state is confined to its own domain's
+	// cell, i.e. every declared wake target maps to the plan's domain.
+	// Auto-grouping makes that the common case; a plan whose wake span
+	// crosses domains conservatively keeps the mutex path.
+	optimistic bool
 	// wakeTargets is the sorted, deduplicated union of the entries'
 	// non-empty Waker lists; targeted is true when any entry declared one.
 	// Precomputing the union is sound because Wakes() lists are static
@@ -369,12 +385,28 @@ func (cs *compState) find(name string) *compLayer {
 }
 
 // domain is one admission domain: the mutex, wait queues, sticky-ticket
-// sequence, and counters for one participating method or method group.
+// sequence, guard cell, and counters for one participating method or
+// method group. The struct is laid out in cache-line-padded groups so the
+// hot synchronization words of one domain do not false-share with each
+// other: the mutex (spun on by the parking path), the guard cell (spun on
+// by the optimistic path), the admission counters (written on every
+// admission), and the reclamation pins (written on every pre-activation)
+// each get their own line. padding_test.go audits the offsets.
 type domain struct {
 	id        uint64
 	mu        sync.Mutex
 	queues    map[qkey]*waitq.Queue // guarded by mu
 	ticketSeq uint64                // guarded by mu
+
+	_ [64]byte // pad: mutex word vs guard cell
+
+	// cell serializes every guard-state access of guarded plans — it is
+	// the whole lock the optimistic path takes, and the mutex path
+	// acquires it (strictly after mu) around its guard hooks so the two
+	// paths exclude each other. See optimistic.go.
+	cell guardCell
+
+	_ [64]byte // pad: guard cell vs admission counters
 
 	admissions  atomic.Uint64
 	blocks      atomic.Uint64
@@ -385,6 +417,22 @@ type domain struct {
 	traceTick atomic.Uint64
 	// shadowTick drives per-domain shadow-admission sampling (shadow.go).
 	shadowTick atomic.Uint64
+
+	_ [64]byte // pad: admission counters vs optimistic-path counters
+
+	// Optimistic-path counters (see OptimisticStats, optimistic.go).
+	optAdmits    atomic.Uint64
+	optCompletes atomic.Uint64
+	optParks     atomic.Uint64
+	optFallbacks atomic.Uint64
+	optConflicts atomic.Uint64
+
+	_ [64]byte // pad: optimistic counters vs reclamation pins
+
+	// pins count in-flight pre-activations by reclamation era slot
+	// (era % reclaimSlots); a retired composition snapshot is reclaimed
+	// only once its era's slot is quiescent in every domain (reclaim.go).
+	pins [reclaimSlots]atomic.Int64
 }
 
 func newDomain() *domain {
@@ -461,13 +509,35 @@ type Moderator struct {
 	// admin. The stable snapshot's current epoch lives in compState.
 	epochSeq uint64
 
+	// reclaimEra numbers composition retirements: it advances once per
+	// snapshot superseded, and pre-activations pin the era they run under
+	// so retired snapshots can be reclaimed at quiescence (reclaim.go).
+	reclaimEra atomic.Uint64
+	// retired holds superseded snapshots awaiting quiescence, and
+	// reclaimed counts snapshots already released; both guarded by admin.
+	retired   []retiredComp
+	reclaimed uint64
+
+	// admitHook, when set, is a test-only instrumentation hook called at
+	// the optimistic paths' racy windows (see optimistic.go). Reading it
+	// costs the hot path one atomic load and a branch, the same gate
+	// discipline as the tracer.
+	admitHook atomic.Pointer[func(admitPoint, *domain)]
+
+	_ [64]byte // pad: waiters is the hottest cross-domain word
+
 	// waiters counts callers currently parked (or about to park) on any
-	// wait queue of this moderator. It is incremented under the parking
-	// domain's mutex before the caller releases it inside Wait, so a
-	// fast-path reader that observes zero is guaranteed no caller was
-	// already parked at that instant — the condition under which skipping
-	// the wake fan-out is sound (see Preactivation's fast path).
+	// wait queue of this moderator. A parking caller increments it while
+	// holding BOTH its domain's mutex and the domain's guard cell, before
+	// Wait releases the mutex (and, on the optimistic Block handoff, while
+	// holding the cell alone) — so a fast-path reader that observes zero
+	// while holding the cell is guaranteed no caller was already parked
+	// and none can park before the cell is released: the condition under
+	// which skipping the wake fan-out is sound (see Preactivation's fast
+	// paths and optimistic.go).
 	waiters atomic.Int64
+
+	_ [64]byte // pad: trailing, so waiters shares no line with a neighbor
 }
 
 // New creates a moderator for the named component with a single base layer.
@@ -520,6 +590,7 @@ func (m *Moderator) republishLocked(layers []compLayer) {
 		next.cand = cand
 	}
 	m.comp.Store(next)
+	m.retireLocked(cur)
 }
 
 // compilePlansLocked compiles one admission plan per method guarded by the
@@ -567,7 +638,24 @@ func (m *Moderator) compilePlanLocked(layers []compLayer, method string, epoch u
 	sort.Strings(p.wakeTargets) // deterministic cross-domain wake order
 	p.targeted = len(p.wakeTargets) > 0
 	p.d = m.domainForLocked(method)
-	if p.pure && len(p.entries) > 0 {
+	if !p.pure && len(p.entries) > 0 {
+		p.optimistic = true
+		if p.targeted {
+			dt := m.domains.Load()
+			for _, t := range p.wakeTargets {
+				if dt.byMethod[t] != p.d {
+					p.optimistic = false
+					break
+				}
+			}
+		}
+	}
+	// Both fast paths commit with a shared receipt: a fast-path admission
+	// carries no per-invocation state (optimistic admissions only run with
+	// no tracer installed, so traced is always false), so one immutable
+	// receipt per plan serves every concurrent fast-path admission and the
+	// fast paths never touch the receipt pool.
+	if (p.pure || p.optimistic) && len(p.entries) > 0 {
 		p.sharedAdm = &Admission{admitted: p.aspects, plan: p, d: p.d, fast: true, shared: true}
 	}
 	return p
@@ -932,22 +1020,62 @@ func (m *Moderator) Preactivation(inv *aspect.Invocation) (*Admission, error) {
 	}
 	d := plan.d
 
-	// Lock-free fast path: a pure stack can neither park this caller nor
-	// (through guard state) unblock another, so the domain mutex buys
-	// nothing — provided nobody is parked (a parked caller's wake-up must
-	// stay ordered with completions, which the mutex path's fan-out
-	// provides) and no tracer is installed (events of one domain are
-	// serialized by its mutex).
-	if tb == nil && plan.pure && m.waiters.Load() == 0 {
-		adm, err := m.preactivateFast(inv, plan, d)
-		if sh != nil {
-			// Fast-path errors are always aborts (a pure stack never
-			// parks), so err==nil fully determines the admission outcome.
-			sh.observe(cs, plan, inv, err == nil)
-		}
-		return adm, err
-	}
+	// Pin the current reclamation era for the duration of the evaluation
+	// (including any parks): a retired composition snapshot is only
+	// declared reclaimed once its era's pin slot is quiescent in every
+	// domain (reclaim.go).
+	slot := &d.pins[m.reclaimEra.Load()%reclaimSlots]
+	slot.Add(1)
+	adm, err := m.preactivatePlan(cs, inv, plan, d, tb, sh)
+	slot.Add(-1)
+	return adm, err
+}
 
+// preactivatePlan dispatches one resolved plan to the cheapest admission
+// path it qualifies for. Both lock-free paths require that no tracer is
+// installed (events of one domain are serialized by its mutex) and that
+// nobody is parked moderator-wide (a parked caller's wake-up must stay
+// ordered with completions, which the mutex path's fan-out provides):
+//
+//   - a pure stack can neither park this caller nor (through guard state)
+//     unblock another, so it runs with no lock at all (preactivateFast);
+//   - a guarded single-domain stack runs under the domain's guard cell
+//     alone (preactivateOptimistic), falling back to the mutex path on
+//     cell conflict, late-appearing waiters, or a Block verdict.
+func (m *Moderator) preactivatePlan(cs *compState, inv *aspect.Invocation, plan *compiledPlan, d *domain, tb *tracerBox, sh *Shadow) (*Admission, error) {
+	if tb == nil && m.waiters.Load() == 0 {
+		if plan.pure {
+			adm, err := m.preactivateFast(inv, plan, d)
+			if sh != nil {
+				// Fast-path errors are always aborts (a pure stack never
+				// parks), so err==nil fully determines the admission
+				// outcome.
+				sh.observe(cs, plan, inv, err == nil)
+			}
+			return adm, err
+		}
+		if m.opts.optimistic && plan.optimistic {
+			adm, err, resume, done := m.preactivateOptimistic(cs, inv, plan, d, sh)
+			if done {
+				return adm, err
+			}
+			return m.preactivateMutex(cs, inv, plan, d, tb, sh, resume)
+		}
+	}
+	return m.preactivateMutex(cs, inv, plan, d, tb, sh, nil)
+}
+
+// preactivateMutex is the general admission path: it serializes on the
+// domain mutex and supports parking. Guard hooks of impure plans
+// additionally run under the domain's guard cell (acquired strictly after
+// the mutex, released across parks) so they exclude the optimistic path.
+//
+// resume, when non-nil, continues an optimistic evaluation that hit a
+// Block verdict: the admitted prefix stands, the caller is already
+// pre-registered in m.waiters, and — if the cell sequence proves no guard
+// state was touched in between — the carried verdict parks directly
+// instead of re-running the blocked layer's preconditions.
+func (m *Moderator) preactivateMutex(cs *compState, inv *aspect.Invocation, plan *compiledPlan, d *domain, tb *tracerBox, sh *Shadow, resume *optResume) (*Admission, error) {
 	g := tb.gate(&d.traceTick)
 	var preStart time.Time
 	if g.detail() {
@@ -957,13 +1085,45 @@ func (m *Moderator) Preactivation(inv *aspect.Invocation) (*Admission, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 
+	// Guarded plans take the guard cell (strictly inside the mutex) around
+	// every guard hook, so mutex-path hooks exclude the optimistic path's.
+	// Pure plans skip it: their hooks touch no guard state.
+	guarded := !plan.pure
+	if guarded {
+		d.cell.lock()
+	}
+
 	// The sticky arrival ticket keeps a re-parking caller's FIFO/LIFO
 	// position across guard re-evaluations; it is assigned lazily on the
 	// first Block. k counts admitted aspects: the admitted state is always
 	// the plan prefix plan.aspects[:k].
 	var ticket uint64
 	k := 0
-	for li := range plan.layers {
+	li0 := 0
+	// preReg records that this caller is already counted in m.waiters (the
+	// optimistic Block handoff pre-registers under the cell). The first
+	// park consumes it; a terminal outcome before any park releases it.
+	preReg := false
+	resumePark := false
+	var resumeKind aspect.Kind
+	var resumeBy aspect.Aspect
+	if resume != nil {
+		k = resume.k
+		li0 = resume.layer
+		preReg = true
+		// Our own cell.lock above advanced the sequence by exactly one; if
+		// it now reads resume.ver+1, no guard hook ran since the optimistic
+		// evaluation observed its Block verdict, so the verdict still holds
+		// and re-running the layer would double its hook effects. Otherwise
+		// guard state may have changed and the layer legitimately
+		// re-evaluates — the spurious-wake case re-parking callers already
+		// tolerate.
+		if d.cell.version() == resume.ver+1 {
+			resumePark = true
+			resumeKind, resumeBy = resume.kind, resume.by
+		}
+	}
+	for li := li0; li < len(plan.layers); li++ {
 		l := &plan.layers[li]
 		for {
 			mark := k
@@ -971,41 +1131,54 @@ func (m *Moderator) Preactivation(inv *aspect.Invocation) (*Admission, error) {
 			var blockedBy aspect.Aspect
 			blocked := false
 			var abortErr error
-			for i := l.lo; i < l.hi; i++ {
-				e := &plan.entries[i]
-				var hook0 time.Time
-				if g.detail() {
-					hook0 = time.Now()
-				}
-				v := e.a.Precondition(inv)
-				if g.detail() {
-					g.t.Trace(TraceEvent{Op: TraceVerdict, Component: m.name, Method: inv.Method(),
-						Domain: d.id, Layer: l.name, Aspect: e.a.Name(), Kind: e.kind,
-						Verdict: v, Invocation: inv.ID(), Nanos: time.Since(hook0).Nanoseconds()})
-				}
-				if v == aspect.Resume {
-					k++
-					continue
-				}
-				switch v {
-				case aspect.Block:
-					blocked = true
-					blockedKind = e.kind
-					blockedBy = e.a
-				case aspect.Abort:
-					abortErr = inv.Err()
-					if abortErr == nil {
-						abortErr = aspect.ErrAborted
+			if resumePark {
+				resumePark = false
+				blocked = true
+				blockedKind = resumeKind
+				blockedBy = resumeBy
+			} else {
+				for i := l.lo; i < l.hi; i++ {
+					e := &plan.entries[i]
+					var hook0 time.Time
+					if g.detail() {
+						hook0 = time.Now()
 					}
-				default:
-					abortErr = fmt.Errorf("moderator %s: aspect %q returned invalid verdict %v: %w",
-						m.name, e.a.Name(), v, aspect.ErrAborted)
+					v := e.a.Precondition(inv)
+					if g.detail() {
+						g.t.Trace(TraceEvent{Op: TraceVerdict, Component: m.name, Method: inv.Method(),
+							Domain: d.id, Layer: l.name, Aspect: e.a.Name(), Kind: e.kind,
+							Verdict: v, Invocation: inv.ID(), Nanos: time.Since(hook0).Nanoseconds()})
+					}
+					if v == aspect.Resume {
+						k++
+						continue
+					}
+					switch v {
+					case aspect.Block:
+						blocked = true
+						blockedKind = e.kind
+						blockedBy = e.a
+					case aspect.Abort:
+						abortErr = inv.Err()
+						if abortErr == nil {
+							abortErr = aspect.ErrAborted
+						}
+					default:
+						abortErr = fmt.Errorf("moderator %s: aspect %q returned invalid verdict %v: %w",
+							m.name, e.a.Name(), v, aspect.ErrAborted)
+					}
+					break
 				}
-				break
 			}
 			if abortErr != nil {
 				cancelReverse(plan.aspects[:k], inv)
 				d.aborts.Add(1)
+				if guarded {
+					d.cell.unlock()
+				}
+				if preReg {
+					m.waiters.Add(-1)
+				}
 				if g.detail() {
 					g.t.Trace(TraceEvent{Op: TraceAbort, Component: m.name, Method: inv.Method(),
 						Domain: d.id, Layer: l.name, Invocation: inv.ID(),
@@ -1045,9 +1218,24 @@ func (m *Moderator) Preactivation(inv *aspect.Invocation) (*Admission, error) {
 					Invocation: inv.ID(), Ticket: ticket, Depth: q.Len() + 1})
 				parkStart = time.Now()
 			}
-			m.waiters.Add(1)
+			// Register in m.waiters BEFORE releasing the guard cell (or
+			// consume the optimistic pre-registration): once the cell is
+			// free, a lock-free completer may check the count, and it must
+			// see this caller. Wait then enqueues before releasing the
+			// mutex, so a mutex-path completer's fan-out sees it too.
+			if preReg {
+				preReg = false
+			} else {
+				m.waiters.Add(1)
+			}
+			if guarded {
+				d.cell.unlock()
+			}
 			err := q.Wait(inv.Context(), inv.Priority, ticket)
 			m.waiters.Add(-1)
+			if guarded {
+				d.cell.lock()
+			}
 			if g.exact() {
 				wake := TraceEvent{Op: TraceWake, Component: m.name, Method: inv.Method(),
 					Domain: d.id, Kind: blockedKind, Invocation: inv.ID(), Ticket: ticket,
@@ -1066,6 +1254,9 @@ func (m *Moderator) Preactivation(inv *aspect.Invocation) (*Admission, error) {
 				}
 				cancelReverse(plan.aspects[:k], inv)
 				d.aborts.Add(1)
+				if guarded {
+					d.cell.unlock()
+				}
 				if g.detail() {
 					g.t.Trace(TraceEvent{Op: TraceAbort, Component: m.name, Method: inv.Method(),
 						Domain: d.id, Layer: l.name, Invocation: inv.ID(),
@@ -1077,6 +1268,15 @@ func (m *Moderator) Preactivation(inv *aspect.Invocation) (*Admission, error) {
 		}
 	}
 	d.admissions.Add(1)
+	if guarded {
+		d.cell.unlock()
+	}
+	if preReg {
+		// The optimistic Block handoff pre-registered this caller but
+		// re-evaluation admitted without ever parking (guard state changed
+		// in our favor between the handoff and the mutex acquisition).
+		m.waiters.Add(-1)
+	}
 	if g.detail() {
 		g.t.Trace(TraceEvent{Op: TraceAdmit, Component: m.name, Method: inv.Method(),
 			Domain: d.id, Invocation: inv.ID(), Aspects: k,
@@ -1159,12 +1359,20 @@ func (m *Moderator) Postactivation(inv *aspect.Invocation, adm *Admission) {
 	}
 	admitted := adm.admitted
 
-	if adm.fast && tb == nil && m.waiters.Load() == 0 {
-		for i := len(admitted) - 1; i >= 0; i-- {
-			admitted[i].Postaction(inv)
+	if adm.fast && tb == nil {
+		if adm.plan.pure {
+			if m.waiters.Load() == 0 {
+				for i := len(admitted) - 1; i >= 0; i-- {
+					admitted[i].Postaction(inv)
+				}
+				releaseAdmission(adm)
+				return
+			}
+		} else if m.postOptimistic(inv, adm, d) {
+			// Guarded fast receipt: postactions ran under the guard cell
+			// with waiters provably zero — nobody to wake (optimistic.go).
+			return
 		}
-		releaseAdmission(adm)
-		return
 	}
 
 	g := invTrace{}
@@ -1178,6 +1386,13 @@ func (m *Moderator) Postactivation(inv *aspect.Invocation, adm *Admission) {
 
 	d.mu.Lock()
 
+	// Guard hooks of impure receipts run under the guard cell so they
+	// exclude the optimistic path (the fan-out below touches only queues,
+	// which the mutex alone guards).
+	guarded := adm.plan != nil && !adm.plan.pure
+	if guarded {
+		d.cell.lock()
+	}
 	// Reverse admission order realizes the onion: the innermost layer's
 	// last-admitted aspect acts first, the outermost layer's first aspect
 	// acts last (paper Figure 14).
@@ -1193,6 +1408,9 @@ func (m *Moderator) Postactivation(inv *aspect.Invocation, adm *Admission) {
 				Domain: d.id, Aspect: a.Name(), Kind: a.Kind(), Invocation: inv.ID(),
 				Nanos: time.Since(hook0).Nanoseconds()})
 		}
+	}
+	if guarded {
+		d.cell.unlock()
 	}
 	if g.detail() {
 		// The completion receipt is emitted under the domain mutex, before

@@ -34,6 +34,16 @@ package moderator
 // schedules mix the sharded moderator's lock-free fast path (and its
 // fallbacks: active waiters, the impure veneer) with the guarded mutex
 // path, replayed against the always-locked Reference.
+//
+// The kappa method is the guarded-fast family: a mixed stack — NonBlocking
+// audits sandwiching a self-waking synchronization guard — that is
+// optimistic-eligible on the sharded side. Uncontended kappa admissions
+// commit through the seqlock guard cell without the domain mutex, while
+// parked waiters anywhere force the same begins onto the mutex path, so
+// every schedule races the optimistic protocol's gates (waiter check,
+// cell acquisition, verdict handoff) against parking, cancellation, layer
+// churn and canary routing — under exact hook-trace comparison with the
+// Reference, which never has an optimistic path at all.
 
 import (
 	"context"
@@ -73,6 +83,7 @@ type diffCall struct {
 type diffGuards struct {
 	UsedAlpha int
 	UsedBeta  int
+	UsedKappa int
 	Tokens    int
 	Open      bool
 }
@@ -88,13 +99,13 @@ type diffConfig struct {
 func newDiffConfig(mode WakeMode, rng *rand.Rand) diffConfig {
 	cfg := diffConfig{mode: mode, capAlpha: 1 + rng.Intn(2)}
 	if mode == WakeSingle {
-		cfg.allMethods = []string{"alpha", "beta", "gamma", "delta", "omega", "refill", "psi"}
-		cfg.beginMethods = []string{"alpha", "alpha", "beta", "gamma", "gamma", "delta", "omega", "psi", "psi"}
-		cfg.veneerMethods = []string{"alpha", "gamma", "psi"}
+		cfg.allMethods = []string{"alpha", "beta", "gamma", "delta", "omega", "refill", "psi", "kappa"}
+		cfg.beginMethods = []string{"alpha", "alpha", "beta", "gamma", "gamma", "delta", "omega", "psi", "psi", "kappa", "kappa"}
+		cfg.veneerMethods = []string{"alpha", "gamma", "psi", "kappa"}
 	} else {
-		cfg.allMethods = []string{"alpha", "beta", "delta", "omega", "toggle", "psi"}
-		cfg.beginMethods = []string{"alpha", "alpha", "beta", "beta", "delta", "omega", "psi", "psi"}
-		cfg.veneerMethods = []string{"alpha", "beta", "psi"}
+		cfg.allMethods = []string{"alpha", "beta", "delta", "omega", "toggle", "psi", "kappa"}
+		cfg.beginMethods = []string{"alpha", "alpha", "beta", "beta", "delta", "omega", "psi", "psi", "kappa", "kappa"}
+		cfg.veneerMethods = []string{"alpha", "beta", "psi", "kappa"}
 	}
 	return cfg
 }
@@ -276,9 +287,59 @@ func newDiffScenario(t *testing.T, tag string, impl Admitter, cfg diffConfig) *d
 				s.g.Open, _ = inv.Arg(0).(bool)
 				s.trace(inv, "post:toggle-ctl")
 			},
-			WakeList: []string{"alpha", "beta", "toggle"},
+			WakeList: []string{"alpha", "beta", "toggle", "kappa"},
 		}))
 	}
+	// kappa: the guarded-fast stack. NonBlocking audits around one
+	// synchronization guard whose wake list targets only kappa itself, so
+	// the sharded implementation's compiler marks the plan
+	// optimistic-eligible: uncontended begins commit under the seqlock
+	// guard cell, contended ones fall back to the domain mutex — both
+	// against the Reference's single always-locked path. Under WakeSingle
+	// the guard is a capacity-1 semaphore (FIFO-deterministic); under
+	// WakeBroadcast it is an all-or-nothing view of the shared gate state
+	// (toggle-ctl wakes kappa when it flips), so outcomes stay a pure
+	// function of the schedule in both modes.
+	must(impl.Register("kappa", aspect.KindAudit, &aspect.Func{
+		AspectName:      "kappa-audit",
+		AspectKind:      aspect.KindAudit,
+		NonBlockingFlag: true,
+		Pre: func(inv *aspect.Invocation) aspect.Verdict {
+			s.trace(inv, "resume:kappa-audit")
+			return aspect.Resume
+		},
+		Post:     func(inv *aspect.Invocation) { s.trace(inv, "post:kappa-audit") },
+		CancelFn: func(inv *aspect.Invocation) { s.trace(inv, "cancel:kappa-audit") },
+	}))
+	if cfg.mode == WakeSingle {
+		must(impl.Register("kappa", aspect.KindSynchronization, s.capSem("cap-kappa", "kappa", 1, &s.g.UsedKappa)))
+	} else {
+		must(impl.Register("kappa", aspect.KindSynchronization, &aspect.Func{
+			AspectName: "gate-kappa",
+			AspectKind: aspect.KindSynchronization,
+			Pre: func(inv *aspect.Invocation) aspect.Verdict {
+				if !s.g.Open {
+					s.trace(inv, "block:gate-kappa")
+					return aspect.Block
+				}
+				s.trace(inv, "resume:gate-kappa")
+				return aspect.Resume
+			},
+			Post:     func(inv *aspect.Invocation) { s.trace(inv, "post:gate-kappa") },
+			WakeList: []string{"kappa"},
+		}))
+	}
+	must(impl.Register("kappa", aspect.KindMetrics, &aspect.Func{
+		AspectName:      "kappa-metrics",
+		AspectKind:      aspect.KindMetrics,
+		NonBlockingFlag: true,
+		Pre: func(inv *aspect.Invocation) aspect.Verdict {
+			s.trace(inv, "resume:kappa-metrics")
+			return aspect.Resume
+		},
+		Post:     func(inv *aspect.Invocation) { s.trace(inv, "post:kappa-metrics") },
+		CancelFn: func(inv *aspect.Invocation) { s.trace(inv, "cancel:kappa-metrics") },
+	}))
 	// delta: the probe admits first, then the aborter may reject the
 	// invocation — rolling the probe's admission back via Cancel.
 	must(impl.Register("delta", aspect.KindAudit, &aspect.Func{
@@ -567,8 +628,16 @@ func genSchedule(rng *rand.Rand, cfg diffConfig, n int) []diffOp {
 // in lockstep and compares every observable after every op.
 func runDiffSchedule(t *testing.T, seed int64, mode WakeMode) {
 	t.Helper()
+	runDiffScheduleCfg(t, seed, mode, nil)
+}
+
+func runDiffScheduleCfg(t *testing.T, seed int64, mode WakeMode, tweak func(*diffConfig)) {
+	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	cfg := newDiffConfig(mode, rng)
+	if tweak != nil {
+		tweak(&cfg)
+	}
 
 	a := newDiffScenario(t, "sharded", New("diff", WithWakeMode(mode)), cfg)
 	b := newDiffScenario(t, "reference", NewReference("diff", WithWakeMode(mode)), cfg)
@@ -761,6 +830,25 @@ func TestDifferentialOracleBroadcastWake(t *testing.T) {
 	for i := 0; i < diffScheduleCount(); i++ {
 		seed := int64(0xBEEF00) + int64(i)
 		runDiffSchedule(t, seed, WakeBroadcast)
+	}
+}
+
+// TestDifferentialOracleGuardedFast skews the begin distribution toward
+// the guarded-fast kappa stack (with psi mixed in, so pure fast-path and
+// optimistic guarded admissions race the same parked waiters) across both
+// wake modes. Together with the two base oracles this puts the optimistic
+// guard-cell protocol under 1500+ lockstep schedules per full run.
+func TestDifferentialOracleGuardedFast(t *testing.T) {
+	t.Parallel()
+	kappaHeavy := func(cfg *diffConfig) {
+		cfg.beginMethods = []string{"kappa", "kappa", "kappa", "kappa", "psi", "alpha", "kappa", "psi", "kappa"}
+	}
+	for i := 0; i < diffScheduleCount(); i++ {
+		mode := WakeSingle
+		if i%2 == 1 {
+			mode = WakeBroadcast
+		}
+		runDiffScheduleCfg(t, int64(0xFACADE)+int64(i), mode, kappaHeavy)
 	}
 }
 

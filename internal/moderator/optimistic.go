@@ -1,0 +1,276 @@
+// Optimistic lock-free admission for guarded-but-uncontended plans.
+//
+// The pure fast path (preactivateFast) is sound because NonBlocking stacks
+// touch no cross-invocation guard state at all. A guarded plan does touch
+// guard state, so its hooks need mutual exclusion — but mutual exclusion is
+// much cheaper than the full domain mutex when nobody is parked: parking,
+// wake fan-out, sticky tickets, and queue bookkeeping are what the mutex
+// really buys, and an uncontended caller needs none of them.
+//
+// Each admission domain therefore carries a guardCell: a versioned
+// spin-lock word (sequence counter; odd = held) that serializes every
+// guard-state access — preconditions, postactions, cancels, abandons — of
+// guarded plans. The cell is strictly innermost: the mutex path acquires it
+// after the domain mutex, and a cell holder never acquires any other lock,
+// so lock ordering is trivially acyclic. The optimistic path takes ONLY the
+// cell:
+//
+//	pre-activation  (preactivateOptimistic)
+//	  waiters==0 → tryLock cell → re-check waiters==0 → evaluate layers
+//	    all Resume → commit, unlock, return the plan's shared receipt
+//	    Abort      → roll back, unlock, error (terminal here)
+//	    Block      → roll back the layer, pre-register the waiter
+//	                 (m.waiters.Add(1) while still holding the cell),
+//	                 unlock, and fall back to the mutex path carrying the
+//	                 verdict and the cell version (optResume)
+//	  any gate fails → transparent fallback to the mutex path
+//
+//	post-activation (postOptimistic)
+//	  waiters==0 → tryLock cell → re-check waiters==0 → postactions,
+//	  unlock. Any gate fails → mutex path (which performs the wake
+//	  fan-out).
+//
+// Why the waiter re-check under the cell is sound: a caller only parks
+// after incrementing m.waiters WHILE HOLDING the cell (both the mutex path
+// and the optimistic Block handoff do so). So if an optimistic caller holds
+// the cell and reads waiters==0, no caller is parked and none can reach
+// the parked state before the cell is released — there is provably nobody
+// to wake, and skipping the fan-out is exactly as sound as it is on the
+// pure fast path. This closes the PR 2 stranded-caller bug class on the
+// new path; TestOptimisticPostFallbackWakesWaiter pins it.
+//
+// Why the version handoff on Block is needed: the optimistic evaluation
+// already ran the layer's preconditions and observed a Block verdict. If
+// the mutex path re-ran them, every guard hook would fire twice for one
+// logical admission attempt — observably different from the Reference
+// (and from the mutex path), which evaluates once and parks. The fallback
+// therefore re-acquires the cell under the mutex and, if the cell sequence
+// shows no guard-state access happened in between, parks directly on the
+// carried verdict. If the sequence moved, somebody touched guard state and
+// the layer legitimately re-evaluates — semantically identical to a
+// spurious wake-up, which re-parking callers already tolerate.
+package moderator
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/aspect"
+)
+
+// guardCell is a per-domain versioned spin lock over the domain's guard
+// state. The sequence is even when free and odd while held; every
+// acquire/release pair advances it by two, so a reader comparing sequences
+// across a window detects any guard-state access in between (seqlock
+// style, but writers-only: guard hooks both read and write guard state, so
+// there is no lock-free read side).
+type guardCell struct {
+	seq atomic.Uint64
+}
+
+// guardSpinBudget bounds the tight CAS retries of lock before it starts
+// yielding the processor. Cell critical sections are a handful of guard
+// hooks (no parking, no allocation, no I/O), so a short budget suffices;
+// past it the holder is likely descheduled and spinning would only starve
+// it — on a single-CPU host, Gosched is what lets the holder finish.
+const guardSpinBudget = 16
+
+// tryLock attempts one acquisition; it never spins.
+func (c *guardCell) tryLock() bool {
+	s := c.seq.Load()
+	return s&1 == 0 && c.seq.CompareAndSwap(s, s+1)
+}
+
+// lock spins until the cell is held, yielding after guardSpinBudget tries.
+func (c *guardCell) lock() {
+	for spins := 0; !c.tryLock(); spins++ {
+		if spins >= guardSpinBudget {
+			runtime.Gosched()
+		}
+	}
+}
+
+// unlock releases the cell and returns the post-release (even) sequence.
+func (c *guardCell) unlock() uint64 {
+	return c.seq.Add(1)
+}
+
+// version returns the current sequence (odd while the cell is held).
+func (c *guardCell) version() uint64 {
+	return c.seq.Load()
+}
+
+// optResume carries a Block verdict from an optimistic evaluation into the
+// mutex fallback: which layer blocked, the admitted prefix length (the
+// blocked layer's partial admissions are already rolled back), the
+// blocking aspect, and the cell sequence observed when the optimistic
+// caller released the cell. The caller has ALREADY pre-registered itself
+// in m.waiters; the mutex path consumes that registration on its first
+// park (or releases it if re-evaluation admits or aborts instead).
+type optResume struct {
+	layer int
+	k     int
+	kind  aspect.Kind
+	by    aspect.Aspect
+	ver   uint64
+}
+
+// admitPoint names an instrumentation point of the optimistic paths, used
+// by tests to interleave a competing caller at the exact racy window.
+type admitPoint int
+
+const (
+	// hookOptimisticPre fires after the outer waiters gate passed but
+	// before the pre-activation cell acquisition.
+	hookOptimisticPre admitPoint = iota + 1
+	// hookOptimisticPost fires after the outer waiters gate passed but
+	// before the post-activation cell acquisition.
+	hookOptimisticPost
+)
+
+// setAdmitHook installs (or, with nil, removes) a test hook called at the
+// optimistic paths' instrumentation points. The hook runs BEFORE the cell
+// is acquired, so it may drive other callers of the same domain — even
+// ones that park — without deadlocking against its own invocation.
+func (m *Moderator) setAdmitHook(fn func(admitPoint, *domain)) {
+	if fn == nil {
+		m.admitHook.Store(nil)
+		return
+	}
+	m.admitHook.Store(&fn)
+}
+
+func (m *Moderator) callAdmitHook(p admitPoint, d *domain) {
+	if h := m.admitHook.Load(); h != nil {
+		(*h)(p, d)
+	}
+}
+
+// OptimisticStats are cumulative counters for the optimistic admission
+// paths, summed over the moderator's admission domains. They are
+// intentionally NOT part of Stats: Stats is the observable surface the
+// differential oracle compares against the Reference, and which path
+// served an admission is an implementation detail the Reference does not
+// share.
+type OptimisticStats struct {
+	Admits    uint64 // pre-activations committed entirely under the cell
+	Completes uint64 // post-activations committed entirely under the cell
+	Parks     uint64 // optimistic evaluations that hit Block and handed off
+	Fallbacks uint64 // cell acquired but waiters appeared: mutex fallback
+	Conflicts uint64 // cell tryLock lost: mutex fallback
+}
+
+// OptimisticStats returns a snapshot of the optimistic-path counters.
+func (m *Moderator) OptimisticStats() OptimisticStats {
+	var s OptimisticStats
+	for _, d := range m.domains.Load().all {
+		s.Admits += d.optAdmits.Load()
+		s.Completes += d.optCompletes.Load()
+		s.Parks += d.optParks.Load()
+		s.Fallbacks += d.optFallbacks.Load()
+		s.Conflicts += d.optConflicts.Load()
+	}
+	return s
+}
+
+// preactivateOptimistic admits a guarded plan under the domain's guard
+// cell alone. The caller has already checked tb == nil, plan.optimistic,
+// and m.waiters == 0. The final return reports whether the attempt was
+// terminal: if false, the caller must fall back to the mutex path, passing
+// along the (possibly nil) optResume.
+func (m *Moderator) preactivateOptimistic(cs *compState, inv *aspect.Invocation, plan *compiledPlan, d *domain, sh *Shadow) (*Admission, error, *optResume, bool) {
+	m.callAdmitHook(hookOptimisticPre, d)
+	if !d.cell.tryLock() {
+		d.optConflicts.Add(1)
+		return nil, nil, nil, false
+	}
+	// Re-check under the cell: a caller that decided to park after the
+	// outer gate must increment m.waiters while holding the cell before it
+	// can reach the parked state, so this read is authoritative.
+	if m.waiters.Load() != 0 {
+		d.cell.unlock()
+		d.optFallbacks.Add(1)
+		return nil, nil, nil, false
+	}
+	k := 0
+	for li := range plan.layers {
+		l := &plan.layers[li]
+		mark := k
+		for i := l.lo; i < l.hi; i++ {
+			e := &plan.entries[i]
+			v := e.a.Precondition(inv)
+			if v == aspect.Resume {
+				k++
+				continue
+			}
+			if v == aspect.Block {
+				// Layer-atomic rollback, then hand the verdict to the
+				// mutex path. Pre-registering the waiter under the cell is
+				// the anti-stranding invariant: any completer that could
+				// skip the wake fan-out must first win this cell and will
+				// then observe waiters != 0.
+				cancelReverse(plan.aspects[mark:k], inv)
+				m.waiters.Add(1)
+				ver := d.cell.unlock()
+				d.optParks.Add(1)
+				return nil, nil, &optResume{layer: li, k: mark, kind: e.kind, by: e.a, ver: ver}, false
+			}
+			var abortErr error
+			if v == aspect.Abort {
+				abortErr = inv.Err()
+				if abortErr == nil {
+					abortErr = aspect.ErrAborted
+				}
+			} else {
+				abortErr = fmt.Errorf("moderator %s: aspect %q returned invalid verdict %v: %w",
+					m.name, e.a.Name(), v, aspect.ErrAborted)
+			}
+			cancelReverse(plan.aspects[:k], inv)
+			d.aborts.Add(1)
+			d.cell.unlock()
+			if sh != nil {
+				sh.observe(cs, plan, inv, false)
+			}
+			return nil, fmt.Errorf("moderator %s: %s pre-activation (layer %s): %w",
+				m.name, inv.Method(), l.name, abortErr), nil, true
+		}
+	}
+	d.admissions.Add(1)
+	d.cell.unlock()
+	d.optAdmits.Add(1)
+	if sh != nil {
+		sh.observe(cs, plan, inv, true)
+	}
+	return plan.sharedAdm, nil, nil, true
+}
+
+// postOptimistic runs a guarded fast receipt's postactions under the guard
+// cell alone, reporting whether it committed. The caller has already
+// checked adm.fast and tb == nil. Skipping the wake fan-out is sound for
+// the same reason as on the pure fast path: with the cell held and
+// waiters == 0, nobody is parked and nobody can park before the cell is
+// released, so there is nobody to wake.
+func (m *Moderator) postOptimistic(inv *aspect.Invocation, adm *Admission, d *domain) bool {
+	if m.waiters.Load() != 0 {
+		return false
+	}
+	m.callAdmitHook(hookOptimisticPost, d)
+	if !d.cell.tryLock() {
+		d.optConflicts.Add(1)
+		return false
+	}
+	if m.waiters.Load() != 0 {
+		d.cell.unlock()
+		d.optFallbacks.Add(1)
+		return false
+	}
+	admitted := adm.admitted
+	for i := len(admitted) - 1; i >= 0; i-- {
+		admitted[i].Postaction(inv)
+	}
+	d.cell.unlock()
+	d.optCompletes.Add(1)
+	releaseAdmission(adm)
+	return true
+}

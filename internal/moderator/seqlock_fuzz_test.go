@@ -1,0 +1,142 @@
+package moderator
+
+// FuzzSeqlockGuardEval fuzzes the interleaving of optimistic (seqlock
+// guard-cell) admissions with mutex-path admissions, parks, wakes and
+// cancellations, cross-checked against the mutex-serialized Reference.
+// Each fuzz input is decoded into a deterministic op schedule over three
+// stacks — the guarded-fast kappa stack (optimistic-eligible), the pure
+// psi stack (lock-free fast path), and the mutex-only alpha capacity
+// guard — and replayed in lockstep on both implementations with a full
+// observable comparison (waiting counts, parked/admitted sets, outcomes,
+// guard state, ledgers, hook traces) after every op. The fuzzer is free
+// to discover schedules the seeded differential oracle never draws:
+// guard reads racing writers mid-evaluation, fallbacks stacked on
+// fallbacks, cancellation landing inside the optimistic window.
+
+import (
+	"testing"
+)
+
+// fuzzDiffConfig is the fixed scenario shape for the fuzz target; the
+// schedule, not the topology, is what the fuzzer explores.
+func fuzzDiffConfig(mode WakeMode) diffConfig {
+	cfg := diffConfig{mode: mode, capAlpha: 1}
+	if mode == WakeSingle {
+		cfg.allMethods = []string{"alpha", "beta", "gamma", "delta", "omega", "refill", "psi", "kappa"}
+	} else {
+		cfg.allMethods = []string{"alpha", "beta", "delta", "omega", "toggle", "psi", "kappa"}
+	}
+	cfg.beginMethods = []string{"kappa", "psi", "alpha"}
+	cfg.veneerMethods = []string{"alpha", "psi", "kappa"}
+	return cfg
+}
+
+func FuzzSeqlockGuardEval(f *testing.F) {
+	// Seed corpus: optimistic commits back to back; a parked waiter under
+	// contention then cancelled; pure and guarded begins racing a kick;
+	// broadcast-mode begins parked on the closed gate, opened by toggle.
+	f.Add([]byte{0x00, 0x01, 0x04, 0x01, 0x04, 0x01, 0x04})
+	f.Add([]byte{0x00, 0x01, 0x01, 0x01, 0x05, 0x04, 0x04})
+	f.Add([]byte{0x00, 0x02, 0x01, 0x03, 0x06, 0x04, 0x05, 0x04})
+	f.Add([]byte{0x01, 0x01, 0x01, 0x87, 0x04, 0x04, 0x07})
+	f.Add([]byte{0x00, 0x01, 0x82, 0x01, 0x04, 0x06, 0x05})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			t.Skip("input too short for a schedule")
+		}
+		mode := WakeSingle
+		if data[0]&1 == 1 {
+			mode = WakeBroadcast
+		}
+		ops := data[1:]
+		if len(ops) > 48 {
+			ops = ops[:48]
+		}
+		cfg := fuzzDiffConfig(mode)
+
+		a := newDiffScenario(t, "sharded", New("fuzz", WithWakeMode(mode)), cfg)
+		b := newDiffScenario(t, "reference", NewReference("fuzz", WithWakeMode(mode)), cfg)
+
+		nextIdx := 0
+		apply := func(step int, fn func(s *diffScenario)) {
+			fn(a)
+			fn(b)
+			a.quiesce(int64(step))
+			b.quiesce(int64(step))
+			compareScenarios(t, 0, step, a, b)
+		}
+
+		for step, bb := range ops {
+			flag := bb&0x80 != 0
+			sel := int(bb >> 3)
+			switch bb % 8 {
+			case 0, 1:
+				idx := nextIdx
+				nextIdx++
+				apply(step, func(s *diffScenario) { s.begin(idx, "kappa", flag) })
+			case 2:
+				idx := nextIdx
+				nextIdx++
+				apply(step, func(s *diffScenario) { s.begin(idx, "psi", flag) })
+			case 3:
+				idx := nextIdx
+				nextIdx++
+				apply(step, func(s *diffScenario) { s.begin(idx, "alpha", flag) })
+			case 4:
+				idx, ok := pickCall(a.admitted, sel)
+				if !ok {
+					continue
+				}
+				apply(step, func(s *diffScenario) { s.finish(idx) })
+			case 5:
+				idx, ok := pickCall(a.inflight, sel)
+				if !ok {
+					continue
+				}
+				apply(step, func(s *diffScenario) { s.cancelParked(idx) })
+			case 6:
+				meth := cfg.allMethods[sel%len(cfg.allMethods)]
+				apply(step, func(s *diffScenario) { s.impl.Kick(meth) })
+			case 7:
+				idx := nextIdx
+				nextIdx++
+				if mode == WakeSingle {
+					apply(step, func(s *diffScenario) { s.invokeNow(idx, "refill", nil) })
+				} else {
+					apply(step, func(s *diffScenario) { s.invokeNow(idx, "toggle", []any{flag}) })
+				}
+			}
+		}
+
+		// Drain to a terminal state and require exact final agreement.
+		for len(a.inflight) > 0 {
+			idx := sortedCallKeys(a.inflight)[0]
+			apply(len(ops), func(s *diffScenario) { s.cancelParked(idx) })
+		}
+		for len(a.admitted) > 0 {
+			idx := sortedCallKeys(a.admitted)[0]
+			apply(len(ops)+1, func(s *diffScenario) { s.finish(idx) })
+		}
+		if as, bs := a.impl.Stats(), b.impl.Stats(); as != bs {
+			t.Fatalf("final ledgers diverge: sharded=%+v reference=%+v", as, bs)
+		}
+		a.trMu.Lock()
+		b.trMu.Lock()
+		defer a.trMu.Unlock()
+		defer b.trMu.Unlock()
+		if len(a.traces) != len(b.traces) {
+			t.Fatalf("hook trace sets diverge: sharded=%d reference=%d invocations", len(a.traces), len(b.traces))
+		}
+		for idx, ta := range a.traces {
+			tb := b.traces[idx]
+			if len(ta) != len(tb) {
+				t.Fatalf("invocation %d trace lengths diverge:\nsharded:   %v\nreference: %v", idx, ta, tb)
+			}
+			for i := range ta {
+				if ta[i] != tb[i] {
+					t.Fatalf("invocation %d traces diverge at %d:\nsharded:   %v\nreference: %v", idx, i, ta, tb)
+				}
+			}
+		}
+	})
+}

@@ -361,8 +361,9 @@ func (s *Shadow) replay(smp shadowSample) {
 	// Verdict replay through the Reference semantics. The replayed
 	// invocation carries a pre-cancelled context (a Block vote returns a
 	// cancelled-wait error instead of parking the worker) and runs under
-	// the sample's admission-domain mutex, so it is serialized with live
-	// hooks on the same guard state. A predicted admission is immediately
+	// the sample's admission-domain mutex AND guard cell, so it is
+	// serialized with live hooks on the same guard state whichever path
+	// admitted them. A predicted admission is immediately
 	// rolled back via the Cancel contract; Postactivation never runs.
 	s.ref.comp.Store(&compState{epoch: plan.epoch, layers: layers})
 	inv := aspect.NewInvocation(s.cancelled, s.m.Name(), method, smp.args)
@@ -370,10 +371,16 @@ func (s *Shadow) replay(smp shadowSample) {
 	inv.RouteKey = smp.routeKey
 	d := plan.d
 	d.mu.Lock()
+	// The optimistic path runs live guard hooks under the domain's guard
+	// cell alone (optimistic.go), so the mutex by itself no longer
+	// serializes the replay against them: take the cell too (strictly
+	// inside the mutex, same ordering as the mutex admission path).
+	d.cell.lock()
 	adm, err := s.ref.Preactivation(inv)
 	if err == nil && adm != nil {
 		cancelReverse(adm.admitted, inv)
 	}
+	d.cell.unlock()
 	d.mu.Unlock()
 
 	var predicted string

@@ -12,6 +12,14 @@
 // moderator's admission state; Wait, Notify, Broadcast and Len must be
 // called with that mutex held. Wait releases the mutex while parked and
 // reacquires it before returning, exactly like sync.Cond.Wait.
+//
+// The moderator's optimistic admission path relies on an
+// enqueue-before-unlock invariant: a parking caller is registered in the
+// moderator's global waiter count before any lock that serializes guard
+// state (the domain mutex or its guard cell) is released, and only then
+// does Wait release the mutex. A lock-free admission that observes zero
+// waiters under the guard cell can therefore safely skip wake fan-out:
+// no caller can be parked-but-uncounted at that point.
 package waitq
 
 import (
