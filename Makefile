@@ -21,15 +21,19 @@
 #                      replayed against the reference semantics), drive
 #                      load, assert /shadow reports samples and ZERO
 #                      divergences on the stock ticket application
+#   make cluster-smoke — the 3-node in-process admission-plane soak:
+#                      ≥1000 guarded invocations under chaosnet faults
+#                      with a mid-run partition+heal and an owner kill,
+#                      plus the failover and park-readmission tests
 #   make check       — tier1 + lint + race + fuzz-smoke + obs-smoke +
-#                      shadow-smoke
+#                      shadow-smoke + cluster-smoke
 
 GO ?= go
 FUZZTIME ?= 10s
 OBS_SMOKE_DIR := $(or $(TMPDIR),/tmp)/obs-smoke
 SHADOW_SMOKE_DIR := $(or $(TMPDIR),/tmp)/shadow-smoke
 
-.PHONY: tier1 lint race fuzz-smoke bench bench-matrix bench-shadow obs-smoke shadow-smoke check
+.PHONY: tier1 lint race fuzz-smoke bench bench-matrix bench-shadow obs-smoke shadow-smoke cluster-smoke check
 
 tier1:
 	$(GO) build ./...
@@ -111,4 +115,14 @@ shadow-smoke:
 		$(SHADOW_SMOKE_DIR)/ticketcli obs -url http://127.0.0.1:7944 -view shadow | grep -q "\"replayed\"" || { echo "shadow-smoke: ticketcli obs -view shadow failed"; exit 1; }'
 	@echo "shadow-smoke: OK"
 
-check: tier1 lint race fuzz-smoke obs-smoke shadow-smoke
+# The distributed-admission certification run: a 3-node in-process
+# cluster soak (chaos faults on every data-plane link, one node
+# partitioned and healed mid-run, the owner of a domain killed outright)
+# plus the deterministic failover and parked-caller re-admission tests.
+# The ledger audit inside demands zero lost and zero forged effects.
+cluster-smoke:
+	$(GO) test ./internal/cluster/ -count=1 -timeout 120s \
+		-run 'TestClusterChaosSoak|TestClusterFailover|TestClusterFailoverReadmitsParkedCallers|TestClusterDifferentialOracle'
+	@echo "cluster-smoke: OK"
+
+check: tier1 lint race fuzz-smoke obs-smoke shadow-smoke cluster-smoke

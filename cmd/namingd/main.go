@@ -53,6 +53,14 @@ func main() {
 						log.Printf("  %-24s -> %s (expires %s)", e.Name, e.Addr,
 							e.Expires.Format(time.RFC3339))
 					}
+					leases := srv.Store().Leases()
+					if len(leases) > 0 {
+						log.Printf("domain leases: %d live", len(leases))
+						for _, l := range leases {
+							log.Printf("  %-24s held by %s at term %d (expires %s)",
+								l.Domain, l.Holder, l.Term, l.Expires.Format(time.RFC3339))
+						}
+					}
 				}
 			}
 		}()

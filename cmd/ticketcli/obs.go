@@ -24,32 +24,75 @@ import (
 func runObs(args []string) error {
 	fs := flag.NewFlagSet("obs", flag.ContinueOnError)
 	url := fs.String("url", "http://127.0.0.1:7070", "ticketd introspection base URL")
-	view := fs.String("view", "summary", "summary | metrics | trace | describe | shadow")
+	view := fs.String("view", "summary", "summary | metrics | trace | describe | shadow | cluster")
 	n := fs.Int("n", 15, "events to show (summary and trace views)")
+	raw := fs.Bool("raw", false, "print the endpoint body verbatim instead of the rendered view")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	base := strings.TrimRight(*url, "/")
 	switch *view {
+	case "cluster":
+		if !*raw {
+			return clusterView(base)
+		}
+		return printRaw(base + "/cluster")
 	case "metrics", "trace", "describe", "shadow":
 		path := "/" + *view
 		if *view == "trace" {
 			path = fmt.Sprintf("/trace?n=%d", *n)
 		}
-		body, err := fetch(base + path)
-		if err != nil {
-			return err
-		}
-		fmt.Print(string(body))
-		if len(body) > 0 && body[len(body)-1] != '\n' {
-			fmt.Println()
-		}
-		return nil
+		return printRaw(base + path)
 	case "summary":
 		return summarize(base, *n)
 	default:
-		return fmt.Errorf("unknown view %q (want summary, metrics, trace, describe, or shadow)", *view)
+		return fmt.Errorf("unknown view %q (want summary, metrics, trace, describe, shadow, or cluster)", *view)
 	}
+}
+
+func printRaw(url string) error {
+	body, err := fetch(url)
+	if err != nil {
+		return err
+	}
+	fmt.Print(string(body))
+	if len(body) > 0 && body[len(body)-1] != '\n' {
+		fmt.Println()
+	}
+	return nil
+}
+
+// clusterView renders the /cluster ownership table: which node holds
+// which admission domain at which lease term, plus the plane counters.
+func clusterView(base string) error {
+	body, err := fetch(base + "/cluster")
+	if err != nil {
+		return err
+	}
+	var dump obs.ClusterDump
+	if err := json.Unmarshal(body, &dump); err != nil {
+		return fmt.Errorf("decode /cluster: %w", err)
+	}
+	if len(dump.Nodes) == 0 {
+		fmt.Println("no cluster nodes watched (is ticketd running with -cluster-id?)")
+		return nil
+	}
+	for _, st := range dump.Nodes {
+		fmt.Printf("node %s (%s) serving %q — members: %s\n",
+			st.Node, st.Addr, st.Component, strings.Join(st.Members, " "))
+		for _, d := range st.Domains {
+			marker := " "
+			if d.Local {
+				marker = "*"
+			}
+			fmt.Printf("  %s domain %-20s owner=%-12s term=%-4d addr=%s\n",
+				marker, d.Domain, d.Owner, d.Term, d.Addr)
+		}
+		fmt.Printf("  local=%d forwarded=%d retries=%d staleRefusals=%d wakes(sent=%d recv=%d) takeovers=%d\n",
+			st.LocalCalls, st.Forwards, st.ForwardRetries, st.StaleRefusals,
+			st.WakesSent, st.WakesReceived, st.Takeovers)
+	}
+	return nil
 }
 
 func fetch(url string) ([]byte, error) {

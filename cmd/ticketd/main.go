@@ -4,12 +4,19 @@
 //
 //	ticketd -addr :7000 -capacity 16
 //	ticketd -addr :7000 -naming 127.0.0.1:7500 -auth -issue alice:client,bob:agent
-//	ticketd -addr :7000 -obs 127.0.0.1:7070   # /metrics /trace /describe /shadow
+//	ticketd -addr :7000 -obs 127.0.0.1:7070   # /metrics /trace /describe /shadow /cluster
 //	ticketd -addr :7000 -obs 127.0.0.1:7070 -shadow 64   # shadow admission, 1 in 64
+//	ticketd -addr :7000 -naming 127.0.0.1:7500 -cluster-id node-a   # admission-plane replica
 //
 // With -auth, tokens for the principals listed in -issue are printed at
 // startup (name:role[,role...] pairs separated by commas between entries
 // are not supported; each -issue entry is name:role).
+//
+// With -cluster-id, the process joins the distributed admission plane:
+// the naming service partitions admission domains across all replicas
+// started with the same -naming address, this node serves the domains it
+// owns under a fenced lease and transparently forwards the rest, and
+// failover to the survivors is automatic when a replica dies.
 package main
 
 import (
@@ -29,46 +36,67 @@ import (
 	"repro/internal/aspects/audit"
 	"repro/internal/aspects/auth"
 	"repro/internal/aspects/metrics"
+	"repro/internal/cluster"
 	"repro/internal/compose"
 	"repro/internal/naming"
 	"repro/internal/obs"
 )
 
+// options carries every flag-derived setting into run.
+type options struct {
+	addr        string
+	capacity    int
+	namingAddr  string
+	ttl         time.Duration
+	enableAuth  bool
+	issue       string
+	auditCap    int
+	readTO      time.Duration
+	maxLine     int
+	obsAddr     string
+	obsSample   int
+	obsTrace    int
+	shadowEvery int
+	clusterID   string
+	clusterTTL  time.Duration
+}
+
 func main() {
 	log.SetFlags(log.LstdFlags | log.Lmicroseconds)
-	var (
-		addr       = flag.String("addr", "127.0.0.1:7000", "listen address")
-		capacity   = flag.Int("capacity", 16, "ticket buffer capacity")
-		namingAddr = flag.String("naming", "", "naming service address (optional)")
-		ttl        = flag.Duration("ttl", 30*time.Second, "naming lease TTL")
-		enableAuth = flag.Bool("auth", false, "require authentication")
-		issue      = flag.String("issue", "alice:client", "comma-separated name:role principals to issue tokens for (with -auth)")
-		auditCap   = flag.Int("audit", 1024, "audit trail capacity (0 disables)")
-		readTO     = flag.Duration("read-timeout", 5*time.Minute, "per-connection inactivity deadline (0 disables)")
-		maxLine    = flag.Int("max-line", 4*1024*1024, "max request frame size in bytes")
-		obsAddr    = flag.String("obs", "", "introspection HTTP address serving /metrics, /trace, /describe, /shadow (empty disables)")
-		obsSample  = flag.Int("obs-sample", obs.DefaultSampleEvery, "trace 1 in N admissions in detail (<=1 traces all)")
-		obsTrace   = flag.Int("obs-trace", obs.DefaultRingCapacity, "per-domain trace ring capacity")
-		shadow     = flag.Int("shadow", 0, "shadow admission: replay 1 in N live admissions against the reference semantics (0 disables)")
-	)
+	var o options
+	flag.StringVar(&o.addr, "addr", "127.0.0.1:7000", "listen address")
+	flag.IntVar(&o.capacity, "capacity", 16, "ticket buffer capacity")
+	flag.StringVar(&o.namingAddr, "naming", "", "naming service address (optional; required for -cluster-id)")
+	flag.DurationVar(&o.ttl, "ttl", 30*time.Second, "naming lease TTL")
+	flag.BoolVar(&o.enableAuth, "auth", false, "require authentication")
+	flag.StringVar(&o.issue, "issue", "alice:client", "comma-separated name:role principals to issue tokens for (with -auth)")
+	flag.IntVar(&o.auditCap, "audit", 1024, "audit trail capacity (0 disables)")
+	flag.DurationVar(&o.readTO, "read-timeout", 5*time.Minute, "per-connection inactivity deadline (0 disables)")
+	flag.IntVar(&o.maxLine, "max-line", 4*1024*1024, "max request frame size in bytes")
+	flag.StringVar(&o.obsAddr, "obs", "", "introspection HTTP address serving /metrics, /trace, /describe, /shadow, /cluster (empty disables)")
+	flag.IntVar(&o.obsSample, "obs-sample", obs.DefaultSampleEvery, "trace 1 in N admissions in detail (<=1 traces all)")
+	flag.IntVar(&o.obsTrace, "obs-trace", obs.DefaultRingCapacity, "per-domain trace ring capacity")
+	flag.IntVar(&o.shadowEvery, "shadow", 0, "shadow admission: replay 1 in N live admissions against the reference semantics (0 disables)")
+	flag.StringVar(&o.clusterID, "cluster-id", "", "join the distributed admission plane as this node (empty disables; requires -naming)")
+	flag.DurationVar(&o.clusterTTL, "cluster-lease", 3*time.Second, "admission-domain lease TTL in cluster mode")
 	flag.Parse()
 
-	if err := run(*addr, *capacity, *namingAddr, *ttl, *enableAuth, *issue, *auditCap, *readTO, *maxLine, *obsAddr, *obsSample, *obsTrace, *shadow); err != nil {
+	if err := run(o); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(addr string, capacity int, namingAddr string, ttl time.Duration, enableAuth bool, issue string, auditCap int, readTO time.Duration, maxLine int, obsAddr string, obsSample, obsTrace, shadowEvery int) error {
-	cfg := ticket.GuardedConfig{Capacity: capacity, Metrics: metrics.NewRecorder(), ShadowSampleEvery: shadowEvery}
+func run(o options) error {
+	cfg := ticket.GuardedConfig{Capacity: o.capacity, Metrics: metrics.NewRecorder(), ShadowSampleEvery: o.shadowEvery}
 	var collector *obs.Collector
-	if obsAddr != "" {
-		collector = obs.NewCollector(obs.WithSampleEvery(obsSample), obs.WithRingCapacity(obsTrace))
+	if o.obsAddr != "" {
+		collector = obs.NewCollector(obs.WithSampleEvery(o.obsSample), obs.WithRingCapacity(o.obsTrace))
 		cfg.Obs = collector
 	}
 	var trail *audit.Trail
-	if auditCap > 0 {
+	if o.auditCap > 0 {
 		var err error
-		trail, err = audit.NewTrail(auditCap, audit.WithSink(os.Stderr))
+		trail, err = audit.NewTrail(o.auditCap, audit.WithSink(os.Stderr))
 		if err != nil {
 			return err
 		}
@@ -81,9 +109,9 @@ func run(addr string, capacity int, namingAddr string, ttl time.Duration, enable
 	if sh := g.Shadow(); sh != nil {
 		log.Printf("shadow admission on: replaying 1 in %d admissions against reference semantics", sh.SampleEvery())
 	}
-	if enableAuth {
+	if o.enableAuth {
 		store := auth.NewTokenStore()
-		for _, entry := range strings.Split(issue, ",") {
+		for _, entry := range strings.Split(o.issue, ",") {
 			entry = strings.TrimSpace(entry)
 			if entry == "" {
 				continue
@@ -112,51 +140,114 @@ func run(addr string, capacity int, namingAddr string, ttl time.Duration, enable
 		log.Printf("composition warnings:\n%s", report)
 	}
 
-	srv := amrpc.NewServer(amrpc.WithReadTimeout(readTO), amrpc.WithMaxLineBytes(maxLine))
-	if err := srv.Register(g.Proxy()); err != nil {
-		return err
+	// Serve either standalone (a plain amrpc server) or as one replica of
+	// the distributed admission plane.
+	var (
+		srv       *amrpc.Server
+		node      *cluster.Node
+		serveAddr string
+		serveErr  = make(chan error, 1)
+	)
+	if o.clusterID != "" {
+		if o.namingAddr == "" {
+			return fmt.Errorf("cluster mode (-cluster-id) requires -naming")
+		}
+		// Every ticket method shares the buffer, so they form ONE
+		// admission domain: the owning replica runs all of this
+		// component's guards, everyone else forwards to it. The wake
+		// edges are declared anyway — they are local no-op kicks while
+		// the methods are co-located and become load-bearing the moment
+		// the domain map is ever split.
+		node, err = cluster.Start(cluster.Config{
+			ID:    o.clusterID,
+			Local: g.Proxy(),
+			Domains: map[string]string{
+				ticket.MethodOpen:   "ticket",
+				ticket.MethodAssign: "ticket",
+			},
+			WakeEdges: map[string][]string{
+				ticket.MethodOpen:   {ticket.MethodAssign},
+				ticket.MethodAssign: {ticket.MethodOpen},
+			},
+			Naming:        o.namingAddr,
+			LeaseTTL:      o.clusterTTL,
+			MemberTTL:     o.clusterTTL,
+			ServerOptions: []amrpc.ServerOption{amrpc.WithReadTimeout(o.readTO), amrpc.WithMaxLineBytes(o.maxLine)},
+			Logf:          log.Printf,
+		}, o.addr)
+		if err != nil {
+			return err
+		}
+		serveAddr = node.Addr()
+		if collector != nil {
+			collector.WatchCluster(node)
+		}
+		log.Printf("cluster node %s serving %q on %s (capacity %d, lease %v)",
+			o.clusterID, ticket.ComponentName, serveAddr, o.capacity, o.clusterTTL)
+	} else {
+		srv = amrpc.NewServer(amrpc.WithReadTimeout(o.readTO), amrpc.WithMaxLineBytes(o.maxLine))
+		if err := srv.Register(g.Proxy()); err != nil {
+			return err
+		}
+		ln, err := net.Listen("tcp", o.addr)
+		if err != nil {
+			return err
+		}
+		serveAddr = ln.Addr().String()
+		go func() { serveErr <- srv.Serve(ln) }()
+		log.Printf("ticketd serving %q on %s (capacity %d)", ticket.ComponentName, serveAddr, o.capacity)
 	}
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return err
-	}
-	log.Printf("ticketd serving %q on %s (capacity %d)", ticket.ComponentName, ln.Addr(), capacity)
 
 	var obsLn net.Listener
 	if collector != nil {
 		collector.Registry().GaugeFunc("obs_trace_drops",
 			"Trace events dropped by ring contention.",
 			func() float64 { return float64(collector.Drops()) })
-		obsLn, err = net.Listen("tcp", obsAddr)
+		obsLn, err = net.Listen("tcp", o.obsAddr)
 		if err != nil {
-			srv.Close()
+			if srv != nil {
+				srv.Close()
+			}
+			if node != nil {
+				node.Close()
+			}
 			return err
 		}
 		go func() { _ = http.Serve(obsLn, obs.NewHTTPHandler(collector)) }()
-		log.Printf("introspection on http://%s (sampling 1 in %d)", obsLn.Addr(), obsSample)
+		log.Printf("introspection on http://%s (sampling 1 in %d)", obsLn.Addr(), o.obsSample)
 	}
 
-	serveErr := make(chan error, 1)
-	go func() { serveErr <- srv.Serve(ln) }()
-
-	// Register with the naming service and keep the lease alive.
+	// Register the component name with the naming service and keep the
+	// entry alive, so plain clients resolve SOME replica (any node of the
+	// plane routes to the right owner). The cluster node separately
+	// maintains its own member and lease records.
 	stopRenew := make(chan struct{})
 	renewDone := make(chan struct{})
-	if namingAddr != "" {
-		nc, err := naming.DialClient(namingAddr)
+	if o.namingAddr != "" {
+		nc, err := naming.DialClient(o.namingAddr)
 		if err != nil {
-			srv.Close()
+			if srv != nil {
+				srv.Close()
+			}
+			if node != nil {
+				node.Close()
+			}
 			return err
 		}
-		if err := nc.Register(ticket.ComponentName, ln.Addr().String(), ttl); err != nil {
-			srv.Close()
+		if err := nc.Register(ticket.ComponentName, serveAddr, o.ttl); err != nil {
+			if srv != nil {
+				srv.Close()
+			}
+			if node != nil {
+				node.Close()
+			}
 			return err
 		}
-		log.Printf("registered with naming service %s (ttl %v)", namingAddr, ttl)
+		log.Printf("registered with naming service %s (ttl %v)", o.namingAddr, o.ttl)
 		go func() {
 			defer close(renewDone)
 			defer func() { _ = nc.Close() }()
-			tick := time.NewTicker(ttl / 3)
+			tick := time.NewTicker(o.ttl / 3)
 			defer tick.Stop()
 			for {
 				select {
@@ -164,7 +255,7 @@ func run(addr string, capacity int, namingAddr string, ttl time.Duration, enable
 					_, _ = nc.Unregister(ticket.ComponentName)
 					return
 				case <-tick.C:
-					if err := nc.Register(ticket.ComponentName, ln.Addr().String(), ttl); err != nil {
+					if err := nc.Register(ticket.ComponentName, serveAddr, o.ttl); err != nil {
 						log.Printf("lease renewal failed: %v", err)
 					}
 				}
@@ -189,11 +280,20 @@ func run(addr string, capacity int, namingAddr string, ttl time.Duration, enable
 	if obsLn != nil {
 		_ = obsLn.Close()
 	}
-	srv.Close()
+	if node != nil {
+		node.Close()
+	} else {
+		srv.Close()
+	}
 
 	stats := g.Moderator().Stats()
 	log.Printf("final stats: %d admissions, %d blocks, %d aborts, buffer %d",
 		stats.Admissions, stats.Blocks, stats.Aborts, g.Server().Size())
+	if node != nil {
+		st := node.Status()
+		log.Printf("cluster stats: %d local, %d forwarded, %d retries, %d stale refusals, %d takeovers",
+			st.LocalCalls, st.Forwards, st.ForwardRetries, st.StaleRefusals, st.Takeovers)
+	}
 	if sh := g.Shadow(); sh != nil {
 		g.StopShadow()
 		ss := sh.Stats()

@@ -1,0 +1,205 @@
+// Cluster: the distributed admission plane in one process tree — a naming
+// service and three moderator replicas that partition the admission
+// domains of a guarded component between them. Calls enter through ANY
+// node and are transparently forwarded to each domain's owner under a
+// fenced lease term; when a replica leaves, the ring reassigns its
+// domains to the survivors at a higher term and routing follows without
+// the callers noticing.
+//
+// Run with:
+//
+//	go run ./examples/cluster
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/aspect"
+	"repro/internal/cluster"
+	"repro/internal/moderator"
+	"repro/internal/naming"
+	"repro/internal/proxy"
+)
+
+// board is the shared functional core: every replica hosts the same
+// guarded component, but only a domain's owner admits its methods.
+type board struct {
+	mu      sync.Mutex
+	posts   []string
+	tallies int
+}
+
+func newBoardProxy(b *board) *proxy.Proxy {
+	mod := moderator.New("board")
+	p := proxy.New(mod)
+	for _, m := range []string{"post", "tally"} {
+		method := m
+		if err := mod.Register(method, aspect.KindSynchronization,
+			aspect.New("gate-"+method, aspect.KindSynchronization,
+				func(inv *aspect.Invocation) aspect.Verdict { return aspect.Resume },
+				func(inv *aspect.Invocation) {})); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := p.Bind("post", func(inv *aspect.Invocation) (any, error) {
+		msg, err := inv.ArgString(0)
+		if err != nil {
+			return nil, err
+		}
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		b.posts = append(b.posts, msg)
+		return len(b.posts), nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := p.Bind("tally", func(inv *aspect.Invocation) (any, error) {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		b.tallies++
+		return b.tallies, nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+	return p
+}
+
+func main() {
+	// 1. Naming service: membership, domain leases, fencing terms.
+	nsrv := naming.NewServer(nil)
+	nln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() { _ = nsrv.Serve(nln) }()
+	defer nsrv.Close()
+	fmt.Printf("naming service on %s\n", nln.Addr())
+
+	// 2. Three replicas of the same guarded component. Each method is its
+	// own admission domain, so the ring splits ownership across nodes.
+	domains := map[string]string{"post": "posts", "tally": "tallies"}
+	mkNode := func(id string) (*board, *cluster.Node) {
+		b := &board{}
+		n, err := cluster.Start(cluster.Config{
+			ID:         id,
+			Local:      newBoardProxy(b),
+			Domains:    domains,
+			Naming:     nln.Addr().String(),
+			Idempotent: true,
+			LeaseTTL:   time.Second,
+			MemberTTL:  time.Second,
+			Heartbeat:  200 * time.Millisecond,
+		}, "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		return b, n
+	}
+	boards := map[string]*board{}
+	var nodes []*cluster.Node
+	for _, id := range []string{"node-a", "node-b", "node-c"} {
+		b, n := mkNode(id)
+		boards[id] = b
+		nodes = append(nodes, n)
+	}
+
+	// Wait for the plane to converge: full membership everywhere and each
+	// domain held by the node the ring designates (the first beats may
+	// briefly assign everything to whichever node registered first).
+	waitOwners := func() map[string]cluster.DomainStatus {
+		ids := make([]string, 0, len(nodes))
+		for _, n := range nodes {
+			ids = append(ids, n.ID())
+		}
+		ring := naming.NewRing(0, ids...)
+		for deadline := time.Now().Add(5 * time.Second); ; {
+			owners := map[string]cluster.DomainStatus{}
+			st := nodes[0].Status()
+			for _, d := range st.Domains {
+				if want, _ := ring.Owner(d.Domain); d.Owner == want {
+					owners[d.Domain] = d
+				}
+			}
+			if len(owners) == len(domains) && len(st.Members) == len(nodes) {
+				return owners
+			}
+			if time.Now().After(deadline) {
+				log.Fatal("cluster never converged")
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	owners := waitOwners()
+	fmt.Println("\nownership after convergence:")
+	for d, st := range owners {
+		fmt.Printf("  domain %-8s -> %s (term %d)\n", d, st.Owner, st.Term)
+	}
+
+	// 3. Drive both methods through node-a only: calls for domains it does
+	// not own are forwarded to the owner under its fenced term.
+	ctx := context.Background()
+	for k := 0; k < 6; k++ {
+		if _, err := nodes[0].Invoke(ctx, "post", fmt.Sprintf("msg-%d", k)); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := nodes[0].Invoke(ctx, "tally"); err != nil {
+			log.Fatal(err)
+		}
+	}
+	st := nodes[0].Status()
+	fmt.Printf("\nnode-a after 12 calls: local=%d forwarded=%d\n", st.LocalCalls, st.Forwards)
+	for id, b := range boards {
+		b.mu.Lock()
+		fmt.Printf("  %s backend: %d posts, %d tallies\n", id, len(b.posts), b.tallies)
+		b.mu.Unlock()
+	}
+
+	// 4. Failover: retire the owner of "posts". The ring reassigns the
+	// domain to a survivor at a strictly higher term; the stale term is
+	// fenced out forever.
+	victimID := owners["posts"].Owner
+	oldTerm := owners["posts"].Term
+	var survivors []*cluster.Node
+	for _, n := range nodes {
+		if n.ID() == victimID {
+			fmt.Printf("\nretiring %s (owner of \"posts\" at term %d)...\n", victimID, oldTerm)
+			n.Close()
+		} else {
+			survivors = append(survivors, n)
+		}
+	}
+	nodes = survivors
+
+	for k := 6; k < 12; k++ {
+		cctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		_, err := nodes[0].Invoke(cctx, "post", fmt.Sprintf("msg-%d", k))
+		cancel()
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	owners = map[string]cluster.DomainStatus{}
+	for _, d := range nodes[0].Status().Domains {
+		owners[d.Domain] = d
+	}
+	fmt.Printf("\"posts\" now owned by %s at term %d (was %s at term %d)\n",
+		owners["posts"].Owner, owners["posts"].Term, victimID, oldTerm)
+
+	total := 0
+	for _, b := range boards {
+		b.mu.Lock()
+		total += len(b.posts)
+		b.mu.Unlock()
+	}
+	fmt.Printf("12 posts driven, %d landed across the cluster: zero lost, zero duplicated\n", total)
+
+	for _, n := range nodes {
+		n.Close()
+	}
+	fmt.Println("shut down cleanly")
+}

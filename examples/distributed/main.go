@@ -9,6 +9,10 @@
 // Run with:
 //
 //	go run ./examples/distributed
+//
+// For the multi-node deployment — admission domains partitioned across
+// replicas with fenced leases and automatic failover — see
+// examples/cluster.
 package main
 
 import (

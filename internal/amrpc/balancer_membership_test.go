@@ -1,0 +1,94 @@
+package amrpc
+
+import (
+	"context"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// mutableResolver is a Resolver whose endpoint set can shrink mid-test, the
+// way a naming-backed resolver shrinks when a member's lease expires.
+type mutableResolver struct {
+	mu    sync.Mutex
+	addrs []string
+}
+
+func (r *mutableResolver) resolve() ([]string, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, len(r.addrs))
+	copy(out, r.addrs)
+	return out, nil
+}
+
+func (r *mutableResolver) set(addrs ...string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.addrs = append([]string(nil), addrs...)
+}
+
+// TestBalancerDropsRemovedMember pins the membership-shrink behavior the
+// cluster depends on: once the resolver stops listing an endpoint, no
+// invocation routes to it again — not via round-robin, and not as a
+// failover candidate while the surviving endpoints are failing.
+func TestBalancerDropsRemovedMember(t *testing.T) {
+	aliveAddr := startServer(t, newEchoProxy(t, "svc"))
+	removedAddr := startServer(t, newEchoProxy(t, "svc"))
+
+	resolver := &mutableResolver{}
+	resolver.set(aliveAddr, removedAddr)
+
+	var dialsToRemoved atomic.Int64
+	b, err := NewBalancerWith(BalancerConfig{
+		Component: "svc",
+		Resolver:  resolver.resolve,
+		DialConn: func(addr string) (net.Conn, error) {
+			if addr == removedAddr {
+				dialsToRemoved.Add(1)
+			}
+			return defaultDialFunc(addr)()
+		},
+		BreakerThreshold: -1, // keep every endpoint eligible: routing must be membership-driven
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	ctx := context.Background()
+	// Warm both endpoints: round-robin over two members must touch both.
+	for i := 0; i < 6; i++ {
+		if _, err := b.Invoke(ctx, "echo", "warm"); err != nil {
+			t.Fatalf("warm invoke %d: %v", i, err)
+		}
+	}
+	if dialsToRemoved.Load() == 0 {
+		t.Fatal("test setup: the to-be-removed member never received traffic")
+	}
+
+	// The member leaves: the resolver stops listing it.
+	resolver.set(aliveAddr)
+	baseline := dialsToRemoved.Load()
+
+	for i := 0; i < 20; i++ {
+		if _, err := b.Invoke(ctx, "echo", "after"); err != nil {
+			t.Fatalf("post-removal invoke %d: %v", i, err)
+		}
+	}
+	if got := dialsToRemoved.Load(); got != baseline {
+		t.Fatalf("removed member was dialed %d time(s) after leaving the resolver", got-baseline)
+	}
+
+	// Failover must not resurrect the removed member either: with the only
+	// listed endpoint failing, invocations fail rather than fall back to
+	// the member that left.
+	resolver.set("127.0.0.1:1") // reserved port: dial fails fast
+	if _, err := b.Invoke(ctx, "echo", "dead"); err == nil {
+		t.Fatal("invoke against a dead-only membership must fail")
+	}
+	if got := dialsToRemoved.Load(); got != baseline {
+		t.Fatalf("failover routed %d retr(ies) to the removed member", got-baseline)
+	}
+}

@@ -414,7 +414,7 @@ func (c *Client) Close() error {
 
 // call performs one logical request/response exchange, retrying transport
 // failures per the client's policy when the call is idempotent.
-func (c *Client) call(ctx context.Context, component, method, token string, priority int, idempotent bool, args []any) (any, error) {
+func (c *Client) call(ctx context.Context, component, method, token string, priority int, fence uint64, idempotent bool, args []any) (any, error) {
 	rawArgs, err := encodeArgs(args)
 	if err != nil {
 		return nil, err
@@ -432,7 +432,7 @@ func (c *Client) call(ctx context.Context, component, method, token string, prio
 	var lastErr error
 	for a := 1; ; a++ {
 		c.stats.attempts.Add(1)
-		result, err := c.callOnce(ctx, component, method, token, priority, rawArgs)
+		result, err := c.callOnce(ctx, component, method, token, priority, fence, rawArgs)
 		if err == nil {
 			return result, nil
 		}
@@ -459,7 +459,7 @@ func (c *Client) call(ctx context.Context, component, method, token string, prio
 
 // callOnce performs a single attempt: ensure a connection, register the
 // pending call, write the frame, await the response or a deadline.
-func (c *Client) callOnce(parent context.Context, component, method, token string, priority int, rawArgs []json.RawMessage) (any, error) {
+func (c *Client) callOnce(parent context.Context, component, method, token string, priority int, fence uint64, rawArgs []json.RawMessage) (any, error) {
 	ctx := parent
 	if d := c.opts.retry.AttemptTimeout; d > 0 {
 		var cancel context.CancelFunc
@@ -511,6 +511,7 @@ func (c *Client) callOnce(parent context.Context, component, method, token strin
 		Token:     token,
 		Priority:  priority,
 		TimeoutMS: timeoutMS,
+		Fence:     fence,
 	}
 	line, err := sealRequest(&req)
 	if err != nil {
@@ -584,6 +585,7 @@ type Stub struct {
 	component  string
 	token      string
 	priority   int
+	fence      uint64
 	idempotent bool
 }
 
@@ -599,6 +601,15 @@ func WithToken(token string) StubOption {
 // stub.
 func WithPriority(p int) StubOption {
 	return func(s *Stub) { s.priority = p }
+}
+
+// WithFenceTerm stamps every invocation from this stub with a
+// domain-ownership lease term. Cluster-internal traffic (forwarded
+// admissions, wake notifications) uses it so a receiver that no longer
+// holds the domain's lease at this exact term refuses the call with
+// naming.ErrStaleTerm instead of acting on stale ownership.
+func WithFenceTerm(term uint64) StubOption {
+	return func(s *Stub) { s.fence = term }
 }
 
 // WithIdempotent declares every invocation from this stub safe to repeat:
@@ -619,5 +630,5 @@ func (c *Client) Component(name string, opts ...StubOption) *Stub {
 
 // Invoke performs a guarded invocation on the remote component.
 func (s *Stub) Invoke(ctx context.Context, method string, args ...any) (any, error) {
-	return s.client.call(ctx, s.component, method, s.token, s.priority, s.idempotent, args)
+	return s.client.call(ctx, s.component, method, s.token, s.priority, s.fence, s.idempotent, args)
 }

@@ -1,0 +1,25 @@
+package amrpc
+
+import "repro/internal/aspect"
+
+// fenceKey is the invocation-attribute key carrying a domain-ownership
+// lease term across the RPC boundary (same typed-key idiom as auth tokens).
+type fenceKey struct{}
+
+// SetFence stamps inv with a lease term. The server does this for every
+// fenced wire request; a hosted Component that executes admissions must
+// then refuse the invocation unless it holds the target domain's lease at
+// exactly this term.
+func SetFence(inv *aspect.Invocation, term uint64) {
+	inv.SetAttr(fenceKey{}, term)
+}
+
+// FenceOf extracts the lease term stamped on inv, if any.
+func FenceOf(inv *aspect.Invocation) (uint64, bool) {
+	v := inv.Attr(fenceKey{})
+	if v == nil {
+		return 0, false
+	}
+	term, ok := v.(uint64)
+	return term, ok
+}

@@ -24,6 +24,7 @@ import (
 	"repro/internal/aspects/auth"
 	"repro/internal/aspects/fault"
 	"repro/internal/aspects/sched"
+	"repro/internal/naming"
 	"repro/internal/proxy"
 )
 
@@ -39,6 +40,11 @@ type request struct {
 	// server-side invocation blocked on a wait queue is released when the
 	// caller has certainly stopped caring.
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Fence carries a domain-ownership lease term on cluster-internal
+	// traffic (forwarded admissions, wake notifications). Zero means
+	// unfenced; a nonzero fence obliges the receiver to hold the target
+	// domain's lease at exactly this term or refuse with CodeStaleTerm.
+	Fence uint64 `json:"fence,omitempty"`
 	// Sum is an optional CRC-32 (IEEE) of the frame marshalled with
 	// Sum=0. A zero Sum means "unsigned" (foreign or legacy peers); a
 	// nonzero Sum that fails verification means the frame was corrupted
@@ -139,6 +145,7 @@ const (
 	CodeDeadline        = "deadline"
 	CodeBadRequest      = "bad-request"
 	CodeInternal        = "internal"
+	CodeStaleTerm       = "stale-term"
 )
 
 // RemoteError is an application error transported over the RPC boundary.
@@ -172,6 +179,7 @@ var codeToSentinel = map[string]error{
 	CodeNoMethod:        proxy.ErrNoSuchMethod,
 	CodeCancelled:       context.Canceled,
 	CodeDeadline:        context.DeadlineExceeded,
+	CodeStaleTerm:       naming.ErrStaleTerm,
 }
 
 // codeFor classifies a server-side error for the wire.
@@ -193,6 +201,8 @@ func codeFor(err error) string {
 		return CodeCancelled
 	case errors.Is(err, context.DeadlineExceeded):
 		return CodeDeadline
+	case errors.Is(err, naming.ErrStaleTerm):
+		return CodeStaleTerm
 	case errors.Is(err, aspect.ErrAborted):
 		return CodeAborted
 	default:

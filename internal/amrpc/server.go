@@ -19,6 +19,15 @@ import (
 // component.
 var ErrNoSuchComponent = errors.New("amrpc: no such component")
 
+// Component is anything the server can host: the guarded proxy of the
+// classic single-node deployment, or a cluster node's routing front that
+// decides per-invocation whether to execute locally or forward to the
+// domain owner. *proxy.Proxy satisfies it as-is.
+type Component interface {
+	Name() string
+	Call(inv *aspect.Invocation) (any, error)
+}
+
 // Server hosts guarded components behind a TCP listener. Construct with
 // NewServer, register components, then call Serve.
 type Server struct {
@@ -26,7 +35,7 @@ type Server struct {
 	maxLineBytes int
 
 	mu         sync.Mutex
-	components map[string]*proxy.Proxy
+	components map[string]Component
 	listeners  map[net.Listener]struct{}
 	conns      map[net.Conn]struct{}
 	closed     bool
@@ -62,7 +71,7 @@ func NewServer(opts ...ServerOption) *Server {
 	s := &Server{
 		readTimeout:  5 * time.Minute,
 		maxLineBytes: 4 * 1024 * 1024,
-		components:   make(map[string]*proxy.Proxy, 4),
+		components:   make(map[string]Component, 4),
 		listeners:    make(map[net.Listener]struct{}, 1),
 		conns:        make(map[net.Conn]struct{}, 16),
 	}
@@ -77,12 +86,20 @@ func (s *Server) Register(p *proxy.Proxy) error {
 	if p == nil {
 		return errors.New("amrpc: register nil proxy")
 	}
+	return s.RegisterComponent(p)
+}
+
+// RegisterComponent exposes any Component under its reported name.
+func (s *Server) RegisterComponent(c Component) error {
+	if c == nil {
+		return errors.New("amrpc: register nil component")
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, dup := s.components[p.Name()]; dup {
-		return fmt.Errorf("amrpc: component %q already registered", p.Name())
+	if _, dup := s.components[c.Name()]; dup {
+		return fmt.Errorf("amrpc: component %q already registered", c.Name())
 	}
-	s.components[p.Name()] = p
+	s.components[c.Name()] = c
 	return nil
 }
 
@@ -247,6 +264,9 @@ func (s *Server) handle(ctx context.Context, req *request) response {
 	inv.Priority = req.Priority
 	if req.Token != "" {
 		auth.WithToken(inv, req.Token)
+	}
+	if req.Fence != 0 {
+		SetFence(inv, req.Fence)
 	}
 	result, err := p.Call(inv)
 	if err != nil {

@@ -1,0 +1,594 @@
+// Package cluster is the distributed admission plane: it partitions a
+// guarded component's admission domains across a fleet of nodes so that
+// one *logical* moderator spans many processes, keeping the paper's
+// composition model intact while scaling past a single machine.
+//
+// Each node runs the full guarded component (moderator, aspect stacks,
+// functional core) but is allowed to *execute* admissions only for the
+// domains it owns. Ownership is decided by a consistent-hash ring over the
+// live membership (naming.Ring) and made safe by term-numbered leases
+// granted by the naming service (naming.Store): a node heartbeats its
+// membership registration, acquires the leases the ring assigns to it, and
+// renews them on every beat. Terms are fencing tokens — every forwarded
+// admission and every cross-node wake notification carries the term its
+// sender observed, and the receiver refuses it (naming.ErrStaleTerm)
+// unless it holds that domain's lease at exactly that term. A node also
+// drops ownership locally once a lease's remaining validity falls inside a
+// safety margin, so an owner partitioned away from the naming service
+// stops executing before anyone else can be granted the next term.
+//
+// Callers see location transparency: any node accepts any method of the
+// component, executes locally when it owns the method's domain, and
+// otherwise proxies the call over amrpc to the owner — retrying through
+// fresh ownership lookups when the fence is refused or the owner dies.
+// Failover is lease expiry: when a node dies, its membership entry and
+// leases expire, the ring reassigns its domains to survivors at term+1,
+// and callers parked on the dead owner are released by its connection
+// teardown and re-admitted through the new owner on retry.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/amrpc"
+	"repro/internal/cluster/view"
+	"repro/internal/naming"
+	"repro/internal/proxy"
+)
+
+// Config describes one cluster node.
+type Config struct {
+	// ID is the node's unique cluster identity (required).
+	ID string
+	// Component is the public component name served by every node
+	// (default: the local proxy's name).
+	Component string
+	// Local is the node's own guarded component (required).
+	Local *proxy.Proxy
+	// Domains maps method names to admission-domain names. Methods of one
+	// moderator group must map to the same domain so grouped admission
+	// stays on one owner. Unlisted methods default to their own name.
+	Domains map[string]string
+	// WakeEdges lists, per method, the methods whose parked callers must
+	// be woken after the method completes — the cross-node extension of
+	// the moderator's wake lists. Wakes targeting locally owned domains
+	// are delivered in-process; the rest travel as idempotent, term-fenced
+	// amrpc notifications to the owning node.
+	WakeEdges map[string][]string
+	// Naming is the address of the naming service (required).
+	Naming string
+	// Prefix namespaces this cluster's membership entries in the naming
+	// service (default "cluster"). The member entry for a node is
+	// "<Prefix>/member/<ID>", its lease holder id is the node ID.
+	Prefix string
+	// Idempotent declares the component's methods safe to re-forward when
+	// a forwarding attempt dies mid-flight (transport failure with the
+	// outcome unknown). Off by default: non-idempotent traffic surfaces
+	// the transport error to the caller instead of risking a double
+	// execution.
+	Idempotent bool
+
+	// MemberTTL bounds how long a dead node stays in the membership
+	// (default 1200ms). LeaseTTL bounds how long its domains stay owned
+	// (default 1200ms); failover latency is roughly LeaseTTL. Heartbeat
+	// is the renewal period (default LeaseTTL/4). OwnershipMargin is the
+	// safety margin before local lease expiry at which a node stops
+	// considering itself owner (default LeaseTTL/4).
+	MemberTTL       time.Duration
+	LeaseTTL        time.Duration
+	Heartbeat       time.Duration
+	OwnershipMargin time.Duration
+
+	// RouteAttempts bounds how many ownership-resolution rounds one call
+	// may burn before giving up (default 25; with backoff this spans a
+	// failover window comfortably).
+	RouteAttempts int
+
+	// DialConn overrides the data-plane dialer for node-to-node traffic —
+	// the chaosnet hook. The control-plane connection to the naming
+	// service always uses a clean dialer.
+	DialConn func(addr string) (net.Conn, error)
+	// ServerOptions / ClientOptions apply to the node's amrpc server and
+	// its pooled forwarding clients.
+	ServerOptions []amrpc.ServerOption
+	ClientOptions []amrpc.ClientOption
+	// Logf, when set, receives one line per ownership transition and
+	// refused fence — the node's operational narrative.
+	Logf func(format string, args ...any)
+}
+
+func (cfg *Config) withDefaults() error {
+	if cfg.ID == "" {
+		return fmt.Errorf("cluster: config: empty node ID")
+	}
+	if cfg.Local == nil {
+		return fmt.Errorf("cluster: config: nil local proxy")
+	}
+	if cfg.Naming == "" {
+		return fmt.Errorf("cluster: config: empty naming address")
+	}
+	if cfg.Component == "" {
+		cfg.Component = cfg.Local.Name()
+	}
+	if cfg.Prefix == "" {
+		cfg.Prefix = "cluster"
+	}
+	if cfg.MemberTTL <= 0 {
+		cfg.MemberTTL = 1200 * time.Millisecond
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 1200 * time.Millisecond
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = cfg.LeaseTTL / 4
+	}
+	if cfg.OwnershipMargin <= 0 {
+		cfg.OwnershipMargin = cfg.LeaseTTL / 4
+	}
+	if cfg.RouteAttempts <= 0 {
+		cfg.RouteAttempts = 25
+	}
+	if cfg.DialConn == nil {
+		cfg.DialConn = func(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+	}
+	return nil
+}
+
+// ownedDomain is one domain this node currently owns.
+type ownedDomain struct {
+	term uint64
+	// localExpiry is the conservative local view of the lease's validity:
+	// clock-stamped *before* the acquire/renew RPC was sent, plus TTL.
+	// Ownership is asserted only while now < localExpiry - margin.
+	localExpiry time.Time
+}
+
+// route is the cached ownership of a remote domain.
+type route struct {
+	holder    string
+	term      uint64
+	addr      string
+	fetchedAt time.Time
+}
+
+// Node is one member of the distributed admission plane.
+type Node struct {
+	cfg    Config
+	server *amrpc.Server
+	ln     net.Listener
+	addr   string
+
+	mu      sync.Mutex
+	nc      *naming.Client    // control-plane connection (redialed on error)
+	owned   map[string]*ownedDomain
+	routes  map[string]route
+	members map[string]string // member id -> addr, from the last beat
+	clients map[string]*amrpc.Client
+	closed  bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	hbPaused atomic.Bool // test hook: freeze the heartbeat to simulate a wedged node
+
+	localCalls     atomic.Uint64
+	forwards       atomic.Uint64
+	forwardRetries atomic.Uint64
+	staleRefusals  atomic.Uint64
+	wakesSent      atomic.Uint64
+	wakesReceived  atomic.Uint64
+	takeovers      atomic.Uint64 // acquisitions at term > 1: domains inherited from a previous owner
+}
+
+// Start launches a node: it listens on addr (host:port, may be ":0"),
+// registers itself with the naming service, and begins the ownership
+// heartbeat. The first beat runs synchronously so a freshly started node
+// is routable immediately.
+func Start(cfg Config, addr string) (*Node, error) {
+	if err := cfg.withDefaults(); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: listen %s: %w", addr, err)
+	}
+	n := &Node{
+		cfg:     cfg,
+		server:  amrpc.NewServer(cfg.ServerOptions...),
+		ln:      ln,
+		addr:    ln.Addr().String(),
+		owned:   make(map[string]*ownedDomain, 4),
+		routes:  make(map[string]route, 4),
+		members: make(map[string]string, 4),
+		clients: make(map[string]*amrpc.Client, 4),
+		stop:    make(chan struct{}),
+	}
+	if err := n.server.RegisterComponent(&front{n: n}); err != nil {
+		_ = ln.Close()
+		return nil, err
+	}
+	if err := n.server.RegisterComponent(&control{n: n}); err != nil {
+		_ = ln.Close()
+		return nil, err
+	}
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		_ = n.server.Serve(ln)
+	}()
+	if err := n.beat(); err != nil {
+		n.Close()
+		return nil, fmt.Errorf("cluster: node %s: initial heartbeat: %w", cfg.ID, err)
+	}
+	n.wg.Add(1)
+	go n.heartbeatLoop()
+	return n, nil
+}
+
+// Addr returns the node's data-plane address.
+func (n *Node) Addr() string { return n.addr }
+
+// ID returns the node's cluster identity.
+func (n *Node) ID() string { return n.cfg.ID }
+
+// Close stops the heartbeat, releases owned leases and the membership
+// entry, and tears down the server and every pooled connection. In-flight
+// handlers (including parked callers) are cancelled by the server's
+// connection teardown — their callers re-admit through the next owner.
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		n.wg.Wait()
+		return
+	}
+	n.closed = true
+	close(n.stop)
+	owned := make(map[string]uint64, len(n.owned))
+	for d, o := range n.owned {
+		owned[d] = o.term
+	}
+	n.owned = map[string]*ownedDomain{}
+	clients := n.clients
+	n.clients = map[string]*amrpc.Client{}
+	n.mu.Unlock()
+
+	// Graceful handover: release what we own and leave the membership so
+	// survivors converge on the beat after next instead of waiting out TTLs.
+	_ = n.namingDo(func(nc *naming.Client) error {
+		for d, term := range owned {
+			_, _ = nc.ReleaseLease(d, n.cfg.ID, term)
+		}
+		_, _ = nc.Unregister(n.memberKey())
+		return nil
+	})
+	n.mu.Lock()
+	if n.nc != nil {
+		_ = n.nc.Close()
+		n.nc = nil
+	}
+	n.mu.Unlock()
+
+	n.server.Close()
+	for _, c := range clients {
+		_ = c.Close()
+	}
+	n.wg.Wait()
+}
+
+func (n *Node) memberKey() string { return n.cfg.Prefix + "/member/" + n.cfg.ID }
+
+func (n *Node) logf(format string, args ...any) {
+	if n.cfg.Logf != nil {
+		n.cfg.Logf(format, args...)
+	}
+}
+
+// namingDo runs f against the shared control-plane client, redialing once
+// when the connection has died.
+func (n *Node) namingDo(f func(*naming.Client) error) error {
+	n.mu.Lock()
+	nc := n.nc
+	n.mu.Unlock()
+	if nc != nil {
+		if err := f(nc); err == nil || !isTransportErr(err) {
+			return err
+		}
+		n.mu.Lock()
+		if n.nc == nc {
+			_ = nc.Close()
+			n.nc = nil
+		}
+		n.mu.Unlock()
+	}
+	fresh, err := naming.DialClient(n.cfg.Naming)
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		_ = fresh.Close()
+		return fmt.Errorf("cluster: node %s closed", n.cfg.ID)
+	}
+	if n.nc != nil {
+		_ = n.nc.Close()
+	}
+	n.nc = fresh
+	n.mu.Unlock()
+	return f(fresh)
+}
+
+// isTransportErr classifies naming-client failures that warrant a redial:
+// anything that is not a coded application refusal (the rehydrated naming
+// sentinels) is assumed to be a dead connection.
+func isTransportErr(err error) bool {
+	return !errors.Is(err, naming.ErrNotFound) &&
+		!errors.Is(err, naming.ErrLeaseHeld) &&
+		!errors.Is(err, naming.ErrStaleTerm)
+}
+
+func (n *Node) heartbeatLoop() {
+	defer n.wg.Done()
+	t := time.NewTicker(n.cfg.Heartbeat)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-t.C:
+			if n.hbPaused.Load() {
+				continue
+			}
+			_ = n.beat()
+		}
+	}
+}
+
+// beat is one heartbeat round: renew membership, read the fleet, derive
+// the ring, reconcile lease ownership, refresh the routing cache.
+func (n *Node) beat() error {
+	var members []naming.Entry
+	var leases []naming.DomainLease
+	err := n.namingDo(func(nc *naming.Client) error {
+		if err := nc.Register(n.memberKey(), n.addr, n.cfg.MemberTTL); err != nil {
+			return err
+		}
+		var err error
+		if members, err = nc.List(); err != nil {
+			return err
+		}
+		leases, err = nc.ListLeases()
+		return err
+	})
+	if err != nil {
+		return err
+	}
+
+	memberAddrs := make(map[string]string, len(members))
+	prefix := n.cfg.Prefix + "/member/"
+	for _, e := range members {
+		if len(e.Name) > len(prefix) && e.Name[:len(prefix)] == prefix {
+			memberAddrs[e.Name[len(prefix):]] = e.Addr
+		}
+	}
+	ids := make([]string, 0, len(memberAddrs))
+	for id := range memberAddrs {
+		ids = append(ids, id)
+	}
+	ring := naming.NewRing(0, ids...)
+
+	n.reconcileOwnership(ring)
+	n.refreshRoutes(leases, memberAddrs)
+	n.wakeSweep()
+	return nil
+}
+
+// wakeSweep re-kicks every method whose domain this node owns. Cross-node
+// wake notifications are at-least-once but can still be lost to a
+// partition, or to a failover racing a completion; Kick is idempotent, so
+// periodically re-evaluating owned wait queues makes wakes self-healing —
+// a caller parked through a partition (or re-admitted on a new owner that
+// missed the original notification) is released on the first beat after
+// the wake's precondition becomes true.
+func (n *Node) wakeSweep() {
+	for method := range n.cfg.Domains {
+		if _, ok := n.owns(n.domainOf(method)); ok {
+			n.cfg.Local.Moderator().Kick(method)
+		}
+	}
+}
+
+// domainSet returns the distinct admission domains of the configuration.
+func (n *Node) domainSet() []string {
+	seen := make(map[string]struct{}, len(n.cfg.Domains))
+	for _, d := range n.cfg.Domains {
+		seen[d] = struct{}{}
+	}
+	out := make([]string, 0, len(seen))
+	for d := range seen {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// reconcileOwnership aligns this node's leases with the ring's verdicts.
+func (n *Node) reconcileOwnership(ring *naming.Ring) {
+	for _, domain := range n.domainSet() {
+		want, ok := ring.Owner(domain)
+		n.mu.Lock()
+		cur, held := n.owned[domain]
+		var curTerm uint64
+		if held {
+			curTerm = cur.term
+		}
+		n.mu.Unlock()
+
+		switch {
+		case held && ok && want == n.cfg.ID:
+			// Still ours by the ring: renew. A refused renewal means the
+			// lease moved on (expiry won the race) — drop and retry next
+			// beat through Acquire.
+			stamp := time.Now()
+			err := n.namingDo(func(nc *naming.Client) error {
+				_, err := nc.RenewLease(domain, n.cfg.ID, curTerm, n.cfg.LeaseTTL)
+				return err
+			})
+			n.mu.Lock()
+			if o, still := n.owned[domain]; still && o.term == curTerm {
+				if err == nil {
+					o.localExpiry = stamp.Add(n.cfg.LeaseTTL)
+				} else {
+					delete(n.owned, domain)
+				}
+			}
+			n.mu.Unlock()
+			if err != nil {
+				n.logf("cluster %s: lost lease on %s at term %d: %v", n.cfg.ID, domain, curTerm, err)
+			}
+		case held:
+			// The ring moved the domain elsewhere (membership changed):
+			// hand over gracefully so the new owner need not wait out TTL.
+			n.mu.Lock()
+			delete(n.owned, domain)
+			n.mu.Unlock()
+			_ = n.namingDo(func(nc *naming.Client) error {
+				_, _ = nc.ReleaseLease(domain, n.cfg.ID, curTerm)
+				return nil
+			})
+			n.logf("cluster %s: released %s (ring reassigned to %s)", n.cfg.ID, domain, want)
+		case ok && want == n.cfg.ID:
+			// Newly ours: acquire. ErrLeaseHeld means the previous owner's
+			// lease has not expired yet; we pick it up on a later beat.
+			stamp := time.Now()
+			var lease naming.DomainLease
+			err := n.namingDo(func(nc *naming.Client) error {
+				var err error
+				lease, err = nc.AcquireLease(domain, n.cfg.ID, n.cfg.LeaseTTL)
+				return err
+			})
+			if err != nil {
+				continue
+			}
+			n.mu.Lock()
+			n.owned[domain] = &ownedDomain{term: lease.Term, localExpiry: stamp.Add(n.cfg.LeaseTTL)}
+			n.mu.Unlock()
+			if lease.Term > 1 {
+				n.takeovers.Add(1)
+			}
+			n.logf("cluster %s: acquired %s at term %d", n.cfg.ID, domain, lease.Term)
+		}
+	}
+}
+
+// refreshRoutes rebuilds the routing cache from the lease listing.
+func (n *Node) refreshRoutes(leases []naming.DomainLease, memberAddrs map[string]string) {
+	now := time.Now()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.members = memberAddrs
+	n.routes = make(map[string]route, len(leases))
+	for _, l := range leases {
+		addr, ok := memberAddrs[l.Holder]
+		if !ok {
+			continue // holder no longer in the membership; let lookups refetch
+		}
+		n.routes[l.Domain] = route{holder: l.Holder, term: l.Term, addr: addr, fetchedAt: now}
+	}
+}
+
+// domainOf maps a method to its admission domain.
+func (n *Node) domainOf(method string) string {
+	if d, ok := n.cfg.Domains[method]; ok {
+		return d
+	}
+	return method
+}
+
+// owns reports whether this node currently owns domain, and at which term.
+// Ownership is asserted conservatively: the lease must have at least
+// OwnershipMargin of locally tracked validity left, so a node cut off from
+// the naming service stops executing before the next term can be granted.
+func (n *Node) owns(domain string) (uint64, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	o, ok := n.owned[domain]
+	if !ok {
+		return 0, false
+	}
+	if !time.Now().Before(o.localExpiry.Add(-n.cfg.OwnershipMargin)) {
+		return 0, false
+	}
+	return o.term, true
+}
+
+// Status is the node's introspection snapshot. The type lives in the
+// leaf package view so obs can serve it without importing the plane.
+type Status = view.Status
+
+// DomainStatus is one domain's ownership as this node sees it.
+type DomainStatus = view.DomainStatus
+
+// Status returns the node's current view of the cluster.
+func (n *Node) Status() Status {
+	n.mu.Lock()
+	members := make([]string, 0, len(n.members))
+	for id := range n.members {
+		members = append(members, id)
+	}
+	routes := make(map[string]route, len(n.routes))
+	for d, r := range n.routes {
+		routes[d] = r
+	}
+	owned := make(map[string]uint64, len(n.owned))
+	for d, o := range n.owned {
+		owned[d] = o.term
+	}
+	n.mu.Unlock()
+	sort.Strings(members)
+
+	st := Status{
+		Node:      n.cfg.ID,
+		Addr:      n.addr,
+		Component: n.cfg.Component,
+		Members:   members,
+
+		LocalCalls:     n.localCalls.Load(),
+		Forwards:       n.forwards.Load(),
+		ForwardRetries: n.forwardRetries.Load(),
+		StaleRefusals:  n.staleRefusals.Load(),
+		WakesSent:      n.wakesSent.Load(),
+		WakesReceived:  n.wakesReceived.Load(),
+		Takeovers:      n.takeovers.Load(),
+	}
+	for _, domain := range n.domainSet() {
+		ds := DomainStatus{Domain: domain}
+		if term, ok := owned[domain]; ok {
+			ds.Owner, ds.Term, ds.Local, ds.Addr = n.cfg.ID, term, true, n.addr
+		} else if r, ok := routes[domain]; ok {
+			ds.Owner, ds.Term, ds.Addr = r.holder, r.term, r.addr
+		}
+		st.Domains = append(st.Domains, ds)
+	}
+	return st
+}
+
+// OwnedDomains returns the domains this node currently asserts ownership
+// of (tests and metrics).
+func (n *Node) OwnedDomains() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.owned))
+	for d := range n.owned {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}

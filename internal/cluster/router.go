@@ -1,0 +1,321 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/amrpc"
+	"repro/internal/aspect"
+	"repro/internal/aspects/auth"
+	"repro/internal/naming"
+)
+
+// front is the component every node serves under the public component
+// name. It is the routing boundary of the plane: fenced traffic (a peer
+// already resolved ownership) is executed locally iff the fence matches
+// this node's live lease; unfenced traffic (an external caller that hit an
+// arbitrary node) is routed — executed here or transparently forwarded to
+// the owner.
+type front struct{ n *Node }
+
+// Name implements amrpc.Component.
+func (f *front) Name() string { return f.n.cfg.Component }
+
+// Call implements amrpc.Component.
+func (f *front) Call(inv *aspect.Invocation) (any, error) {
+	if fence, ok := amrpc.FenceOf(inv); ok {
+		return f.n.serveFenced(inv, fence)
+	}
+	return f.n.route(inv)
+}
+
+// Invoke lets in-process callers (tests, embedded deployments) enter the
+// plane through this node, with the same routing as remote callers. It
+// implements the proxy.Invoker interface.
+func (n *Node) Invoke(ctx context.Context, method string, args ...any) (any, error) {
+	return n.route(aspect.NewInvocation(ctx, n.cfg.Component, method, args))
+}
+
+// serveFenced executes an admission a peer routed here under a fence term.
+// The fence must match this node's live lease on the method's domain
+// exactly; otherwise the effect is refused — this is what makes a stale
+// owner (or a peer routing on a stale ownership view) harmless.
+func (n *Node) serveFenced(inv *aspect.Invocation, fence uint64) (any, error) {
+	domain := n.domainOf(inv.Method())
+	term, ok := n.owns(domain)
+	if !ok || term != fence {
+		n.staleRefusals.Add(1)
+		n.logf("cluster %s: refused %s (domain %s): fence %d vs held %d (owned=%v)",
+			n.cfg.ID, inv.Method(), domain, fence, term, ok)
+		return nil, fmt.Errorf("cluster %s: domain %s at term %d: %w", n.cfg.ID, domain, fence, naming.ErrStaleTerm)
+	}
+	return n.localCall(inv)
+}
+
+// localCall executes the invocation on the local guarded component and, on
+// success, propagates the method's cross-node wake edges.
+func (n *Node) localCall(inv *aspect.Invocation) (any, error) {
+	n.localCalls.Add(1)
+	res, err := n.cfg.Local.Call(inv)
+	if err == nil {
+		if targets := n.cfg.WakeEdges[inv.Method()]; len(targets) > 0 {
+			n.propagateWakes(inv.Context(), targets)
+		}
+	}
+	return res, err
+}
+
+// route drives one invocation to the current owner of its domain, chasing
+// ownership through stale-term refusals and owner deaths. Each round either
+// executes locally (we own the domain), forwards under the owner's term, or
+// refreshes the ownership view and backs off — so a call arriving during a
+// failover window simply waits out the lease handover.
+func (n *Node) route(inv *aspect.Invocation) (any, error) {
+	ctx := inv.Context()
+	method := inv.Method()
+	domain := n.domainOf(method)
+	var lastErr error
+	for attempt := 0; attempt < n.cfg.RouteAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if attempt > 0 {
+			n.forwardRetries.Add(1)
+			backoff := time.Duration(attempt) * 20 * time.Millisecond
+			if backoff > 150*time.Millisecond {
+				backoff = 150 * time.Millisecond
+			}
+			t := time.NewTimer(backoff)
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+				return nil, ctx.Err()
+			case <-n.stop:
+				t.Stop()
+				return nil, fmt.Errorf("cluster: node %s closed", n.cfg.ID)
+			}
+		}
+
+		if _, ok := n.owns(domain); ok {
+			return n.localCall(inv)
+		}
+		r, err := n.routeFor(domain, attempt > 0)
+		if err != nil {
+			lastErr = err
+			continue // no live owner yet (failover window): back off and retry
+		}
+		if r.holder == n.cfg.ID {
+			// The directory says us, but owns() said no — our lease view is
+			// mid-transition (margin expired, renewal pending). Invalidate
+			// and resolve afresh.
+			n.invalidateRoute(domain, r)
+			lastErr = fmt.Errorf("cluster: node %s: stale self-route for %s", n.cfg.ID, domain)
+			continue
+		}
+
+		res, err := n.forward(ctx, r, inv)
+		switch {
+		case err == nil:
+			n.forwards.Add(1)
+			return res, nil
+		case errors.Is(err, naming.ErrStaleTerm):
+			// The peer refused our fence: our ownership view is behind.
+			n.invalidateRoute(domain, r)
+			lastErr = err
+		case errors.Is(err, amrpc.ErrTransport):
+			// The owner is unreachable (or died mid-call). Drop the pooled
+			// connection and the route. If the method is not idempotent and
+			// the request may have executed, surface the failure instead of
+			// risking a duplicate effect.
+			n.dropClient(r.addr)
+			n.invalidateRoute(domain, r)
+			if !n.cfg.Idempotent {
+				return nil, err
+			}
+			lastErr = err
+		default:
+			// An application-level decision by the owner's aspects or
+			// component: authoritative, never retried here.
+			return nil, err
+		}
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("cluster: no owner for domain %s", domain)
+	}
+	return nil, fmt.Errorf("cluster %s: routing %s.%s failed after %d attempts: %w",
+		n.cfg.ID, n.cfg.Component, method, n.cfg.RouteAttempts, lastErr)
+}
+
+// routeFor returns the cached route for domain, consulting the naming
+// service when the cache is cold, stale, or a refresh is forced.
+func (n *Node) routeFor(domain string, force bool) (route, error) {
+	n.mu.Lock()
+	r, ok := n.routes[domain]
+	n.mu.Unlock()
+	if ok && !force && time.Since(r.fetchedAt) < n.cfg.LeaseTTL {
+		return r, nil
+	}
+	var lease naming.DomainLease
+	err := n.namingDo(func(nc *naming.Client) error {
+		var err error
+		lease, err = nc.LookupLease(domain)
+		return err
+	})
+	if err != nil {
+		return route{}, err
+	}
+	var addr string
+	n.mu.Lock()
+	addr, ok = n.members[lease.Holder]
+	n.mu.Unlock()
+	if !ok {
+		// The holder is not in our membership view yet; resolve directly.
+		var e naming.Entry
+		err := n.namingDo(func(nc *naming.Client) error {
+			var err error
+			e, err = nc.Lookup(n.cfg.Prefix + "/member/" + lease.Holder)
+			return err
+		})
+		if err != nil {
+			return route{}, err
+		}
+		addr = e.Addr
+	}
+	fresh := route{holder: lease.Holder, term: lease.Term, addr: addr, fetchedAt: time.Now()}
+	n.mu.Lock()
+	n.routes[domain] = fresh
+	n.mu.Unlock()
+	return fresh, nil
+}
+
+// invalidateRoute drops a cached route if it is still the one we acted on.
+func (n *Node) invalidateRoute(domain string, r route) {
+	n.mu.Lock()
+	if cur, ok := n.routes[domain]; ok && cur.holder == r.holder && cur.term == r.term {
+		delete(n.routes, domain)
+	}
+	n.mu.Unlock()
+}
+
+// forward proxies inv to the owner under its lease term, re-attaching the
+// caller's metadata (token, priority, remaining deadline travel with the
+// stub and the context).
+func (n *Node) forward(ctx context.Context, r route, inv *aspect.Invocation) (any, error) {
+	client, err := n.clientFor(r.addr)
+	if err != nil {
+		return nil, err
+	}
+	opts := []amrpc.StubOption{amrpc.WithFenceTerm(r.term), amrpc.WithPriority(inv.Priority)}
+	if token, ok := auth.TokenOf(inv); ok {
+		opts = append(opts, amrpc.WithToken(token))
+	}
+	if n.cfg.Idempotent {
+		opts = append(opts, amrpc.WithIdempotent())
+	}
+	return client.Component(n.cfg.Component, opts...).Invoke(ctx, inv.Method(), inv.Args()...)
+}
+
+// clientFor returns (dialing if needed) the pooled data-plane client for a
+// peer address.
+func (n *Node) clientFor(addr string) (*amrpc.Client, error) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("cluster: node %s closed: %w", n.cfg.ID, amrpc.ErrTransport)
+	}
+	if c, ok := n.clients[addr]; ok {
+		n.mu.Unlock()
+		return c, nil
+	}
+	n.mu.Unlock()
+
+	conn, err := n.cfg.DialConn(addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial %s: %v: %w", addr, err, amrpc.ErrTransport)
+	}
+	addrCopy := addr
+	opts := append([]amrpc.ClientOption{amrpc.WithDialFunc(func() (net.Conn, error) {
+		return n.cfg.DialConn(addrCopy)
+	})}, n.cfg.ClientOptions...)
+	c := amrpc.NewClient(conn, opts...)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		_ = c.Close()
+		return nil, fmt.Errorf("cluster: node %s closed: %w", n.cfg.ID, amrpc.ErrTransport)
+	}
+	if existing, ok := n.clients[addr]; ok {
+		_ = c.Close()
+		return existing, nil
+	}
+	n.clients[addr] = c
+	return c, nil
+}
+
+// dropClient retires a pooled connection after a transport failure.
+func (n *Node) dropClient(addr string) {
+	n.mu.Lock()
+	c, ok := n.clients[addr]
+	if ok {
+		delete(n.clients, addr)
+	}
+	n.mu.Unlock()
+	if ok {
+		_ = c.Close()
+	}
+}
+
+// propagateWakes delivers post-completion wakes to the owners of the
+// target methods' domains. Locally owned targets are kicked in-process;
+// remote ones travel as idempotent, term-fenced notifications — duplicated
+// delivery is harmless (Kick is idempotent) and a stale-term refusal is
+// retried against the refreshed owner so a wake is not lost to a failover
+// racing the completion.
+func (n *Node) propagateWakes(ctx context.Context, targets []string) {
+	for _, target := range targets {
+		domain := n.domainOf(target)
+		if _, ok := n.owns(domain); ok {
+			n.cfg.Local.Moderator().Kick(target)
+			n.wakesSent.Add(1)
+			continue
+		}
+		for attempt := 0; attempt < 3; attempt++ {
+			r, err := n.routeFor(domain, attempt > 0)
+			if err != nil {
+				continue
+			}
+			if r.holder == n.cfg.ID {
+				n.cfg.Local.Moderator().Kick(target)
+				n.wakesSent.Add(1)
+				break
+			}
+			client, err := n.clientFor(r.addr)
+			if err != nil {
+				continue
+			}
+			stub := client.Component(controlName(r.holder),
+				amrpc.WithFenceTerm(r.term), amrpc.WithIdempotent())
+			wctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 2*time.Second)
+			_, err = stub.Invoke(wctx, "wake", target)
+			cancel()
+			if err == nil {
+				n.wakesSent.Add(1)
+				break
+			}
+			if errors.Is(err, naming.ErrStaleTerm) {
+				n.invalidateRoute(domain, r)
+				continue
+			}
+			if errors.Is(err, amrpc.ErrTransport) {
+				n.dropClient(r.addr)
+				n.invalidateRoute(domain, r)
+				continue
+			}
+			break
+		}
+	}
+}

@@ -1,0 +1,33 @@
+// Package view holds the admission plane's introspection types. It is a
+// leaf package so that observability (internal/obs) can serve a node's
+// status without importing the plane itself — internal/cluster depends on
+// amrpc, and obs is (indirectly) visible from amrpc's tests, so a direct
+// obs -> cluster edge would close an import cycle. internal/cluster
+// aliases these types; callers keep writing cluster.Status.
+package view
+
+// Status is a node's introspection snapshot.
+type Status struct {
+	Node      string         `json:"node"`
+	Addr      string         `json:"addr"`
+	Component string         `json:"component"`
+	Members   []string       `json:"members"`
+	Domains   []DomainStatus `json:"domains"`
+
+	LocalCalls     uint64 `json:"local_calls"`
+	Forwards       uint64 `json:"forwards"`
+	ForwardRetries uint64 `json:"forward_retries"`
+	StaleRefusals  uint64 `json:"stale_refusals"`
+	WakesSent      uint64 `json:"wakes_sent"`
+	WakesReceived  uint64 `json:"wakes_received"`
+	Takeovers      uint64 `json:"takeovers"`
+}
+
+// DomainStatus is one domain's ownership as a node sees it.
+type DomainStatus struct {
+	Domain string `json:"domain"`
+	Owner  string `json:"owner"`
+	Term   uint64 `json:"term"`
+	Local  bool   `json:"local"`
+	Addr   string `json:"addr,omitempty"`
+}

@@ -1,0 +1,227 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/amrpc"
+	"repro/internal/aspect"
+	"repro/internal/moderator"
+	"repro/internal/naming"
+	"repro/internal/proxy"
+)
+
+// tokenStore is the shared guard state of the wake app: signal produces
+// tokens, wait consumes one or parks. It synchronizes itself because the
+// two methods' admissions run under different nodes' moderators.
+type tokenStore struct {
+	mu     sync.Mutex
+	tokens int
+}
+
+func (s *tokenStore) add() {
+	s.mu.Lock()
+	s.tokens++
+	s.mu.Unlock()
+}
+
+func (s *tokenStore) tryTake() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tokens == 0 {
+		return false
+	}
+	s.tokens--
+	return true
+}
+
+// newWakeApp builds one node's guarded signal/wait component over the
+// shared token store.
+func newWakeApp(t *testing.T, store *tokenStore) *proxy.Proxy {
+	t.Helper()
+	mod := moderator.New("wakeapp")
+	p := proxy.New(mod)
+	if err := mod.Register("wait", aspect.KindSynchronization,
+		aspect.New("token-gate", aspect.KindSynchronization,
+			func(inv *aspect.Invocation) aspect.Verdict {
+				if store.tryTake() {
+					return aspect.Resume
+				}
+				return aspect.Block
+			},
+			func(inv *aspect.Invocation) {})); err != nil {
+		t.Fatal(err)
+	}
+	if err := mod.Register("signal", aspect.KindSynchronization,
+		aspect.New("pass", aspect.KindSynchronization,
+			func(inv *aspect.Invocation) aspect.Verdict { return aspect.Resume },
+			func(inv *aspect.Invocation) {})); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Bind("signal", func(inv *aspect.Invocation) (any, error) {
+		store.add()
+		return true, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Bind("wait", func(inv *aspect.Invocation) (any, error) {
+		return "admitted", nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// splitDomains picks two domain names the ring assigns to different
+// members, so the signal→wait wake edge is guaranteed to cross nodes.
+func splitDomains(t *testing.T, idA, idB string) (sigDomain, waitDomain string) {
+	t.Helper()
+	ring := naming.NewRing(0, idA, idB)
+	for i := 0; i < 256 && (sigDomain == "" || waitDomain == ""); i++ {
+		d := fmt.Sprintf("probe-%d", i)
+		owner, _ := ring.Owner(d)
+		if owner == idA && sigDomain == "" {
+			sigDomain = d
+		}
+		if owner == idB && waitDomain == "" {
+			waitDomain = d
+		}
+	}
+	if sigDomain == "" || waitDomain == "" {
+		t.Fatal("could not split domains across two members")
+	}
+	return sigDomain, waitDomain
+}
+
+// TestClusterCrossNodeWake certifies wake propagation: a caller parked on
+// the owner of one domain is released by a completion on a different
+// node, delivered as a term-fenced amrpc notification; duplicated
+// deliveries are tolerated and stale-fenced ones refused. Finally the
+// heartbeat's wake sweep re-admits a parked caller whose notification was
+// never delivered — the partition-healing safety net.
+func TestClusterCrossNodeWake(t *testing.T) {
+	namingAddr := startNaming(t)
+	sigDomain, waitDomain := splitDomains(t, "wa", "wb")
+	store := &tokenStore{}
+	domains := map[string]string{"signal": sigDomain, "wait": waitDomain}
+	edges := map[string][]string{"signal": {"wait"}}
+
+	mkNode := func(id string) *Node {
+		cfg := Config{
+			ID:        id,
+			Local:     newWakeApp(t, store),
+			Domains:   domains,
+			WakeEdges: edges,
+			Naming:    namingAddr,
+			MemberTTL: 2 * time.Second,
+			LeaseTTL:  2 * time.Second,
+			Heartbeat: 250 * time.Millisecond,
+		}
+		n, err := Start(cfg, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(n.Close)
+		return n
+	}
+	na, nb := mkNode("wa"), mkNode("wb")
+
+	// Converge: wa owns the signal domain, wb the wait domain.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, aOwns := na.owns(sigDomain)
+		_, bOwns := nb.owns(waitDomain)
+		if aOwns && bOwns {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("wake domains never split across the nodes")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// Park a waiter on wb, entering through wa so the call also crosses
+	// the forwarding path.
+	waitDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		res, err := na.Invoke(ctx, "wait")
+		if err == nil && res != "admitted" {
+			err = fmt.Errorf("wait returned %v", res)
+		}
+		waitDone <- err
+	}()
+	// Let it reach the wait queue (it parks, so we can only sleep-poll).
+	time.Sleep(300 * time.Millisecond)
+	select {
+	case err := <-waitDone:
+		t.Fatalf("waiter finished before any signal: %v", err)
+	default:
+	}
+
+	// Signal through wb: forwarded to wa (signal's owner), whose
+	// completion must send the cross-node wake notification back to wb.
+	if _, err := nb.Invoke(context.Background(), "signal"); err != nil {
+		t.Fatalf("signal: %v", err)
+	}
+	select {
+	case err := <-waitDone:
+		if err != nil {
+			t.Fatalf("waiter failed after signal: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter not released by cross-node wake")
+	}
+	if nb.Status().WakesReceived == 0 {
+		t.Fatal("wait owner never received a wake notification")
+	}
+
+	// Duplicate delivery: the wake endpoint is idempotent, so re-sending
+	// the same fenced notification any number of times is harmless.
+	term, ok := nb.owns(waitDomain)
+	if !ok {
+		t.Fatal("wb lost the wait domain")
+	}
+	c, err := amrpc.Dial(nb.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	dupStub := c.Component(controlName("wb"), amrpc.WithFenceTerm(term), amrpc.WithIdempotent())
+	for i := 0; i < 3; i++ {
+		if _, err := dupStub.Invoke(context.Background(), "wake", "wait"); err != nil {
+			t.Fatalf("duplicate wake delivery %d refused: %v", i, err)
+		}
+	}
+	// Stale fence: refused, so wakes routed on a dead ownership view
+	// cannot masquerade as the live owner's.
+	staleStub := c.Component(controlName("wb"), amrpc.WithFenceTerm(term+9))
+	if _, err := staleStub.Invoke(context.Background(), "wake", "wait"); !errors.Is(err, naming.ErrStaleTerm) {
+		t.Fatalf("stale-fenced wake: err = %v, want ErrStaleTerm", err)
+	}
+
+	// Sweep safety net: park a waiter, then make its precondition true
+	// WITHOUT any signal (as if the wake notification were lost to a
+	// partition). The owner's heartbeat sweep must re-admit it.
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_, err := nb.Invoke(ctx, "wait")
+		waitDone <- err
+	}()
+	time.Sleep(300 * time.Millisecond)
+	store.add() // the "lost wake": state changed, nobody notified
+	select {
+	case err := <-waitDone:
+		if err != nil {
+			t.Fatalf("swept waiter failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("wake sweep never re-admitted the parked caller")
+	}
+}

@@ -1,0 +1,230 @@
+package naming
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestLeaseLifecycle is the table-driven fencing suite: each case is a
+// scripted sequence of lease operations against one store with a fake
+// clock, checking grant/refusal and the term each step observes.
+type leaseStep struct {
+	op      string // acquire, renew, release, lookup, advance
+	domain  string
+	holder  string
+	term    uint64 // for renew/release: the term presented
+	ttl     time.Duration
+	advance time.Duration // for op == advance
+	wantErr error         // nil means the op must succeed
+	wantOK  bool          // for release
+	want    uint64        // expected term on success (0 = don't check)
+}
+
+func TestLeaseLifecycle(t *testing.T) {
+	type step = leaseStep
+	const d = "checkout"
+	cases := []struct {
+		name  string
+		steps []step
+	}{
+		{
+			name: "fresh acquire starts at term 1 and is idempotent for the holder",
+			steps: []step{
+				{op: "acquire", domain: d, holder: "n1", ttl: time.Second, want: 1},
+				{op: "acquire", domain: d, holder: "n1", ttl: time.Second, want: 1},
+				{op: "lookup", domain: d, want: 1},
+			},
+		},
+		{
+			name: "live lease refuses another holder",
+			steps: []step{
+				{op: "acquire", domain: d, holder: "n1", ttl: time.Second, want: 1},
+				{op: "acquire", domain: d, holder: "n2", ttl: time.Second, wantErr: ErrLeaseHeld},
+			},
+		},
+		{
+			name: "expiry hands the domain over at the next term",
+			steps: []step{
+				{op: "acquire", domain: d, holder: "n1", ttl: time.Second, want: 1},
+				{op: "advance", advance: 1500 * time.Millisecond},
+				{op: "acquire", domain: d, holder: "n2", ttl: time.Second, want: 2},
+			},
+		},
+		{
+			name: "renew extends the live pair and keeps the term",
+			steps: []step{
+				{op: "acquire", domain: d, holder: "n1", ttl: time.Second, want: 1},
+				{op: "advance", advance: 700 * time.Millisecond},
+				{op: "renew", domain: d, holder: "n1", term: 1, ttl: time.Second, want: 1},
+				{op: "advance", advance: 700 * time.Millisecond}, // past the original expiry
+				{op: "lookup", domain: d, want: 1},
+			},
+		},
+		{
+			name: "renew after expiry is refused",
+			steps: []step{
+				{op: "acquire", domain: d, holder: "n1", ttl: time.Second, want: 1},
+				{op: "advance", advance: 1100 * time.Millisecond},
+				{op: "renew", domain: d, holder: "n1", term: 1, ttl: time.Second, wantErr: ErrStaleTerm},
+			},
+		},
+		{
+			name: "renew with a stale term is refused even for the right holder",
+			steps: []step{
+				{op: "acquire", domain: d, holder: "n1", ttl: time.Second, want: 1},
+				{op: "advance", advance: 1500 * time.Millisecond},
+				{op: "acquire", domain: d, holder: "n1", ttl: time.Second, want: 2},
+				{op: "renew", domain: d, holder: "n1", term: 1, ttl: time.Second, wantErr: ErrStaleTerm},
+			},
+		},
+		{
+			name: "renew by the wrong holder is refused",
+			steps: []step{
+				{op: "acquire", domain: d, holder: "n1", ttl: time.Second, want: 1},
+				{op: "renew", domain: d, holder: "n2", term: 1, ttl: time.Second, wantErr: ErrStaleTerm},
+			},
+		},
+		{
+			name: "terms are monotone across expiry cycles and never reset",
+			steps: []step{
+				{op: "acquire", domain: d, holder: "n1", ttl: time.Second, want: 1},
+				{op: "advance", advance: 2 * time.Second},
+				{op: "acquire", domain: d, holder: "n2", ttl: time.Second, want: 2},
+				{op: "advance", advance: 2 * time.Second},
+				{op: "acquire", domain: d, holder: "n1", ttl: time.Second, want: 3},
+				{op: "advance", advance: 2 * time.Second},
+				{op: "acquire", domain: d, holder: "n3", ttl: time.Second, want: 4},
+			},
+		},
+		{
+			name: "release frees the domain immediately but preserves the term",
+			steps: []step{
+				{op: "acquire", domain: d, holder: "n1", ttl: time.Minute, want: 1},
+				{op: "release", domain: d, holder: "n1", term: 1, wantOK: true},
+				{op: "lookup", domain: d, wantErr: ErrNotFound},
+				{op: "acquire", domain: d, holder: "n2", ttl: time.Second, want: 2},
+			},
+		},
+		{
+			name: "release with the wrong term or holder is a no-op",
+			steps: []step{
+				{op: "acquire", domain: d, holder: "n1", ttl: time.Minute, want: 1},
+				{op: "release", domain: d, holder: "n1", term: 7, wantOK: false},
+				{op: "release", domain: d, holder: "n9", term: 1, wantOK: false},
+				{op: "lookup", domain: d, want: 1},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			now := time.Unix(5000, 0)
+			s := NewStore(WithClock(func() time.Time { return now }))
+			for i, st := range tc.steps {
+				switch st.op {
+				case "advance":
+					now = now.Add(st.advance)
+					continue
+				case "acquire":
+					l, err := s.AcquireLease(st.domain, st.holder, st.ttl)
+					checkLeaseStep(t, i, st, l, err)
+				case "renew":
+					l, err := s.RenewLease(st.domain, st.holder, st.term, st.ttl)
+					checkLeaseStep(t, i, st, l, err)
+				case "lookup":
+					l, err := s.LookupLease(st.domain)
+					checkLeaseStep(t, i, st, l, err)
+				case "release":
+					if ok := s.ReleaseLease(st.domain, st.holder, st.term); ok != st.wantOK {
+						t.Fatalf("step %d: release = %v, want %v", i, ok, st.wantOK)
+					}
+				default:
+					t.Fatalf("step %d: unknown op %q", i, st.op)
+				}
+			}
+		})
+	}
+}
+
+func checkLeaseStep(t *testing.T, i int, st leaseStep, l DomainLease, err error) {
+	t.Helper()
+	if st.wantErr != nil {
+		if !errors.Is(err, st.wantErr) {
+			t.Fatalf("step %d (%s): err = %v, want %v", i, st.op, err, st.wantErr)
+		}
+		return
+	}
+	if err != nil {
+		t.Fatalf("step %d (%s): unexpected error %v", i, st.op, err)
+	}
+	if st.want != 0 && l.Term != st.want {
+		t.Fatalf("step %d (%s): term = %d, want %d", i, st.op, l.Term, st.want)
+	}
+}
+
+func TestLeaseValidationAndList(t *testing.T) {
+	s := NewStore()
+	if _, err := s.AcquireLease("", "h", time.Second); err == nil {
+		t.Error("empty domain must error")
+	}
+	if _, err := s.AcquireLease("d", "", time.Second); err == nil {
+		t.Error("empty holder must error")
+	}
+	if _, err := s.AcquireLease("beta", "n2", time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AcquireLease("alpha", "n1", time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	leases := s.Leases()
+	if len(leases) != 2 || leases[0].Domain != "alpha" || leases[1].Domain != "beta" {
+		t.Fatalf("Leases() = %+v, want alpha then beta", leases)
+	}
+}
+
+// TestLeaseWireRoundTrip drives the lease operations through a real server
+// and client, including sentinel rehydration from coded wire errors.
+func TestLeaseWireRoundTrip(t *testing.T) {
+	srv := NewServer(nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+
+	c, err := DialClient(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	l, err := c.AcquireLease("orders", "node-a", time.Minute)
+	if err != nil || l.Term != 1 || l.Holder != "node-a" {
+		t.Fatalf("acquire = %+v, %v", l, err)
+	}
+	if _, err := c.AcquireLease("orders", "node-b", time.Minute); !errors.Is(err, ErrLeaseHeld) {
+		t.Fatalf("contended acquire must rehydrate ErrLeaseHeld, got %v", err)
+	}
+	if _, err := c.RenewLease("orders", "node-a", 99, time.Minute); !errors.Is(err, ErrStaleTerm) {
+		t.Fatalf("bad-term renew must rehydrate ErrStaleTerm, got %v", err)
+	}
+	if l, err = c.RenewLease("orders", "node-a", 1, time.Minute); err != nil || l.Term != 1 {
+		t.Fatalf("good renew = %+v, %v", l, err)
+	}
+	if _, err := c.LookupLease("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("ghost lease lookup must rehydrate ErrNotFound, got %v", err)
+	}
+	leases, err := c.ListLeases()
+	if err != nil || len(leases) != 1 || leases[0].Domain != "orders" {
+		t.Fatalf("list leases = %+v, %v", leases, err)
+	}
+	ok, err := c.ReleaseLease("orders", "node-a", 1)
+	if err != nil || !ok {
+		t.Fatalf("release = %v, %v", ok, err)
+	}
+	if l, err = c.AcquireLease("orders", "node-b", time.Minute); err != nil || l.Term != 2 {
+		t.Fatalf("post-release acquire = %+v, %v", l, err)
+	}
+}

@@ -36,6 +36,7 @@ type Entry struct {
 type Store struct {
 	mu      sync.Mutex
 	entries map[string]Entry
+	leases  map[string]leaseRecord // domain ownership, see lease.go
 	now     func() time.Time
 }
 
@@ -51,6 +52,7 @@ func WithClock(now func() time.Time) StoreOption {
 func NewStore(opts ...StoreOption) *Store {
 	s := &Store{
 		entries: make(map[string]Entry, 8),
+		leases:  make(map[string]leaseRecord, 8),
 		now:     time.Now,
 	}
 	for _, opt := range opts {

@@ -1,0 +1,128 @@
+package naming
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("domain-%03d", i)
+	}
+	return keys
+}
+
+func ownerMap(t *testing.T, r *Ring, keys []string) map[string]string {
+	t.Helper()
+	out := make(map[string]string, len(keys))
+	for _, k := range keys {
+		m, ok := r.Owner(k)
+		if !ok {
+			t.Fatalf("Owner(%q) on non-empty ring reported empty", k)
+		}
+		out[k] = m
+	}
+	return out
+}
+
+func TestRingEmptyAndBasics(t *testing.T) {
+	if _, ok := NewRing(8).Owner("anything"); ok {
+		t.Fatal("empty ring must report no owner")
+	}
+	r := NewRing(8, "b", "a", "a", "")
+	if got := r.Members(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Members() = %v, want deduplicated sorted [a b]", got)
+	}
+	if !r.Has("a") || r.Has("zz") {
+		t.Fatal("Has misreported membership")
+	}
+	// Ownership is deterministic and lands on a member.
+	for _, k := range ringKeys(32) {
+		o1, _ := r.Owner(k)
+		o2, _ := r.Owner(k)
+		if o1 != o2 || !r.Has(o1) {
+			t.Fatalf("Owner(%q) unstable or off-ring: %q vs %q", k, o1, o2)
+		}
+	}
+}
+
+func TestRingSpread(t *testing.T) {
+	// Every member of a healthy ring should own a nonzero share of a
+	// reasonably sized keyspace.
+	r := NewRing(DefaultRingReplicas, "n1", "n2", "n3")
+	counts := make(map[string]int)
+	for _, owner := range ownerMap(t, r, ringKeys(300)) {
+		counts[owner]++
+	}
+	for _, m := range r.Members() {
+		if counts[m] == 0 {
+			t.Fatalf("member %s owns zero of 300 keys: %v", m, counts)
+		}
+	}
+}
+
+// TestRingRebalance is the table-driven bounded-movement property: on join,
+// keys move only TO the new member; on leave, only the departed member's
+// keys move. Nothing else is reshuffled.
+func TestRingRebalance(t *testing.T) {
+	cases := []struct {
+		name     string
+		replicas int
+		members  []string
+		change   string // member joining or leaving
+		leave    bool
+		keys     int
+	}{
+		{name: "join-4th-of-3", replicas: 64, members: []string{"n1", "n2", "n3"}, change: "n4", keys: 400},
+		{name: "join-2nd-of-1", replicas: 64, members: []string{"solo"}, change: "peer", keys: 200},
+		{name: "join-low-replicas", replicas: 4, members: []string{"a", "b", "c"}, change: "d", keys: 400},
+		{name: "leave-of-3", replicas: 64, members: []string{"n1", "n2", "n3"}, change: "n2", leave: true, keys: 400},
+		{name: "leave-to-solo", replicas: 64, members: []string{"n1", "n2"}, change: "n1", leave: true, keys: 200},
+		{name: "leave-low-replicas", replicas: 4, members: []string{"a", "b", "c", "d"}, change: "c", leave: true, keys: 400},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			keys := ringKeys(tc.keys)
+			before := NewRing(tc.replicas, tc.members...)
+			var after *Ring
+			if tc.leave {
+				after = before.Without(tc.change)
+			} else {
+				after = before.With(tc.change)
+			}
+			ownersBefore := ownerMap(t, before, keys)
+			ownersAfter := ownerMap(t, after, keys)
+			moved := 0
+			for _, k := range keys {
+				ob, oa := ownersBefore[k], ownersAfter[k]
+				if ob == oa {
+					continue
+				}
+				moved++
+				if tc.leave {
+					if ob != tc.change {
+						t.Fatalf("key %q moved from surviving member %s to %s on leave of %s", k, ob, oa, tc.change)
+					}
+				} else {
+					if oa != tc.change {
+						t.Fatalf("key %q moved from %s to %s, not to the joining member %s", k, ob, oa, tc.change)
+					}
+				}
+			}
+			// Movement is bounded by roughly the changed member's share.
+			// Allow 3x slack over the ideal 1/n for hash-spread variance.
+			n := len(after.Members())
+			if !tc.leave {
+				// joining: ideal share is keys/n on the new ring
+				if limit := 3 * tc.keys / n; moved > limit {
+					t.Fatalf("join moved %d of %d keys, above bound %d", moved, tc.keys, limit)
+				}
+			} else {
+				if limit := 3 * tc.keys / (n + 1); moved > limit {
+					t.Fatalf("leave moved %d of %d keys, above bound %d", moved, tc.keys, limit)
+				}
+			}
+		})
+	}
+}

@@ -12,24 +12,68 @@ import (
 
 // wire operations of the naming protocol (newline-delimited JSON).
 const (
-	opRegister   = "register"
-	opLookup     = "lookup"
-	opUnregister = "unregister"
-	opList       = "list"
+	opRegister     = "register"
+	opLookup       = "lookup"
+	opUnregister   = "unregister"
+	opList         = "list"
+	opAcquireLease = "acquire-lease"
+	opRenewLease   = "renew-lease"
+	opReleaseLease = "release-lease"
+	opLookupLease  = "lookup-lease"
+	opListLeases   = "list-leases"
+)
+
+// error codes carried in wireResponse.Code so clients can rehydrate the
+// package sentinels across the wire.
+const (
+	codeNotFound  = "not-found"
+	codeLeaseHeld = "lease-held"
+	codeStaleTerm = "stale-term"
 )
 
 type wireRequest struct {
-	Op    string `json:"op"`
-	Name  string `json:"name,omitempty"`
-	Addr  string `json:"addr,omitempty"`
-	TTLMS int64  `json:"ttl_ms,omitempty"`
+	Op     string `json:"op"`
+	Name   string `json:"name,omitempty"` // entry name or lease domain
+	Addr   string `json:"addr,omitempty"`
+	Holder string `json:"holder,omitempty"`
+	Term   uint64 `json:"term,omitempty"`
+	TTLMS  int64  `json:"ttl_ms,omitempty"`
 }
 
 type wireResponse struct {
-	OK      bool    `json:"ok"`
-	Err     string  `json:"err,omitempty"`
-	Entry   *Entry  `json:"entry,omitempty"`
-	Entries []Entry `json:"entries,omitempty"`
+	OK      bool          `json:"ok"`
+	Err     string        `json:"err,omitempty"`
+	Code    string        `json:"code,omitempty"`
+	Entry   *Entry        `json:"entry,omitempty"`
+	Entries []Entry       `json:"entries,omitempty"`
+	Lease   *DomainLease  `json:"lease,omitempty"`
+	Leases  []DomainLease `json:"leases,omitempty"`
+}
+
+func codeFor(err error) string {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return codeNotFound
+	case errors.Is(err, ErrLeaseHeld):
+		return codeLeaseHeld
+	case errors.Is(err, ErrStaleTerm):
+		return codeStaleTerm
+	}
+	return ""
+}
+
+// rehydrate converts a coded wire error back into one wrapping the matching
+// package sentinel, so errors.Is works on the client side of the protocol.
+func rehydrate(resp wireResponse) error {
+	switch resp.Code {
+	case codeNotFound:
+		return fmt.Errorf("%w: %s", ErrNotFound, resp.Err)
+	case codeLeaseHeld:
+		return fmt.Errorf("%w: %s", ErrLeaseHeld, resp.Err)
+	case codeStaleTerm:
+		return fmt.Errorf("%w: %s", ErrStaleTerm, resp.Err)
+	}
+	return errors.New(resp.Err)
 }
 
 // Server exposes a Store over TCP.
@@ -149,13 +193,35 @@ func (s *Server) handle(req *wireRequest) wireResponse {
 	case opLookup:
 		e, err := s.store.Lookup(req.Name)
 		if err != nil {
-			return wireResponse{Err: err.Error()}
+			return wireResponse{Err: err.Error(), Code: codeFor(err)}
 		}
 		return wireResponse{OK: true, Entry: &e}
 	case opUnregister:
 		return wireResponse{OK: s.store.Unregister(req.Name)}
 	case opList:
 		return wireResponse{OK: true, Entries: s.store.List()}
+	case opAcquireLease:
+		l, err := s.store.AcquireLease(req.Name, req.Holder, time.Duration(req.TTLMS)*time.Millisecond)
+		if err != nil {
+			return wireResponse{Err: err.Error(), Code: codeFor(err)}
+		}
+		return wireResponse{OK: true, Lease: &l}
+	case opRenewLease:
+		l, err := s.store.RenewLease(req.Name, req.Holder, req.Term, time.Duration(req.TTLMS)*time.Millisecond)
+		if err != nil {
+			return wireResponse{Err: err.Error(), Code: codeFor(err)}
+		}
+		return wireResponse{OK: true, Lease: &l}
+	case opReleaseLease:
+		return wireResponse{OK: s.store.ReleaseLease(req.Name, req.Holder, req.Term)}
+	case opLookupLease:
+		l, err := s.store.LookupLease(req.Name)
+		if err != nil {
+			return wireResponse{Err: err.Error(), Code: codeFor(err)}
+		}
+		return wireResponse{OK: true, Lease: &l}
+	case opListLeases:
+		return wireResponse{OK: true, Leases: s.store.Leases()}
 	default:
 		return wireResponse{Err: fmt.Sprintf("naming: unknown op %q", req.Op)}
 	}
@@ -221,6 +287,54 @@ func (c *Client) Lookup(name string) (Entry, error) {
 		return Entry{}, fmt.Errorf("%w: %s (%s)", ErrNotFound, name, resp.Err)
 	}
 	return *resp.Entry, nil
+}
+
+// AcquireLease grants (or extends, for the live holder) the domain lease.
+func (c *Client) AcquireLease(domain, holder string, ttl time.Duration) (DomainLease, error) {
+	return c.leaseOp(wireRequest{Op: opAcquireLease, Name: domain, Holder: holder, TTLMS: ttl.Milliseconds()})
+}
+
+// RenewLease extends the lease for the exact live (holder, term) pair;
+// anything else — including renew-after-expiry — fails with ErrStaleTerm.
+func (c *Client) RenewLease(domain, holder string, term uint64, ttl time.Duration) (DomainLease, error) {
+	return c.leaseOp(wireRequest{Op: opRenewLease, Name: domain, Holder: holder, Term: term, TTLMS: ttl.Milliseconds()})
+}
+
+// ReleaseLease gives up a live lease, reporting whether one was released.
+func (c *Client) ReleaseLease(domain, holder string, term uint64) (bool, error) {
+	resp, err := c.roundTrip(wireRequest{Op: opReleaseLease, Name: domain, Holder: holder, Term: term})
+	if err != nil {
+		return false, err
+	}
+	return resp.OK, nil
+}
+
+// LookupLease returns the live lease on domain, or ErrNotFound.
+func (c *Client) LookupLease(domain string) (DomainLease, error) {
+	return c.leaseOp(wireRequest{Op: opLookupLease, Name: domain})
+}
+
+// ListLeases returns all live domain leases.
+func (c *Client) ListLeases() ([]DomainLease, error) {
+	resp, err := c.roundTrip(wireRequest{Op: opListLeases})
+	if err != nil {
+		return nil, err
+	}
+	if !resp.OK {
+		return nil, rehydrate(resp)
+	}
+	return resp.Leases, nil
+}
+
+func (c *Client) leaseOp(req wireRequest) (DomainLease, error) {
+	resp, err := c.roundTrip(req)
+	if err != nil {
+		return DomainLease{}, err
+	}
+	if !resp.OK || resp.Lease == nil {
+		return DomainLease{}, rehydrate(resp)
+	}
+	return *resp.Lease, nil
 }
 
 // Unregister removes a binding, reporting whether it existed.

@@ -1,6 +1,6 @@
 package obs
 
-// The HTTP introspection surface. NewHTTPHandler serves three endpoints
+// The HTTP introspection surface. NewHTTPHandler serves these endpoints
 // off a Collector:
 //
 //	/metrics   Prometheus text exposition: event-derived instruments plus
@@ -9,6 +9,9 @@ package obs
 //	           kept), with the cumulative drop counter.
 //	/describe  JSON structural snapshot of every watched source: layers,
 //	           per-method aspect stacks, admission domains, stats, queues.
+//	/shadow    JSON shadow-admission stats and recent divergences.
+//	/cluster   JSON ownership view of the distributed admission plane:
+//	           members, domain owners, lease terms, plane counters.
 //
 // All handlers read atomically-published or mutex-copied state; scraping
 // never blocks the admission path (at worst a /trace snapshot makes a
@@ -134,6 +137,9 @@ func NewHTTPHandler(c *Collector) http.Handler {
 	})
 	mux.HandleFunc("/shadow", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, c.ShadowSnapshot())
+	})
+	mux.HandleFunc("/cluster", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, c.ClusterSnapshot())
 	})
 	return mux
 }

@@ -100,9 +100,10 @@ type Collector struct {
 	rings   sync.Map // uint64 (domain) -> *Ring
 	handles sync.Map // handleKey -> *Counter | *Gauge | *Histogram
 
-	mu      sync.Mutex
-	sources []Source
-	shadows []ShadowSource
+	mu       sync.Mutex
+	sources  []Source
+	shadows  []ShadowSource
+	clusters []ClusterSource
 }
 
 // NewCollector creates a Collector with its own Registry.
