@@ -15,6 +15,8 @@
 #                      workload matrix (best-of-5, variants interleaved)
 #   make bench-shadow — regenerate the committed BENCH_5.json shadow
 #                      admission overhead baseline
+#   make bench-statesync — regenerate the committed BENCH_6.json state
+#                      handoff baseline (capture overhead + handoff latency)
 #   make obs-smoke   — boot ticketd with -obs, drive load, assert /metrics
 #                      and /trace serve live non-empty data
 #   make shadow-smoke — boot ticketd with -shadow 1 (every admission
@@ -25,15 +27,19 @@
 #                      ≥1000 guarded invocations under chaosnet faults
 #                      with a mid-run partition+heal and an owner kill,
 #                      plus the failover and park-readmission tests
+#   make handoff-smoke — the deterministic state-handoff certification:
+#                      graceful release via the snapshot barrier, hard
+#                      kill via effect-log catch-up, and stale-term
+#                      replication fencing
 #   make check       — tier1 + lint + race + fuzz-smoke + obs-smoke +
-#                      shadow-smoke + cluster-smoke
+#                      shadow-smoke + cluster-smoke + handoff-smoke
 
 GO ?= go
 FUZZTIME ?= 10s
 OBS_SMOKE_DIR := $(or $(TMPDIR),/tmp)/obs-smoke
 SHADOW_SMOKE_DIR := $(or $(TMPDIR),/tmp)/shadow-smoke
 
-.PHONY: tier1 lint race fuzz-smoke bench bench-matrix bench-shadow obs-smoke shadow-smoke cluster-smoke check
+.PHONY: tier1 lint race fuzz-smoke bench bench-matrix bench-shadow bench-statesync obs-smoke shadow-smoke cluster-smoke handoff-smoke check
 
 tier1:
 	$(GO) build ./...
@@ -60,6 +66,9 @@ bench-matrix:
 
 bench-shadow:
 	$(GO) run ./cmd/ambench -shadow-json BENCH_5.json
+
+bench-statesync:
+	$(GO) run ./cmd/ambench -statesync-json BENCH_6.json
 
 fuzz-smoke:
 	$(GO) test ./internal/amrpc -run '^$$' -fuzz '^FuzzDecodeRequest$$' -fuzztime $(FUZZTIME)
@@ -125,4 +134,14 @@ cluster-smoke:
 		-run 'TestClusterChaosSoak|TestClusterFailover|TestClusterFailoverReadmitsParkedCallers|TestClusterDifferentialOracle'
 	@echo "cluster-smoke: OK"
 
-check: tier1 lint race fuzz-smoke obs-smoke shadow-smoke cluster-smoke
+# The state-handoff certification run: one deterministic test per handoff
+# path. Graceful release must move the domain's full state through the
+# snapshot barrier before the lease moves; a hard kill must recover it
+# from the streamed effect log alone (no snapshot hooks); and a zombie
+# leader's replication offer at a stale term must be refused.
+handoff-smoke:
+	$(GO) test ./internal/cluster/ -count=1 -timeout 120s \
+		-run 'TestClusterGracefulHandoffSnapshot|TestClusterHardKillLogCatchup|TestClusterStaleSyncOfferRefused'
+	@echo "handoff-smoke: OK"
+
+check: tier1 lint race fuzz-smoke obs-smoke shadow-smoke cluster-smoke handoff-smoke

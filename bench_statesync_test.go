@@ -1,0 +1,70 @@
+package repro_test
+
+// Tier-1 guard for the committed state-handoff baseline: BENCH_6.json
+// (the E18 report written by `make bench-statesync`) must parse, declare
+// the current schema, and show effect replication staying nearly free on
+// the admission hot path. The bound is 3% — far below the 15% the obs and
+// shadow hooks are allowed — because the capture hook fires on EVERY
+// guarded completion, not a sampled fraction, and the plane's design
+// promise is one atomic load, one map lookup, and one lock-free ring
+// append. A baseline with overflows bought its throughput by dropping
+// captures and must not be merged.
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func TestStatesyncBaselineTrajectory(t *testing.T) {
+	data, err := os.ReadFile("BENCH_6.json")
+	if err != nil {
+		t.Fatalf("committed state-handoff baseline missing (run `make bench-statesync`): %v", err)
+	}
+	var rep bench.StatesyncReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("BENCH_6.json does not parse: %v", err)
+	}
+	if rep.Schema != bench.StatesyncSchema {
+		t.Fatalf("schema = %q, want %q", rep.Schema, bench.StatesyncSchema)
+	}
+	if rep.GoMaxProcs < 1 {
+		t.Fatalf("go_max_procs = %d, want >= 1", rep.GoMaxProcs)
+	}
+	if rep.SinkOffOps <= 0 || rep.SinkOnOps <= 0 {
+		t.Fatalf("non-positive throughput: off=%.0f on=%.0f", rep.SinkOffOps, rep.SinkOnOps)
+	}
+	// The plane promise: capturing and streaming every completion costs a
+	// served invocation no more than 3%.
+	if rep.OverheadPct > 3.0 {
+		t.Fatalf("replication overhead on the plane path = %.1f%%, want <= 3%%", rep.OverheadPct)
+	}
+	// The hot-path promise: one Capture is one atomic load, one map
+	// lookup, and one lock-free ring append — sub-microsecond by a wide
+	// margin.
+	if rep.CaptureNs <= 0 || rep.CaptureNs > 1000 {
+		t.Fatalf("hot-path capture = %.0fns, want (0, 1000]", rep.CaptureNs)
+	}
+	// The honesty clause: the number only counts if every completion was
+	// actually logged and none fell out of the bounded window.
+	if rep.Captured == 0 {
+		t.Fatal("baseline captured no effects: the sink was never exercised")
+	}
+	if rep.Overflows != 0 {
+		t.Fatalf("baseline dropped %d captures to the overflow counter: the overhead number is dishonest", rep.Overflows)
+	}
+	// The handoff promise: a graceful release (snapshot + log drain) is a
+	// sub-100ms event even at the committed log depth, so lease movement
+	// is never gated on a slow flush.
+	if rep.HandoffEntries <= 0 || rep.HandoffRounds <= 0 {
+		t.Fatalf("handoff measurement missing: entries=%d rounds=%d", rep.HandoffEntries, rep.HandoffRounds)
+	}
+	if rep.HandoffP50Micros <= 0 || rep.HandoffP50Micros > rep.HandoffMaxMicros {
+		t.Fatalf("handoff latencies malformed: p50=%.0fus max=%.0fus", rep.HandoffP50Micros, rep.HandoffMaxMicros)
+	}
+	if rep.HandoffMaxMicros > 100_000 {
+		t.Fatalf("handoff max = %.0fus, want <= 100ms", rep.HandoffMaxMicros)
+	}
+}

@@ -9,6 +9,7 @@
 //	ambench -obs-json BENCH_3.json   # E13 only: write the obs overhead baseline
 //	ambench -matrix-json BENCH_4.json  # E14 only: write the GOMAXPROCS matrix baseline
 //	ambench -shadow-json BENCH_5.json  # E15 only: write the shadow overhead baseline
+//	ambench -statesync-json BENCH_6.json  # E18 only: write the state handoff baseline
 //
 // Passing BOTH -json and -obs-json is the canonical baseline run (what
 // `make bench` does): the contended variants of E12 and E13 are measured
@@ -37,6 +38,7 @@ func main() {
 		obsPath    = flag.String("obs-json", "", "run the E13 obs overhead family and write the JSON report to this path")
 		matrixPath = flag.String("matrix-json", "", "run the E14 GOMAXPROCS x workload matrix and write the JSON report to this path")
 		shadowPath = flag.String("shadow-json", "", "run the E15 shadow admission overhead family and write the JSON report to this path")
+		syncPath   = flag.String("statesync-json", "", "run the E18 state handoff family and write the JSON report to this path")
 	)
 	flag.Parse()
 
@@ -51,6 +53,9 @@ func main() {
 		return
 	case *shadowPath != "":
 		writeJSONReport(*shadowPath, func() (any, error) { return bench.Shadow(cfg) })
+		return
+	case *syncPath != "":
+		writeJSONReport(*syncPath, func() (any, error) { return bench.Statesync(cfg) })
 		return
 	case *jsonPath != "" && *obsPath != "":
 		domRep, obsRep, err := bench.Baselines(cfg)

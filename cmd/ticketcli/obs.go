@@ -91,6 +91,19 @@ func clusterView(base string) error {
 		fmt.Printf("  local=%d forwarded=%d retries=%d staleRefusals=%d wakes(sent=%d recv=%d) takeovers=%d\n",
 			st.LocalCalls, st.Forwards, st.ForwardRetries, st.StaleRefusals,
 			st.WakesSent, st.WakesReceived, st.Takeovers)
+		for _, r := range st.Replication {
+			switch {
+			case r.Leading:
+				fmt.Printf("  sync %-20s -> %-12s term=%-4d lag=%-5d streamed=%d snapshots=%d overflows=%d\n",
+					r.Domain, r.Successor, r.Term, r.Lag, r.Streamed, r.SnapshotsSent, r.Overflows)
+			case r.ReplicaFrom != "":
+				fmt.Printf("  sync %-20s <- %-12s term=%-4d seq=%-5d snapshots=%d dups=%d gaps=%d\n",
+					r.Domain, r.ReplicaFrom, r.ReplicaTerm, r.ReplicaSeq, r.SnapshotsRecv, r.Duplicates, r.Gaps)
+			case r.CatchupApplied > 0 || r.Restored:
+				fmt.Printf("  sync %-20s caught up: applied=%d gaps=%d restored=%v\n",
+					r.Domain, r.CatchupApplied, r.CatchupGaps, r.Restored)
+			}
+		}
 	}
 	return nil
 }

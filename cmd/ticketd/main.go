@@ -184,6 +184,8 @@ func run(o options) error {
 		}
 		log.Printf("cluster node %s serving %q on %s (capacity %d, lease %v)",
 			o.clusterID, ticket.ComponentName, serveAddr, o.capacity, o.clusterTTL)
+		log.Printf("state replication on: owned domains stream guarded effects to their ring successor " +
+			"(watch per-domain lag with `ticketcli obs -view cluster`)")
 	} else {
 		srv = amrpc.NewServer(amrpc.WithReadTimeout(o.readTO), amrpc.WithMaxLineBytes(o.maxLine))
 		if err := srv.Register(g.Proxy()); err != nil {

@@ -13,6 +13,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"log"
 	"net"
@@ -32,6 +33,40 @@ type board struct {
 	mu      sync.Mutex
 	posts   []string
 	tallies int
+}
+
+// boardState is the snapshot payload the state-sync plane ships on a
+// graceful handoff: the board's full domain state, JSON-encoded.
+type boardState struct {
+	Posts   []string `json:"posts"`
+	Tallies int      `json:"tallies"`
+}
+
+func (b *board) snapshot(domain string) ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var st boardState
+	if domain == "posts" {
+		st.Posts = append([]string(nil), b.posts...)
+	} else {
+		st.Tallies = b.tallies
+	}
+	return json.Marshal(st)
+}
+
+func (b *board) restore(domain string, data []byte) error {
+	var st boardState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if domain == "posts" {
+		b.posts = st.Posts
+	} else {
+		b.tallies = st.Tallies
+	}
+	return nil
 }
 
 func newBoardProxy(b *board) *proxy.Proxy {
@@ -94,6 +129,8 @@ func main() {
 			LeaseTTL:   time.Second,
 			MemberTTL:  time.Second,
 			Heartbeat:  200 * time.Millisecond,
+			Snapshot:   b.snapshot,
+			Restore:    b.restore,
 		}, "127.0.0.1:0")
 		if err != nil {
 			log.Fatal(err)
@@ -159,9 +196,10 @@ func main() {
 		b.mu.Unlock()
 	}
 
-	// 4. Failover: retire the owner of "posts". The ring reassigns the
-	// domain to a survivor at a strictly higher term; the stale term is
-	// fenced out forever.
+	// 4. Graceful handoff: retire the owner of "posts". Before the lease
+	// moves, the leaving node flushes a state snapshot to its ring
+	// successor and releases with a barrier — the new owner resumes the
+	// board's state, not just the domain's admission.
 	victimID := owners["posts"].Owner
 	oldTerm := owners["posts"].Term
 	var survivors []*cluster.Node
@@ -183,23 +221,82 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	owners = map[string]cluster.DomainStatus{}
-	for _, d := range nodes[0].Status().Domains {
-		owners[d.Domain] = d
+	ownerOf := func(domain string) (*cluster.Node, cluster.DomainStatus) {
+		for _, d := range nodes[0].Status().Domains {
+			if d.Domain != domain {
+				continue
+			}
+			for _, n := range nodes {
+				if n.ID() == d.Owner {
+					return n, d
+				}
+			}
+		}
+		log.Fatalf("no live owner for %q", domain)
+		return nil, cluster.DomainStatus{}
 	}
+	newOwner, d := ownerOf("posts")
 	fmt.Printf("\"posts\" now owned by %s at term %d (was %s at term %d)\n",
-		owners["posts"].Owner, owners["posts"].Term, victimID, oldTerm)
-
-	total := 0
-	for _, b := range boards {
-		b.mu.Lock()
-		total += len(b.posts)
-		b.mu.Unlock()
+		d.Owner, d.Term, victimID, oldTerm)
+	for _, s := range newOwner.SyncStatus() {
+		if s.Domain == "posts" && s.Restored {
+			fmt.Printf("state resumed via snapshot on %s: %d posts survived the graceful handoff\n",
+				d.Owner, postCount(boards[d.Owner]))
+		}
 	}
-	fmt.Printf("12 posts driven, %d landed across the cluster: zero lost, zero duplicated\n", total)
+
+	// 5. Hard kill mid-run: no goodbye, no snapshot flush. The streamed
+	// effect log on the ring successor is the only carrier; after the
+	// lease expires, the next owner replays the suffix through its own
+	// guarded component and serving resumes with the state intact.
+	time.Sleep(300 * time.Millisecond) // let replication acks drain
+	crashID := d.Owner
+	fmt.Printf("\nhard-killing %s mid-run (owner of \"posts\" at term %d)...\n", crashID, d.Term)
+	newOwner.Fail()
+	var remaining []*cluster.Node
+	for _, n := range nodes {
+		if n.ID() != crashID {
+			remaining = append(remaining, n)
+		}
+	}
+	nodes = remaining
+
+	for k := 12; k < 18; k++ {
+		cctx, cancel := context.WithTimeout(ctx, 15*time.Second)
+		_, err := nodes[0].Invoke(cctx, "post", fmt.Sprintf("msg-%d", k))
+		cancel()
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	finalOwner, fd := ownerOf("posts")
+	fb := boards[fd.Owner]
+	fb.mu.Lock()
+	surviving := append([]string(nil), fb.posts...)
+	fb.mu.Unlock()
+	fmt.Printf("\"posts\" now owned by %s at term %d — surviving state after the crash:\n", fd.Owner, fd.Term)
+	fmt.Printf("  %d posts on the new owner (first %q, last %q)\n",
+		len(surviving), surviving[0], surviving[len(surviving)-1])
+	for _, s := range finalOwner.SyncStatus() {
+		if s.Domain != "posts" {
+			continue
+		}
+		switch {
+		case s.CatchupApplied > 0:
+			fmt.Printf("  %d of them replayed from the replicated effect log\n", s.CatchupApplied)
+		case s.Restored:
+			fmt.Println("  recovered from the successor's replicated snapshot baseline")
+		}
+	}
 
 	for _, n := range nodes {
 		n.Close()
 	}
 	fmt.Println("shut down cleanly")
+}
+
+func postCount(b *board) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.posts)
 }

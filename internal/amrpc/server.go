@@ -33,6 +33,7 @@ type Component interface {
 type Server struct {
 	readTimeout  time.Duration
 	maxLineBytes int
+	stats        serverStats
 
 	mu         sync.Mutex
 	components map[string]Component
@@ -141,6 +142,7 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.conns[conn] = struct{}{}
 		s.wg.Add(1)
 		s.mu.Unlock()
+		s.stats.conns.Add(1)
 		go func() {
 			defer s.wg.Done()
 			s.serveConn(conn)
@@ -226,15 +228,22 @@ func (s *Server) serveConn(conn net.Conn) {
 				// A corrupted frame: nothing in it — including its ID — can
 				// be trusted, so drop it silently and let the client's
 				// deadline + retry recover the call.
+				s.stats.checksumDrops.Add(1)
 				continue
 			}
+			s.stats.malformed.Add(1)
 			write(response{Err: "malformed request: " + err.Error(), Code: CodeBadRequest})
 			continue
 		}
+		s.stats.requests.Add(1)
 		handlers.Add(1)
 		go func() {
 			defer handlers.Done()
-			write(s.handle(ctx, req))
+			resp := s.handle(ctx, req)
+			if resp.Err != "" {
+				s.stats.errorReplies.Add(1)
+			}
+			write(resp)
 		}()
 	}
 }

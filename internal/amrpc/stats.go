@@ -46,6 +46,44 @@ func (c *Client) Stats() ClientStats {
 	}
 }
 
+// serverStats is the Server's internal counter block.
+type serverStats struct {
+	conns         atomic.Uint64
+	requests      atomic.Uint64
+	checksumDrops atomic.Uint64
+	malformed     atomic.Uint64
+	errorReplies  atomic.Uint64
+}
+
+// ServerStats is a snapshot of a Server's wire counters. The state
+// handoff's replication stream rides the same servers as application
+// traffic, so these cover both.
+type ServerStats struct {
+	// Conns is the number of connections accepted.
+	Conns uint64 `json:"conns"`
+	// Requests is the number of well-formed requests dispatched to a
+	// handler.
+	Requests uint64 `json:"requests"`
+	// ChecksumDrops counts frames dropped silently for a CRC mismatch.
+	ChecksumDrops uint64 `json:"checksum_drops"`
+	// Malformed counts frames refused as undecodable (CodeBadRequest).
+	Malformed uint64 `json:"malformed"`
+	// ErrorReplies counts requests answered with an application or
+	// routing error.
+	ErrorReplies uint64 `json:"error_replies"`
+}
+
+// Stats returns a snapshot of the server's wire counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Conns:         s.stats.conns.Load(),
+		Requests:      s.stats.requests.Load(),
+		ChecksumDrops: s.stats.checksumDrops.Load(),
+		Malformed:     s.stats.malformed.Load(),
+		ErrorReplies:  s.stats.errorReplies.Load(),
+	}
+}
+
 // balancerStats is the Balancer's internal counter block.
 type balancerStats struct {
 	invokes      atomic.Uint64

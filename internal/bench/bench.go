@@ -109,6 +109,7 @@ var Experiments = []Experiment{
 	{"E13", E13Obs},
 	{"E14", E14Matrix},
 	{"E15", E15Shadow},
+	{"E18", E18Statesync},
 }
 
 // All runs the experiments whose ids are listed (every experiment when ids

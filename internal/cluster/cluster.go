@@ -40,6 +40,7 @@ import (
 	"repro/internal/cluster/view"
 	"repro/internal/naming"
 	"repro/internal/proxy"
+	"repro/internal/statesync"
 )
 
 // Config describes one cluster node.
@@ -89,6 +90,27 @@ type Config struct {
 	// may burn before giving up (default 25; with backoff this spans a
 	// failover window comfortably).
 	RouteAttempts int
+
+	// Snapshot, Restore, and Apply are the replicated-state-handoff hooks.
+	// Snapshot serializes one domain's functional state; Restore installs
+	// a snapshot received from the previous owner; Apply re-applies one
+	// replicated effect during catch-up. All are optional: without
+	// Snapshot/Restore the plane replicates the effect log only, and
+	// without Apply catch-up replays entries through the local guarded
+	// component (full admission — install Apply when guards could block a
+	// replayed call).
+	Snapshot func(domain string) ([]byte, error)
+	Restore  func(domain string, data []byte) error
+	Apply    func(domain, method string, args []any) error
+	// DisableStateSync turns replicated state handoff off entirely: no
+	// effect capture, no streaming, takeovers resume moderation only.
+	DisableStateSync bool
+	// SyncCapacity / SyncBatch / SyncInterval tune the replication stream
+	// (defaults: 8192-entry per-domain log, 256 entries per offer, 25ms
+	// idle pacing).
+	SyncCapacity int
+	SyncBatch    int
+	SyncInterval time.Duration
 
 	// DialConn overrides the data-plane dialer for node-to-node traffic —
 	// the chaosnet hook. The control-plane connection to the naming
@@ -163,17 +185,23 @@ type Node struct {
 	server *amrpc.Server
 	ln     net.Listener
 	addr   string
+	sync   *statesync.Manager // nil when DisableStateSync
 
 	mu      sync.Mutex
-	nc      *naming.Client    // control-plane connection (redialed on error)
+	nc      *naming.Client // control-plane connection (redialed on error)
 	owned   map[string]*ownedDomain
 	routes  map[string]route
 	members map[string]string // member id -> addr, from the last beat
 	clients map[string]*amrpc.Client
+	closing bool // Close in progress: the heartbeat must not re-acquire
 	closed  bool
 
-	stop chan struct{}
-	wg   sync.WaitGroup
+	inflight sync.Map // domain -> *atomic.Int64: local admissions in flight
+
+	closeOnce sync.Once
+	closeDone chan struct{}
+	stop      chan struct{}
+	wg        sync.WaitGroup
 
 	hbPaused atomic.Bool // test hook: freeze the heartbeat to simulate a wedged node
 
@@ -199,15 +227,16 @@ func Start(cfg Config, addr string) (*Node, error) {
 		return nil, fmt.Errorf("cluster: listen %s: %w", addr, err)
 	}
 	n := &Node{
-		cfg:     cfg,
-		server:  amrpc.NewServer(cfg.ServerOptions...),
-		ln:      ln,
-		addr:    ln.Addr().String(),
-		owned:   make(map[string]*ownedDomain, 4),
-		routes:  make(map[string]route, 4),
-		members: make(map[string]string, 4),
-		clients: make(map[string]*amrpc.Client, 4),
-		stop:    make(chan struct{}),
+		cfg:       cfg,
+		server:    amrpc.NewServer(cfg.ServerOptions...),
+		ln:        ln,
+		addr:      ln.Addr().String(),
+		owned:     make(map[string]*ownedDomain, 4),
+		routes:    make(map[string]route, 4),
+		members:   make(map[string]string, 4),
+		clients:   make(map[string]*amrpc.Client, 4),
+		closeDone: make(chan struct{}),
+		stop:      make(chan struct{}),
 	}
 	if err := n.server.RegisterComponent(&front{n: n}); err != nil {
 		_ = ln.Close()
@@ -216,6 +245,23 @@ func Start(cfg Config, addr string) (*Node, error) {
 	if err := n.server.RegisterComponent(&control{n: n}); err != nil {
 		_ = ln.Close()
 		return nil, err
+	}
+	if !cfg.DisableStateSync {
+		mgr, err := statesync.NewManager(statesync.Config{
+			Node:      cfg.ID,
+			Transport: &syncTransport{n: n},
+			Snapshot:  cfg.Snapshot,
+			Capacity:  cfg.SyncCapacity,
+			Batch:     cfg.SyncBatch,
+			Interval:  cfg.SyncInterval,
+			Logf:      cfg.Logf,
+		})
+		if err != nil {
+			_ = ln.Close()
+			return nil, err
+		}
+		n.sync = mgr
+		cfg.Local.Moderator().SetEffectSink(&effectSink{n: n})
 	}
 	n.wg.Add(1)
 	go func() {
@@ -237,44 +283,69 @@ func (n *Node) Addr() string { return n.addr }
 // ID returns the node's cluster identity.
 func (n *Node) ID() string { return n.cfg.ID }
 
-// Close stops the heartbeat, releases owned leases and the membership
-// entry, and tears down the server and every pooled connection. In-flight
-// handlers (including parked callers) are cancelled by the server's
-// connection teardown — their callers re-admit through the next owner.
+// Close stops the heartbeat, hands each owned domain's replicated state
+// to its successor, releases the leases (with snapshot barriers) and the
+// membership entry, and tears down the server and every pooled
+// connection. In-flight handlers (including parked callers) are cancelled
+// by the server's connection teardown — their callers re-admit through
+// the next owner, which resumes the handed-over state before serving.
 func (n *Node) Close() {
+	n.closeOnce.Do(n.doClose)
+	<-n.closeDone
+}
+
+func (n *Node) doClose() {
+	defer close(n.closeDone)
+
+	// Stop the heartbeat first: a beat racing the handover could
+	// re-acquire a lease and consume the barrier we are about to plant.
 	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
-		n.wg.Wait()
-		return
-	}
-	n.closed = true
+	n.closing = true
 	close(n.stop)
 	owned := make(map[string]uint64, len(n.owned))
 	for d, o := range n.owned {
 		owned[d] = o.term
 	}
-	n.owned = map[string]*ownedDomain{}
-	clients := n.clients
-	n.clients = map[string]*amrpc.Client{}
+	memberIDs := make([]string, 0, len(n.members))
+	for id := range n.members {
+		if id != n.cfg.ID {
+			memberIDs = append(memberIDs, id)
+		}
+	}
 	n.mu.Unlock()
 
-	// Graceful handover: release what we own and leave the membership so
-	// survivors converge on the beat after next instead of waiting out TTLs.
+	// Graceful handover: for each owned domain, stop admitting, drain,
+	// flush the effect log (plus snapshot) to the domain's next owner, and
+	// release with a barrier — so survivors converge with state on the
+	// beat after next instead of waiting out TTLs. The pooled clients and
+	// the server stay up through this phase; the flush rides them.
+	succRing := naming.NewRing(0, memberIDs...)
+	for d, term := range owned {
+		n.mu.Lock()
+		delete(n.owned, d)
+		n.mu.Unlock()
+		succ, _ := succRing.Owner(d)
+		n.handoffRelease(d, term, succ)
+	}
 	_ = n.namingDo(func(nc *naming.Client) error {
-		for d, term := range owned {
-			_, _ = nc.ReleaseLease(d, n.cfg.ID, term)
-		}
 		_, _ = nc.Unregister(n.memberKey())
 		return nil
 	})
+
 	n.mu.Lock()
+	n.closed = true
+	clients := n.clients
+	n.clients = map[string]*amrpc.Client{}
 	if n.nc != nil {
 		_ = n.nc.Close()
 		n.nc = nil
 	}
 	n.mu.Unlock()
 
+	if n.sync != nil {
+		n.cfg.Local.Moderator().SetEffectSink(nil)
+		n.sync.Close()
+	}
 	n.server.Close()
 	for _, c := range clients {
 		_ = c.Close()
@@ -385,6 +456,7 @@ func (n *Node) beat() error {
 	ring := naming.NewRing(0, ids...)
 
 	n.reconcileOwnership(ring)
+	n.syncSuccessors(ring)
 	n.refreshRoutes(leases, memberAddrs)
 	n.wakeSweep()
 	return nil
@@ -455,18 +527,23 @@ func (n *Node) reconcileOwnership(ring *naming.Ring) {
 			}
 		case held:
 			// The ring moved the domain elsewhere (membership changed):
-			// hand over gracefully so the new owner need not wait out TTL.
+			// stop admitting, drain, flush replicated state to the new
+			// owner, and release with a snapshot barrier so it need not
+			// wait out TTL *and* resumes our state before serving.
 			n.mu.Lock()
 			delete(n.owned, domain)
 			n.mu.Unlock()
-			_ = n.namingDo(func(nc *naming.Client) error {
-				_, _ = nc.ReleaseLease(domain, n.cfg.ID, curTerm)
-				return nil
-			})
+			n.handoffRelease(domain, curTerm, want)
 			n.logf("cluster %s: released %s (ring reassigned to %s)", n.cfg.ID, domain, want)
 		case ok && want == n.cfg.ID:
 			// Newly ours: acquire. ErrLeaseHeld means the previous owner's
 			// lease has not expired yet; we pick it up on a later beat.
+			n.mu.Lock()
+			closing := n.closing
+			n.mu.Unlock()
+			if closing {
+				continue
+			}
 			stamp := time.Now()
 			var lease naming.DomainLease
 			err := n.namingDo(func(nc *naming.Client) error {
@@ -476,6 +553,18 @@ func (n *Node) reconcileOwnership(ring *naming.Ring) {
 			})
 			if err != nil {
 				continue
+			}
+			if n.sync != nil {
+				// Catch up BEFORE asserting ownership: fenced traffic is
+				// refused (and retried by routers) until the domain's
+				// replicated state is resumed here. Replay goes through the
+				// local component, so each effect is re-captured into the
+				// new term's log and re-replicated to our own successor.
+				n.sync.Lead(domain, lease.Term)
+				if succ, ok := ring.Without(n.cfg.ID).Owner(domain); ok {
+					n.sync.SetSuccessor(domain, succ)
+				}
+				n.catchUp(domain, lease)
 			}
 			n.mu.Lock()
 			n.owned[domain] = &ownedDomain{term: lease.Term, localExpiry: stamp.Add(n.cfg.LeaseTTL)}
@@ -536,6 +625,9 @@ type Status = view.Status
 // DomainStatus is one domain's ownership as this node sees it.
 type DomainStatus = view.DomainStatus
 
+// SyncStatus is one domain's state-replication view on this node.
+type SyncStatus = view.SyncStatus
+
 // Status returns the node's current view of the cluster.
 func (n *Node) Status() Status {
 	n.mu.Lock()
@@ -567,6 +659,9 @@ func (n *Node) Status() Status {
 		WakesSent:      n.wakesSent.Load(),
 		WakesReceived:  n.wakesReceived.Load(),
 		Takeovers:      n.takeovers.Load(),
+	}
+	if n.sync != nil {
+		st.Replication = n.sync.Status()
 	}
 	for _, domain := range n.domainSet() {
 		ds := DomainStatus{Domain: domain}

@@ -2,9 +2,11 @@ package cluster
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -59,6 +61,42 @@ func (b *ledgerBackend) snapshot() (map[string]int, []string) {
 	return out, append([]string(nil), b.unknown...)
 }
 
+// snapshotDomain serializes the ids of one admission domain (by prefix) —
+// the cluster Snapshot hook of the ledger app.
+func (b *ledgerBackend) snapshotDomain(prefix string) ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string]int)
+	for k, v := range b.ids {
+		if strings.HasPrefix(k, prefix) {
+			out[k] = v
+		}
+	}
+	return json.Marshal(out)
+}
+
+// restoreDomain replaces one domain's ids with a received snapshot — the
+// cluster Restore hook. Replace (not merge): the snapshot IS the domain's
+// authoritative state; merging could hide lost effects when ownership
+// ping-pongs.
+func (b *ledgerBackend) restoreDomain(prefix string, data []byte) error {
+	var in map[string]int
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for k := range b.ids {
+		if strings.HasPrefix(k, prefix) {
+			delete(b.ids, k)
+		}
+	}
+	for k, v := range in {
+		b.ids[k] = v
+	}
+	return nil
+}
+
 // ledgerDomains is the method → admission-domain map of the test app: two
 // methods in two distinct domains, so a multi-node cluster splits them.
 var ledgerDomains = map[string]string{
@@ -101,7 +139,9 @@ func newLedgerApp(t *testing.T) (*ledgerBackend, *proxy.Proxy) {
 }
 
 // startLedgerNode boots one cluster node serving the ledger app with
-// test-friendly (sub-second failover) timings.
+// test-friendly (sub-second failover) timings. State sync is on with the
+// app's snapshot/restore hooks, so graceful handovers travel the snapshot
+// path and hard failovers replay the replicated effect log.
 func startLedgerNode(t *testing.T, id, namingAddr string, mutate func(*Config)) (*ledgerBackend, *Node) {
 	t.Helper()
 	backend, p := newLedgerApp(t)
@@ -114,6 +154,12 @@ func startLedgerNode(t *testing.T, id, namingAddr string, mutate func(*Config)) 
 		MemberTTL:  900 * time.Millisecond,
 		LeaseTTL:   900 * time.Millisecond,
 		Heartbeat:  150 * time.Millisecond,
+		Snapshot: func(domain string) ([]byte, error) {
+			return backend.snapshotDomain(domain[:1])
+		},
+		Restore: func(domain string, data []byte) error {
+			return backend.restoreDomain(domain[:1], data)
+		},
 	}
 	if mutate != nil {
 		mutate(&cfg)

@@ -1,11 +1,14 @@
 package cluster
 
 import (
+	"encoding/json"
+	"errors"
 	"fmt"
 
 	"repro/internal/amrpc"
 	"repro/internal/aspect"
 	"repro/internal/naming"
+	"repro/internal/statesync"
 )
 
 // controlName is the per-node control component: cluster-internal
@@ -24,11 +27,40 @@ func (c *control) Call(inv *aspect.Invocation) (any, error) {
 	switch inv.Method() {
 	case "wake":
 		return c.wake(inv)
+	case "sync-offer":
+		return c.syncOffer(inv)
 	case "status":
 		return c.n.Status(), nil
 	default:
 		return nil, fmt.Errorf("cluster control %s: unknown method %q", c.n.cfg.ID, inv.Method())
 	}
+}
+
+// syncOffer is the replication stream endpoint: a domain leader ships its
+// effect log (and snapshots) here, to the node standing ring successor.
+// The offer's own term field fences it — the manager refuses terms behind
+// the replica's (or behind a leadership this node itself holds), so a
+// zombie leader cannot overwrite fresher replicated state.
+func (c *control) syncOffer(inv *aspect.Invocation) (any, error) {
+	if c.n.sync == nil {
+		return nil, fmt.Errorf("cluster %s: state sync disabled", c.n.cfg.ID)
+	}
+	payload, err := inv.ArgString(0)
+	if err != nil {
+		return nil, fmt.Errorf("cluster control %s: sync-offer: %w", c.n.cfg.ID, err)
+	}
+	var o statesync.Offer
+	if err := json.Unmarshal([]byte(payload), &o); err != nil {
+		return nil, fmt.Errorf("cluster control %s: sync-offer: decode: %w", c.n.cfg.ID, err)
+	}
+	ack, err := c.n.sync.HandleOffer(o)
+	if err != nil {
+		if errors.Is(err, naming.ErrStaleTerm) {
+			c.n.staleRefusals.Add(1)
+		}
+		return nil, err
+	}
+	return ack, nil
 }
 
 // wake is the cross-node wake notification endpoint. It re-kicks the

@@ -1,0 +1,199 @@
+package cluster
+
+// Deterministic state-handoff certification (the `make handoff-smoke`
+// suite): one test per handoff path, no chaos, exact audits.
+//
+//   - Graceful release: Close flushes a snapshot to the successor and
+//     releases the lease with a barrier; the new owner restores it before
+//     serving. The ledger must collapse to a single authoritative copy —
+//     every effect exactly once on the new owner, nothing forged.
+//   - Hard kill: the replication log (no snapshot hooks) is the only
+//     carrier; after lease expiry the new owner replays the suffix through
+//     its own guarded component. Same audit.
+//   - Fencing: a replication offer at a stale term is refused with the
+//     plane's one stale-term sentinel.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/amrpc"
+	"repro/internal/naming"
+	"repro/internal/statesync"
+)
+
+// TestClusterGracefulHandoffSnapshot certifies the snapshot barrier path:
+// a graceful Close hands the domain's full state to the successor before
+// the lease moves.
+func TestClusterGracefulHandoffSnapshot(t *testing.T) {
+	namingAddr := startNaming(t)
+	backends := map[string]*ledgerBackend{}
+	var nodes []*Node
+	for _, id := range []string{"g1", "g2", "g3"} {
+		b, n := startLedgerNode(t, id, namingAddr, nil)
+		backends[id] = b
+		nodes = append(nodes, n)
+	}
+	owners := waitOwnership(t, nodes...)
+	victim := owners["alpha"]
+	var gateway *Node
+	for _, n := range nodes {
+		if n != victim {
+			gateway = n
+			break
+		}
+	}
+
+	const per = 30
+	ctx := context.Background()
+	for i := 0; i < per; i++ {
+		if _, err := gateway.Invoke(ctx, "alpha-put", fmt.Sprintf("a-g-%d", i)); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+
+	victim.Close() // graceful: drain → snapshot flush → barrier release
+
+	var survivors []*Node
+	for _, n := range nodes {
+		if n != victim {
+			survivors = append(survivors, n)
+		}
+	}
+	newOwner := liveOwnerOf(t, survivors, "alpha", 5*time.Second)
+
+	// The authoritative copy: every effect exactly once on the new owner.
+	auth, unknown := backends[newOwner.ID()].snapshot()
+	if len(unknown) != 0 {
+		t.Fatalf("forged effects on %s: %v", newOwner.ID(), unknown)
+	}
+	for i := 0; i < per; i++ {
+		id := fmt.Sprintf("a-g-%d", i)
+		if auth[id] != 1 {
+			t.Fatalf("effect %s count %d on new owner %s, want 1", id, auth[id], newOwner.ID())
+		}
+	}
+	// And it arrived via the snapshot path, installed before serving.
+	restored := false
+	for _, s := range newOwner.SyncStatus() {
+		if s.Domain == "alpha" && s.Restored {
+			restored = true
+		}
+	}
+	if !restored {
+		t.Fatal("graceful handover did not use the snapshot path")
+	}
+	// A call through the new owner keeps working on the resumed state.
+	if _, err := gateway.Invoke(ctx, "alpha-put", "a-g-after"); err != nil {
+		t.Fatalf("post-handover put: %v", err)
+	}
+	fresh, _ := backends[newOwner.ID()].snapshot()
+	if fresh["a-g-after"] != 1 {
+		t.Fatal("post-handover effect missing on new owner")
+	}
+}
+
+// TestClusterHardKillLogCatchup certifies the log catch-up path: with no
+// snapshot hooks configured, the streamed effect log alone must carry the
+// domain's state across a hard owner death.
+func TestClusterHardKillLogCatchup(t *testing.T) {
+	namingAddr := startNaming(t)
+	backends := map[string]*ledgerBackend{}
+	var nodes []*Node
+	for _, id := range []string{"h1", "h2", "h3"} {
+		b, n := startLedgerNode(t, id, namingAddr, func(cfg *Config) {
+			cfg.Snapshot, cfg.Restore = nil, nil // log-only replication
+		})
+		backends[id] = b
+		nodes = append(nodes, n)
+	}
+	owners := waitOwnership(t, nodes...)
+	victim := owners["alpha"]
+	var gateway *Node
+	for _, n := range nodes {
+		if n != victim {
+			gateway = n
+			break
+		}
+	}
+
+	const per = 30
+	ctx := context.Background()
+	for i := 0; i < per; i++ {
+		if _, err := gateway.Invoke(ctx, "alpha-put", fmt.Sprintf("a-h-%d", i)); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	// Deterministic kill: every captured effect acknowledged first.
+	waitSyncDrained(t, victim, "alpha", 3*time.Second)
+	victim.Fail()
+
+	var survivors []*Node
+	for _, n := range nodes {
+		if n != victim {
+			survivors = append(survivors, n)
+		}
+	}
+	newOwner := liveOwnerOf(t, survivors, "alpha", 5*time.Second)
+	auth, unknown := backends[newOwner.ID()].snapshot()
+	if len(unknown) != 0 {
+		t.Fatalf("forged effects on %s: %v", newOwner.ID(), unknown)
+	}
+	for i := 0; i < per; i++ {
+		id := fmt.Sprintf("a-h-%d", i)
+		if auth[id] != 1 {
+			t.Fatalf("effect %s count %d on new owner %s, want 1 (log catch-up lost it)", id, auth[id], newOwner.ID())
+		}
+	}
+	applied := uint64(0)
+	for _, s := range newOwner.SyncStatus() {
+		if s.Domain == "alpha" {
+			applied = s.CatchupApplied
+		}
+	}
+	if applied != per {
+		t.Fatalf("catch-up applied %d effects, want %d", applied, per)
+	}
+}
+
+// TestClusterStaleSyncOfferRefused certifies replication fencing: an offer
+// at a term not above what the receiver already leads the domain at is
+// refused with the plane's one stale-term sentinel — a zombie leader's
+// flush cannot overwrite the live owner's state.
+func TestClusterStaleSyncOfferRefused(t *testing.T) {
+	namingAddr := startNaming(t)
+	_, n1 := startLedgerNode(t, "z1", namingAddr, nil)
+	_, n2 := startLedgerNode(t, "z2", namingAddr, nil)
+	owners := waitOwnership(t, n1, n2)
+	owner := owners["beta"]
+	term, ok := owner.owns("beta")
+	if !ok {
+		t.Fatal("owner lost beta immediately")
+	}
+
+	c, err := amrpc.Dial(owner.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	offer := statesync.Offer{
+		From: "zombie", Domain: "beta", Term: term,
+		Entries: []statesync.Entry{{Domain: "beta", Seq: 1, Term: term, Method: "beta-put", Args: []any{"b-zombie"}}},
+	}
+	payload, err := json.Marshal(offer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := owner.Status().StaleRefusals
+	_, err = c.Component(controlName(owner.ID())).Invoke(context.Background(), "sync-offer", string(payload))
+	if !errors.Is(err, naming.ErrStaleTerm) {
+		t.Fatalf("stale sync offer: err = %v, want ErrStaleTerm", err)
+	}
+	if owner.Status().StaleRefusals <= before {
+		t.Fatal("stale offer refusal not counted")
+	}
+}

@@ -56,8 +56,20 @@ func (n *Node) serveFenced(inv *aspect.Invocation, fence uint64) (any, error) {
 }
 
 // localCall executes the invocation on the local guarded component and, on
-// success, propagates the method's cross-node wake edges.
+// success, propagates the method's cross-node wake edges. The in-flight
+// counter brackets the admission so a graceful release can drain before
+// flushing its final state handoff; the ownership re-check after
+// registering closes the race with a concurrent release — an admission
+// that slips past it is either counted (and drained) or refused here.
 func (n *Node) localCall(inv *aspect.Invocation) (any, error) {
+	domain := n.domainOf(inv.Method())
+	c := n.inflightFor(domain)
+	c.Add(1)
+	defer c.Add(-1)
+	if _, ok := n.owns(domain); !ok {
+		return nil, fmt.Errorf("cluster %s: domain %s: ownership lapsed before execution: %w",
+			n.cfg.ID, domain, naming.ErrStaleTerm)
+	}
 	n.localCalls.Add(1)
 	res, err := n.cfg.Local.Call(inv)
 	if err == nil {
@@ -101,7 +113,14 @@ func (n *Node) route(inv *aspect.Invocation) (any, error) {
 		}
 
 		if _, ok := n.owns(domain); ok {
-			return n.localCall(inv)
+			res, err := n.localCall(inv)
+			if err != nil && errors.Is(err, naming.ErrStaleTerm) {
+				// Ownership lapsed between the check and execution (a
+				// graceful release won the race): resolve afresh.
+				lastErr = err
+				continue
+			}
+			return res, err
 		}
 		r, err := n.routeFor(domain, attempt > 0)
 		if err != nil {

@@ -16,13 +16,58 @@ import (
 	"repro/internal/chaosnet"
 )
 
-// crashNode simulates a hard node death: the heartbeat wedges (so leases
-// are NOT gracefully released and failover must go through natural
-// expiry) and the server drops every connection mid-flight. The node's
+// crashNode simulates a hard node death: the heartbeat and replication
+// stream wedge (so leases are NOT gracefully released, no final state
+// flush happens, and failover must go through natural expiry + log
+// catch-up) and the server drops every connection mid-flight. The node's
 // backend keeps its effects — they are part of the final audit.
-func crashNode(n *Node) {
-	n.hbPaused.Store(true)
-	n.server.Close()
+func crashNode(n *Node) { n.Fail() }
+
+// syncLag reads a node's replication lag for one domain: captured effects
+// not yet acknowledged by the successor. Everything at or below the acked
+// mark survives the node's death in the successor's replica.
+func syncLag(n *Node, domain string) uint64 {
+	for _, st := range n.SyncStatus() {
+		if st.Domain == domain && st.Leading {
+			return st.Lag
+		}
+	}
+	return 0
+}
+
+// waitSyncDrained polls until a node's replication lag for domain is zero
+// — every captured effect acknowledged by the successor — so a subsequent
+// hard kill loses nothing and the takeover audit can demand exactness.
+func waitSyncDrained(t *testing.T, n *Node, domain string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		if syncLag(n, domain) == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replication lag on %s/%s never drained", n.ID(), domain)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// liveOwnerOf polls until one of the given (live) nodes owns domain and
+// returns it — the holder of the domain's authoritative state copy.
+func liveOwnerOf(t *testing.T, nodes []*Node, domain string, timeout time.Duration) *Node {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		for _, n := range nodes {
+			if _, ok := n.owns(domain); ok {
+				return n
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no live node ever owned %s", domain)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
 }
 
 // gatedNet is the fault surface of the soak: every data-plane dial (driver
@@ -103,6 +148,9 @@ func TestClusterFailover(t *testing.T) {
 	if _, err := gateway.Invoke(ctx, "alpha-put", "a-pre"); err != nil {
 		t.Fatalf("pre-crash put: %v", err)
 	}
+	// Let replication drain so the hard kill is deterministic: a-pre is in
+	// the successor's replica and the takeover audit can demand exactness.
+	waitSyncDrained(t, victim, "alpha", 3*time.Second)
 	crashNode(victim)
 
 	// This call lands inside the failover window: the lease is still live
@@ -136,22 +184,43 @@ func TestClusterFailover(t *testing.T) {
 		t.Fatal("takeover not counted on the new owner")
 	}
 
-	// Audit across ALL backends including the dead node's: each intended
-	// effect exactly once, nothing forged.
-	union := map[string]int{}
+	// Audit: the authoritative copy — the new owner's backend — must hold
+	// the domain's WHOLE history exactly once: the pre-crash effect resumed
+	// from the replicated log, and the effect admitted during failover. The
+	// dead node's backend legitimately keeps its stale copy of a-pre; any
+	// third node must hold neither, and nothing may be forged anywhere.
 	for id, b := range backends {
-		ids, unknown := b.snapshot()
+		_, unknown := b.snapshot()
 		if len(unknown) != 0 {
 			t.Fatalf("forged effects on %s: %v", id, unknown)
 		}
-		for k, v := range ids {
-			union[k] += v
+	}
+	auth, _ := backends[newOwner.ID()].snapshot()
+	for _, id := range []string{"a-pre", "a-post"} {
+		if auth[id] != 1 {
+			t.Fatalf("effect %s count %d on new owner %s, want 1 (state not resumed)", id, auth[id], newOwner.ID())
 		}
 	}
-	for _, id := range []string{"a-pre", "a-post"} {
-		if union[id] != 1 {
-			t.Fatalf("effect %s count %d across the cluster, want 1", id, union[id])
+	for _, n := range nodes {
+		if n == victim || n == newOwner {
+			continue
 		}
+		ids, _ := backends[n.ID()].snapshot()
+		for _, id := range []string{"a-pre", "a-post"} {
+			if ids[id] != 0 {
+				t.Fatalf("effect %s leaked onto bystander %s", id, n.ID())
+			}
+		}
+	}
+	// And the takeover really went through catch-up, not a lucky re-execution.
+	resumed := false
+	for _, st := range newOwner.SyncStatus() {
+		if st.Domain == "alpha" && (st.CatchupApplied > 0 || st.Restored) {
+			resumed = true
+		}
+	}
+	if !resumed {
+		t.Fatal("new owner reports no catch-up for alpha")
 	}
 }
 
@@ -316,6 +385,10 @@ func TestClusterChaosSoak(t *testing.T) {
 
 	// Fault timeline, concurrent with the workload: partition one node's
 	// data plane and heal it mid-run, then kill the alpha owner for good.
+	// The victim's ledger and replication lag are frozen at the kill: they
+	// are the reference for the takeover-resumes-state audit below.
+	var preKill map[string]int
+	var lagAtKill uint64
 	timelineDone := make(chan struct{})
 	go func() {
 		defer close(timelineDone)
@@ -325,6 +398,11 @@ func TestClusterChaosSoak(t *testing.T) {
 		g.heal(partitioned.Addr())
 		time.Sleep(300 * time.Millisecond)
 		crashNode(victim)
+		// Let cancelled in-flight handlers finish their bodies, then freeze
+		// the dead node's state: nothing lands on it after the server died.
+		time.Sleep(100 * time.Millisecond)
+		preKill, _ = backends[victim.ID()].snapshot()
+		lagAtKill = syncLag(victim, "alpha")
 		resMu.Lock()
 		resAddrs = resAddrs[:0]
 		for _, n := range nodes {
@@ -375,9 +453,40 @@ func TestClusterChaosSoak(t *testing.T) {
 		t.FailNow()
 	}
 
-	// Teardown before audit: Close waits for handler drain, so backends
-	// and moderator ledgers are final. The victim's Close is a no-op
-	// handover (its old terms are dead) but still drains and frees it.
+	// State-continuity audit: the survivor that took alpha over must hold
+	// the victim's whole pre-kill alpha ledger, short of at most the
+	// replication lag frozen at the kill (effects captured but never
+	// acknowledged die with the leader — that is the bounded-lag contract).
+	survivors := make([]*Node, 0, len(nodes)-1)
+	for _, n := range nodes {
+		if n != victim {
+			survivors = append(survivors, n)
+		}
+	}
+	alphaOwner := liveOwnerOf(t, survivors, "alpha", 5*time.Second)
+	authIDs, _ := backends[alphaOwner.ID()].snapshot()
+	var missing []string
+	preKillAlpha := 0
+	for id, cnt := range preKill {
+		if cnt == 0 || len(id) == 0 || id[0] != 'a' {
+			continue
+		}
+		preKillAlpha++
+		if authIDs[id] == 0 {
+			missing = append(missing, id)
+		}
+	}
+	if uint64(len(missing)) > lagAtKill {
+		t.Fatalf("takeover state: %d of %d pre-kill alpha effects missing on new owner %s, but lag at kill was only %d: e.g. %v",
+			len(missing), preKillAlpha, alphaOwner.ID(), lagAtKill, missing[:min(5, len(missing))])
+	}
+	t.Logf("takeover state: %s resumed %d/%d pre-kill alpha effects (lag at kill %d)",
+		alphaOwner.ID(), preKillAlpha-len(missing), preKillAlpha, lagAtKill)
+
+	// Teardown before the ledger audit: Close waits for handler drain, so
+	// backends and moderator ledgers are final. The victim's Close is a
+	// no-op handover (its old terms are dead, its zombie flush is fenced
+	// off by the new leader's term) but still drains and frees it.
 	bal.Close()
 	for _, n := range nodes {
 		n.Close()
@@ -559,38 +668,59 @@ func TestClusterDifferentialOracle(t *testing.T) {
 		}
 	}
 
-	// Final-state oracle: the cluster-wide effect union must equal the
-	// Reference's ledger id-for-id (counts too, except ops the cluster had
-	// to redeliver across the handover, where idempotency absorbs the
-	// extra count).
+	// Final-state oracle with handover-with-state semantics: once state is
+	// replicated and resumed, an effect legitimately exists on every owner
+	// its domain passed through — the ledger must collapse to a single
+	// AUTHORITATIVE copy, the current owner's backend, and THAT copy must
+	// equal the Reference id-for-id (counts too, except ops the cluster had
+	// to redeliver across the handover, where idempotency absorbs the extra
+	// count). Stale copies on previous owners are excluded from counting
+	// but, like every backend, may hold nothing forged and no id the
+	// Reference never saw.
 	refIDs, refUnknown := refBackend.snapshot()
 	if len(refUnknown) != 0 {
 		t.Fatalf("reference saw forged effects: %v", refUnknown)
 	}
-	union := map[string]int{}
+	var live []*Node
+	for _, n := range nodes {
+		if n != victim {
+			live = append(live, n)
+		}
+	}
+	auth := map[string]int{}
+	for domain, prefix := range map[string]byte{"alpha": 'a', "beta": 'b'} {
+		owner := liveOwnerOf(t, live, domain, 5*time.Second)
+		ids, _ := backends[owner.ID()].snapshot()
+		for k, v := range ids {
+			if len(k) > 0 && k[0] == prefix {
+				auth[k] += v
+			}
+		}
+	}
+	seen := map[string]bool{}
 	for id, b := range backends {
 		ids, unknown := b.snapshot()
 		if len(unknown) != 0 {
 			t.Fatalf("forged effects on %s: %v", id, unknown)
 		}
-		for k, v := range ids {
-			union[k] += v
+		for k := range ids {
+			seen[k] = true
 		}
 	}
 	for id, want := range refIDs {
-		got, ok := union[id]
+		got, ok := auth[id]
 		if !ok {
 			divergences++
-			t.Errorf("ledger divergence: %s on reference, lost by cluster", id)
+			t.Errorf("ledger divergence: %s on reference, missing from authoritative copy", id)
 			continue
 		}
 		if got != want && !(retried[id] && got > want) {
 			divergences++
-			t.Errorf("ledger divergence: %s count ref=%d cluster=%d (retried=%v)", id, want, got, retried[id])
+			t.Errorf("ledger divergence: %s count ref=%d authoritative=%d (retried=%v)", id, want, got, retried[id])
 		}
-		delete(union, id)
+		delete(seen, id)
 	}
-	for id := range union {
+	for id := range seen {
 		divergences++
 		t.Errorf("ledger divergence: %s on cluster, never on reference", id)
 	}

@@ -319,7 +319,7 @@ type planLayer struct {
 // union of the aspects' wake targets. Plans are immutable once published;
 // the hot path reaches one with a single snapshot Load and map lookup.
 type compiledPlan struct {
-	method  string
+	method string
 	// epoch is the composition epoch the plan was compiled under: the
 	// stable epoch, or a staged candidate's (canary.go). It tags shadow
 	// divergences and trace output; admission semantics never read it.
@@ -501,6 +501,9 @@ type Moderator struct {
 	comp    atomic.Pointer[compState]
 	domains atomic.Pointer[domainTable]
 	tracer  atomic.Pointer[tracerBox]
+	// effects, when set, receives every successful completion at
+	// post-action time — the state-handoff replication hook (effects.go).
+	effects atomic.Pointer[effectBox]
 	// shadow, when set, samples admission outcomes for off-hot-path replay
 	// against the Reference semantics (shadow.go).
 	shadow atomic.Pointer[Shadow]
@@ -1352,6 +1355,11 @@ func (m *Moderator) Postactivation(inv *aspect.Invocation, adm *Admission) {
 		d = m.domainFor(inv.Method())
 	}
 	d.completions.Add(1)
+	// The effect sink fires before any completion route branches off, so
+	// pure fast, optimistic, and mutex receipts all replicate alike.
+	if eb := m.effects.Load(); eb != nil && inv.Err() == nil {
+		eb.s.Effect(inv)
+	}
 	tb := m.tracer.Load()
 	if adm.Len() == 0 {
 		releaseAdmission(adm)

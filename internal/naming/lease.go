@@ -34,18 +34,33 @@ var ErrLeaseHeld = errors.New("naming: lease held")
 // effect) presents a term that is no longer the domain's live term.
 var ErrStaleTerm = errors.New("naming: stale lease term")
 
-// DomainLease is one domain-ownership grant.
+// DomainLease is one domain-ownership grant. Barrier, when present on a
+// grant, is the snapshot barrier the previous holder left at release: the
+// new owner's signal that replicated state through Barrier.Seq was handed
+// over and must be resumed before serving.
 type DomainLease struct {
 	Domain  string    `json:"domain"`
 	Holder  string    `json:"holder"`
 	Term    uint64    `json:"term"`
 	Expires time.Time `json:"expires"`
+	Barrier *Barrier  `json:"barrier,omitempty"`
+}
+
+// Barrier records a graceful state handover: the releasing holder (From,
+// at Term) flushed its effect log and snapshot through sequence Seq to the
+// domain's successor before giving up the lease. It is consumed by the
+// next grant.
+type Barrier struct {
+	From string `json:"from"`
+	Term uint64 `json:"term"`
+	Seq  uint64 `json:"seq"`
 }
 
 type leaseRecord struct {
 	holder  string
 	term    uint64
 	expires time.Time
+	barrier *Barrier // left by the last release-with-barrier, consumed by the next grant
 }
 
 func (s *Store) leaseLive(rec leaseRecord, now time.Time) bool {
@@ -75,9 +90,14 @@ func (s *Store) AcquireLease(domain, holder string, ttl time.Duration) (DomainLe
 		s.leases[domain] = rec
 		return s.leaseView(domain, rec), nil
 	}
+	barrier := rec.barrier
 	rec = leaseRecord{holder: holder, term: rec.term + 1, expires: now.Add(ttl)}
 	s.leases[domain] = rec
-	return s.leaseView(domain, rec), nil
+	// A pending snapshot barrier is consumed by exactly one grant: the new
+	// owner learns the handed-over sequence, later grants start clean.
+	l := s.leaseView(domain, rec)
+	l.Barrier = barrier
+	return l, nil
 }
 
 // RenewLease extends the lease on domain, but only for the live (holder,
@@ -112,6 +132,27 @@ func (s *Store) ReleaseLease(domain, holder string, term uint64) bool {
 	}
 	s.leases[domain] = leaseRecord{term: rec.term} // expired, term preserved
 	return true
+}
+
+// ReleaseLeaseWithBarrier gives up a live lease like ReleaseLease, but
+// records a snapshot barrier: the holder asserts it flushed its replicated
+// state through seq to the domain's successor before releasing. The next
+// AcquireLease grant carries the barrier so the new owner resumes state
+// before serving. A release by anyone but the exact live (holder, term)
+// pair is refused with ErrStaleTerm — a zombie owner cannot plant a
+// barrier over a handover it no longer governs.
+func (s *Store) ReleaseLeaseWithBarrier(domain, holder string, term, seq uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.leases[domain]
+	if !ok || !s.leaseLive(rec, s.now()) || rec.holder != holder || rec.term != term {
+		return fmt.Errorf("%w: release %s by %s at term %d", ErrStaleTerm, domain, holder, term)
+	}
+	s.leases[domain] = leaseRecord{
+		term:    rec.term,
+		barrier: &Barrier{From: holder, Term: term, Seq: seq},
+	}
+	return nil
 }
 
 // LookupLease returns the live lease on domain, or ErrNotFound.

@@ -228,3 +228,92 @@ func TestLeaseWireRoundTrip(t *testing.T) {
 		t.Fatalf("post-release acquire = %+v, %v", l, err)
 	}
 }
+
+// TestLeaseBarrierFencing pins the release-with-barrier discipline: only
+// the exact live (holder, term) pair may plant a barrier, the next grant
+// consumes it exactly once, and a zombie release is refused with
+// ErrStaleTerm so a handover the releaser no longer governs cannot be
+// forged.
+func TestLeaseBarrierFencing(t *testing.T) {
+	now := time.Unix(5000, 0)
+	s := NewStore(WithClock(func() time.Time { return now }))
+	if _, err := s.AcquireLease("orders", "n1", time.Minute); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stale releases: wrong term, wrong holder, and after expiry — all
+	// refused, and none of them plants a barrier.
+	if err := s.ReleaseLeaseWithBarrier("orders", "n1", 7, 10); !errors.Is(err, ErrStaleTerm) {
+		t.Fatalf("wrong-term barrier release: err = %v, want ErrStaleTerm", err)
+	}
+	if err := s.ReleaseLeaseWithBarrier("orders", "n9", 1, 10); !errors.Is(err, ErrStaleTerm) {
+		t.Fatalf("wrong-holder barrier release: err = %v, want ErrStaleTerm", err)
+	}
+	if l, err := s.AcquireLease("orders", "n1", time.Minute); err != nil || l.Barrier != nil {
+		t.Fatalf("refused releases leaked a barrier: %+v, %v", l, err)
+	}
+	now = now.Add(2 * time.Minute) // lease expires
+	if err := s.ReleaseLeaseWithBarrier("orders", "n1", 1, 10); !errors.Is(err, ErrStaleTerm) {
+		t.Fatalf("post-expiry barrier release: err = %v, want ErrStaleTerm", err)
+	}
+
+	// The live pair's release plants the barrier; the next grant carries
+	// it at the releasing term and sequence.
+	if _, err := s.AcquireLease("orders", "n1", time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ReleaseLeaseWithBarrier("orders", "n1", 2, 42); err != nil {
+		t.Fatalf("live barrier release: %v", err)
+	}
+	l, err := s.AcquireLease("orders", "n2", time.Minute)
+	if err != nil || l.Term != 3 {
+		t.Fatalf("post-barrier acquire = %+v, %v", l, err)
+	}
+	if l.Barrier == nil || l.Barrier.From != "n1" || l.Barrier.Term != 2 || l.Barrier.Seq != 42 {
+		t.Fatalf("grant barrier = %+v, want {n1 2 42}", l.Barrier)
+	}
+
+	// Consumed by exactly one grant: the following grant starts clean.
+	if ok := s.ReleaseLease("orders", "n2", 3); !ok {
+		t.Fatal("plain release refused")
+	}
+	if l, err = s.AcquireLease("orders", "n3", time.Minute); err != nil || l.Barrier != nil {
+		t.Fatalf("barrier outlived its grant: %+v, %v", l, err)
+	}
+}
+
+// TestLeaseBarrierWireRoundTrip drives release-with-barrier through a real
+// server and client: the coded stale-term refusal rehydrates to the
+// sentinel, and the barrier rides the next grant over the wire.
+func TestLeaseBarrierWireRoundTrip(t *testing.T) {
+	srv := NewServer(nil)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+
+	c, err := DialClient(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	if _, err := c.AcquireLease("orders", "node-a", time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ReleaseLeaseWithBarrier("orders", "node-a", 99, 5); !errors.Is(err, ErrStaleTerm) {
+		t.Fatalf("stale wire barrier release must rehydrate ErrStaleTerm, got %v", err)
+	}
+	if err := c.ReleaseLeaseWithBarrier("orders", "node-a", 1, 17); err != nil {
+		t.Fatalf("live wire barrier release: %v", err)
+	}
+	l, err := c.AcquireLease("orders", "node-b", time.Minute)
+	if err != nil || l.Term != 2 {
+		t.Fatalf("post-barrier wire acquire = %+v, %v", l, err)
+	}
+	if l.Barrier == nil || l.Barrier.From != "node-a" || l.Barrier.Term != 1 || l.Barrier.Seq != 17 {
+		t.Fatalf("wire grant barrier = %+v, want {node-a 1 17}", l.Barrier)
+	}
+}

@@ -126,3 +126,45 @@ func TestRingRebalance(t *testing.T) {
 		})
 	}
 }
+
+// TestRingGrowthSequenceBoundedMovement walks a membership growth sequence
+// 3→4→5 and asserts the cumulative handoff discipline the cluster's
+// state-sync plane relies on: at every join, keys move only TO the joiner
+// (an existing member never inherits another existing member's key, so a
+// join can never force a state handoff between two incumbents), and each
+// step's movement stays within 3x the joiner's fair share.
+func TestRingGrowthSequenceBoundedMovement(t *testing.T) {
+	const keyCount = 500
+	keys := ringKeys(keyCount)
+	steps := []struct {
+		join string
+	}{
+		{join: "n4"}, // 3 → 4
+		{join: "n5"}, // 4 → 5
+	}
+	r := NewRing(DefaultRingReplicas, "n1", "n2", "n3")
+	owners := ownerMap(t, r, keys)
+	for _, st := range steps {
+		next := r.With(st.join)
+		nextOwners := ownerMap(t, next, keys)
+		moved := 0
+		for _, k := range keys {
+			if owners[k] == nextOwners[k] {
+				continue
+			}
+			moved++
+			if nextOwners[k] != st.join {
+				t.Fatalf("join of %s moved key %q between incumbents %s → %s",
+					st.join, k, owners[k], nextOwners[k])
+			}
+		}
+		n := len(next.Members())
+		if limit := 3 * keyCount / n; moved > limit {
+			t.Fatalf("join of %s moved %d of %d keys, above bound %d", st.join, moved, keyCount, limit)
+		}
+		if moved == 0 {
+			t.Fatalf("join of %s moved nothing: joiner owns no keys", st.join)
+		}
+		r, owners = next, nextOwners
+	}
+}

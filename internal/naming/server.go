@@ -12,15 +12,16 @@ import (
 
 // wire operations of the naming protocol (newline-delimited JSON).
 const (
-	opRegister     = "register"
-	opLookup       = "lookup"
-	opUnregister   = "unregister"
-	opList         = "list"
-	opAcquireLease = "acquire-lease"
-	opRenewLease   = "renew-lease"
-	opReleaseLease = "release-lease"
-	opLookupLease  = "lookup-lease"
-	opListLeases   = "list-leases"
+	opRegister       = "register"
+	opLookup         = "lookup"
+	opUnregister     = "unregister"
+	opList           = "list"
+	opAcquireLease   = "acquire-lease"
+	opRenewLease     = "renew-lease"
+	opReleaseLease   = "release-lease"
+	opReleaseBarrier = "release-lease-barrier"
+	opLookupLease    = "lookup-lease"
+	opListLeases     = "list-leases"
 )
 
 // error codes carried in wireResponse.Code so clients can rehydrate the
@@ -37,6 +38,7 @@ type wireRequest struct {
 	Addr   string `json:"addr,omitempty"`
 	Holder string `json:"holder,omitempty"`
 	Term   uint64 `json:"term,omitempty"`
+	Seq    uint64 `json:"seq,omitempty"` // snapshot-barrier sequence (release-lease-barrier)
 	TTLMS  int64  `json:"ttl_ms,omitempty"`
 }
 
@@ -214,6 +216,11 @@ func (s *Server) handle(req *wireRequest) wireResponse {
 		return wireResponse{OK: true, Lease: &l}
 	case opReleaseLease:
 		return wireResponse{OK: s.store.ReleaseLease(req.Name, req.Holder, req.Term)}
+	case opReleaseBarrier:
+		if err := s.store.ReleaseLeaseWithBarrier(req.Name, req.Holder, req.Term, req.Seq); err != nil {
+			return wireResponse{Err: err.Error(), Code: codeFor(err)}
+		}
+		return wireResponse{OK: true}
 	case opLookupLease:
 		l, err := s.store.LookupLease(req.Name)
 		if err != nil {
@@ -307,6 +314,20 @@ func (c *Client) ReleaseLease(domain, holder string, term uint64) (bool, error) 
 		return false, err
 	}
 	return resp.OK, nil
+}
+
+// ReleaseLeaseWithBarrier gives up a live lease leaving a snapshot
+// barrier at seq for the next grant; a stale (holder, term) pair is
+// refused with ErrStaleTerm.
+func (c *Client) ReleaseLeaseWithBarrier(domain, holder string, term, seq uint64) error {
+	resp, err := c.roundTrip(wireRequest{Op: opReleaseBarrier, Name: domain, Holder: holder, Term: term, Seq: seq})
+	if err != nil {
+		return err
+	}
+	if !resp.OK {
+		return rehydrate(resp)
+	}
+	return nil
 }
 
 // LookupLease returns the live lease on domain, or ErrNotFound.

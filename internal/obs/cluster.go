@@ -54,6 +54,21 @@ func collectCluster(s ClusterSource, emit EmitFunc) {
 	emit("am_cluster_wakes_sent_total", "Cross-node wake notifications sent after completions.", []Label{node}, float64(st.WakesSent))
 	emit("am_cluster_wakes_received_total", "Cross-node wake notifications accepted and kicked.", []Label{node}, float64(st.WakesReceived))
 	emit("am_cluster_takeovers_total", "Domains inherited from a previous owner (term > 1 acquisitions).", []Label{node}, float64(st.Takeovers))
+	for _, r := range st.Replication {
+		labels := []Label{node, L("domain", r.Domain)}
+		if r.Leading {
+			emit("am_cluster_sync_lag", "Captured effects not yet acknowledged by the domain's ring successor.", labels, float64(r.Lag))
+			emit("am_cluster_sync_streamed_total", "Effect-log entries acknowledged by the successor.", labels, float64(r.Streamed))
+			emit("am_cluster_sync_snapshots_sent_total", "State snapshots shipped to the successor (handoffs and overflow resyncs).", labels, float64(r.SnapshotsSent))
+			emit("am_cluster_sync_overflows_total", "Captures refused because the unacked replication window was full.", labels, float64(r.Overflows))
+		}
+		if r.ReplicaFrom != "" {
+			emit("am_cluster_sync_replica_seq", "Highest replicated sequence held for a predecessor's domain.", labels, float64(r.ReplicaSeq))
+		}
+		if r.CatchupApplied > 0 || r.Restored {
+			emit("am_cluster_sync_catchup_applied_total", "Replicated effects replayed locally at takeover.", labels, float64(r.CatchupApplied))
+		}
+	}
 }
 
 // ClusterDump is the /cluster response body: one status per watched node

@@ -39,6 +39,10 @@ func TestClusterEndpointAndMetrics(t *testing.T) {
 		WakesSent:      5,
 		WakesReceived:  6,
 		Takeovers:      1,
+		Replication: []cluster.SyncStatus{
+			{Domain: "alpha", Leading: true, Term: 3, Successor: "n2", Lag: 2, Streamed: 8, SnapshotsSent: 1},
+			{Domain: "beta", ReplicaFrom: "n2", ReplicaTerm: 1, ReplicaSeq: 7, CatchupApplied: 7, Restored: true},
+		},
 	}})
 
 	srv := httptest.NewServer(NewHTTPHandler(c))
@@ -74,6 +78,11 @@ func TestClusterEndpointAndMetrics(t *testing.T) {
 		`am_cluster_stale_refusals_total{node="n1"} 1`,
 		`am_cluster_takeovers_total{node="n1"} 1`,
 		`am_cluster_wakes_received_total{node="n1"} 6`,
+		`am_cluster_sync_lag{domain="alpha",node="n1"} 2`,
+		`am_cluster_sync_streamed_total{domain="alpha",node="n1"} 8`,
+		`am_cluster_sync_snapshots_sent_total{domain="alpha",node="n1"} 1`,
+		`am_cluster_sync_replica_seq{domain="beta",node="n1"} 7`,
+		`am_cluster_sync_catchup_applied_total{domain="beta",node="n1"} 7`,
 	} {
 		if !strings.Contains(string(metrics), want) {
 			t.Fatalf("/metrics missing %q in:\n%s", want, metrics)

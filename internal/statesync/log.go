@@ -1,0 +1,153 @@
+// Package statesync replicates a guarded component's effects between the
+// nodes of the distributed admission plane so that a domain takeover
+// resumes the *state*, not just the moderation.
+//
+// The design follows the plane's existing fencing discipline end to end:
+//
+//   - Every owned domain has an append-only effect log. Entries are
+//     appended at post-action time (the moderator's completion hook) and
+//     stamped with the owner's lease term, a per-domain sequence number,
+//     and the completed method + arguments. Appends are lock-free — one
+//     atomic fetch-add assigns the sequence, one atomic store publishes
+//     the slot — so the capture hook adds no lock to the admission path.
+//   - A per-node streamer asynchronously ships pending entries to the
+//     domain's ring successor over the plane's control endpoints, and the
+//     successor acknowledges a high-water mark; acknowledged entries are
+//     reclaimed. Replication lag is bounded by the log capacity: when the
+//     unacknowledged window would wrap, appends are refused and counted
+//     (the streamer then escalates to a snapshot resync when the
+//     application provides one).
+//   - On graceful release the owner drains the log, serializes the
+//     component state (when the application provides a Snapshot), installs
+//     both at the successor, and only then lets the lease move — the
+//     release carries a snapshot barrier recording the handed-over
+//     sequence.
+//   - On failover the successor replays its replica — snapshot first,
+//     then the log suffix — through the local component, fenced at the
+//     new term, before asserting ownership. Stale appends (old terms) and
+//     duplicates (seq at or below the applied mark) are refused by the
+//     receiver exactly like stale wakes are today.
+package statesync
+
+import (
+	"sync/atomic"
+)
+
+// Entry is one replicated effect: a method execution that completed on the
+// owner of Domain while it held the lease at Term. Seq is the per-domain,
+// per-leadership sequence number (1-based); a new leader starts a fresh
+// sequence, so (Term, Seq) totally orders a domain's replicated history.
+type Entry struct {
+	Domain string `json:"domain"`
+	Seq    uint64 `json:"seq"`
+	Term   uint64 `json:"term"`
+	Method string `json:"method"`
+	Args   []any  `json:"args,omitempty"`
+}
+
+// logSlot is one ring cell: ready publishes the sequence number whose entry
+// the cell currently holds, so readers can detect both unpublished and
+// wrapped cells without a lock.
+type logSlot struct {
+	ready atomic.Uint64
+	e     Entry
+}
+
+// Log is one domain's effect log: a fixed-capacity MPSC ring. Any number
+// of completion hooks may Append concurrently; a single streamer reads
+// contiguous published entries and advances the acknowledged mark. A slot
+// is reused only after its entry has been acknowledged, so the reader
+// never observes a torn entry.
+type Log struct {
+	domain string
+	mask   uint64
+	slots  []logSlot
+
+	head     atomic.Uint64 // last assigned sequence (0 = empty)
+	acked    atomic.Uint64 // acknowledged high-water mark; entries <= acked are reclaimable
+	overflow atomic.Uint64 // appends refused because the unacked window was full
+	gapped   atomic.Bool   // the log has lost an entry since the last resync
+}
+
+// NewLog creates a log for domain with the given capacity (rounded up to a
+// power of two, minimum 16).
+func NewLog(domain string, capacity int) *Log {
+	size := 16
+	for size < capacity {
+		size <<= 1
+	}
+	return &Log{domain: domain, mask: uint64(size - 1), slots: make([]logSlot, size)}
+}
+
+// Capacity returns the slot count.
+func (l *Log) Capacity() int { return len(l.slots) }
+
+// Append records one completed effect, returning its sequence number and
+// whether it was stored. An append that would overwrite an unacknowledged
+// entry is refused (the sequence is still consumed): the overflow is
+// counted, the log is marked gapped, and the streamer escalates to a
+// snapshot resync. Lock-free; safe from any number of goroutines.
+func (l *Log) Append(term uint64, method string, args []any) (uint64, bool) {
+	seq := l.head.Add(1)
+	if seq > uint64(len(l.slots)) && seq-uint64(len(l.slots)) > l.acked.Load() {
+		l.overflow.Add(1)
+		l.gapped.Store(true)
+		return seq, false
+	}
+	s := &l.slots[seq&l.mask]
+	s.e = Entry{Domain: l.domain, Seq: seq, Term: term, Method: method, Args: args}
+	s.ready.Store(seq)
+	return seq, true
+}
+
+// ReadFrom returns up to max contiguous published entries with sequence
+// numbers strictly greater than from. It stops at the first unpublished
+// (or lost) slot. Single-reader.
+func (l *Log) ReadFrom(from uint64, max int) []Entry {
+	head := l.head.Load()
+	var out []Entry
+	for seq := from + 1; seq <= head && len(out) < max; seq++ {
+		s := &l.slots[seq&l.mask]
+		if s.ready.Load() != seq {
+			break // not yet published, or lost to overflow
+		}
+		e := s.e
+		if s.ready.Load() != seq {
+			break // wrapped under us (only possible past the acked mark)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Ack advances the acknowledged high-water mark (monotone).
+func (l *Log) Ack(seq uint64) {
+	for {
+		cur := l.acked.Load()
+		if seq <= cur || l.acked.CompareAndSwap(cur, seq) {
+			return
+		}
+	}
+}
+
+// LastSeq returns the last assigned sequence number.
+func (l *Log) LastSeq() uint64 { return l.head.Load() }
+
+// Acked returns the acknowledged high-water mark.
+func (l *Log) Acked() uint64 { return l.acked.Load() }
+
+// Pending returns the number of assigned-but-unacknowledged sequences.
+func (l *Log) Pending() uint64 { return l.head.Load() - l.acked.Load() }
+
+// Overflows returns how many appends were refused for a full window.
+func (l *Log) Overflows() uint64 { return l.overflow.Load() }
+
+// Gapped reports whether the log has lost an entry since the last resync.
+func (l *Log) Gapped() bool { return l.gapped.Load() }
+
+// Resync marks the log whole again from seq onward: everything at or below
+// seq is considered covered (by a snapshot) and reclaimed.
+func (l *Log) Resync(seq uint64) {
+	l.Ack(seq)
+	l.gapped.Store(false)
+}

@@ -1,0 +1,277 @@
+package statesync
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// pipeTransport delivers offers to in-process peer managers — the plane's
+// amrpc hop collapsed to a map lookup.
+type pipeTransport struct {
+	mu    sync.Mutex
+	peers map[string]*Manager
+	fail  func(o Offer) error // optional fault hook, checked before delivery
+}
+
+func (p *pipeTransport) Offer(ctx context.Context, succ string, o Offer) (Ack, error) {
+	p.mu.Lock()
+	m := p.peers[succ]
+	fail := p.fail
+	p.mu.Unlock()
+	if fail != nil {
+		if err := fail(o); err != nil {
+			return Ack{}, err
+		}
+	}
+	if m == nil {
+		return Ack{}, errors.New("pipe: no such peer")
+	}
+	return m.HandleOffer(o)
+}
+
+func newPair(t *testing.T, snapshot func(string) ([]byte, error)) (*Manager, *Manager, *pipeTransport) {
+	t.Helper()
+	tr := &pipeTransport{peers: map[string]*Manager{}}
+	mk := func(node string) *Manager {
+		m, err := NewManager(Config{Node: node, Transport: tr, Snapshot: snapshot, Interval: 5 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(m.Close)
+		tr.peers[node] = m
+		return m
+	}
+	return mk("A"), mk("B"), tr
+}
+
+func replicaSeq(m *Manager, domain string) uint64 {
+	for _, st := range m.Status() {
+		if st.Domain == domain {
+			return st.ReplicaSeq
+		}
+	}
+	return 0
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestManagerStreamsEntries pins the steady-state pipeline: leader-side
+// captures flow to the successor's replica in order, the ack reclaims
+// them, and a takeover surrenders the exact suffix.
+func TestManagerStreamsEntries(t *testing.T) {
+	a, b, _ := newPair(t, nil)
+	a.Lead("alpha", 2)
+	a.SetSuccessor("alpha", "B")
+	const n = 10
+	for i := 1; i <= n; i++ {
+		a.Capture("alpha", "put", []any{fmt.Sprintf("id-%d", i)})
+	}
+	waitFor(t, "replica to reach the head", func() bool { return replicaSeq(b, "alpha") == n })
+
+	// The ack drained the leader's log: lag returns to zero.
+	waitFor(t, "leader lag to drain", func() bool {
+		for _, st := range a.Status() {
+			if st.Domain == "alpha" {
+				return st.Leading && st.Lag == 0
+			}
+		}
+		return false
+	})
+
+	st, held := b.Takeover("alpha")
+	if !held || st.Term != 2 || len(st.Entries) != n {
+		t.Fatalf("takeover: held=%v term=%d entries=%d", held, st.Term, len(st.Entries))
+	}
+	for i, e := range st.Entries {
+		if e.Seq != uint64(i+1) || e.Method != "put" {
+			t.Fatalf("entry %d out of order: %+v", i, e)
+		}
+	}
+	// Consumed: a second takeover has nothing.
+	if _, held := b.Takeover("alpha"); held {
+		t.Fatal("replica not consumed by takeover")
+	}
+}
+
+// TestManagerHandoffSnapshot pins the graceful-release flush: Handoff
+// forces a snapshot baseline, drains synchronously, and returns the
+// barrier sequence.
+func TestManagerHandoffSnapshot(t *testing.T) {
+	snap := func(domain string) ([]byte, error) { return []byte(`{"state":"` + domain + `"}`), nil }
+	a, b, _ := newPair(t, snap)
+	a.Lead("alpha", 4)
+	a.SetSuccessor("alpha", "B")
+	for i := 0; i < 3; i++ {
+		a.Capture("alpha", "put", []any{i})
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
+	seq, err := a.Handoff(ctx, "alpha", "B")
+	if err != nil || seq != 3 {
+		t.Fatalf("handoff: seq=%d err=%v", seq, err)
+	}
+	st, held := b.Takeover("alpha")
+	if !held || st.Snapshot == nil || st.SnapSeq != 3 || st.Term != 4 {
+		t.Fatalf("takeover after handoff: held=%v snap=%q snapSeq=%d term=%d", held, st.Snapshot, st.SnapSeq, st.Term)
+	}
+	if string(st.Snapshot) != `{"state":"alpha"}` {
+		t.Fatalf("snapshot payload %q", st.Snapshot)
+	}
+}
+
+// TestManagerStaleLeaderFencedOff pins replication fencing: a receiver
+// that itself leads the domain at the same (or higher) term refuses the
+// offer, and the sender treats the refusal as terminal.
+func TestManagerStaleLeaderFencedOff(t *testing.T) {
+	a, b, _ := newPair(t, nil)
+	a.Lead("alpha", 5)
+	a.SetSuccessor("alpha", "B")
+	b.Lead("alpha", 5) // B took over at the same term: A is a zombie
+	a.Capture("alpha", "put", []any{"x"})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if _, err := a.Handoff(ctx, "alpha", "B"); !errors.Is(err, ErrStaleTerm) {
+		t.Fatalf("zombie handoff: err=%v, want ErrStaleTerm", err)
+	}
+	refused := false
+	for _, st := range b.Status() {
+		if st.Domain == "alpha" && st.StaleRefused > 0 {
+			refused = true
+		}
+	}
+	if !refused {
+		t.Fatal("receiver did not count the stale refusal")
+	}
+}
+
+// TestManagerReplicaDiscipline pins the receiver's idempotency rules:
+// duplicates dropped, gaps counted with the suffix restarted, a higher
+// term superseding the replica wholesale.
+func TestManagerReplicaDiscipline(t *testing.T) {
+	tr := &pipeTransport{peers: map[string]*Manager{}}
+	m, err := NewManager(Config{Node: "B", Transport: tr, Interval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+
+	mkOffer := func(term uint64, seqs ...uint64) Offer {
+		o := Offer{From: "A", Domain: "alpha", Term: term}
+		for _, s := range seqs {
+			o.Entries = append(o.Entries, Entry{Domain: "alpha", Seq: s, Term: term, Method: "put"})
+		}
+		return o
+	}
+	ack, err := m.HandleOffer(mkOffer(1, 1, 2))
+	if err != nil || ack.Acked != 2 {
+		t.Fatalf("first offer: ack=%d err=%v", ack.Acked, err)
+	}
+	// A retransmission: dropped idempotently, ack unchanged.
+	ack, err = m.HandleOffer(mkOffer(1, 1, 2))
+	if err != nil || ack.Acked != 2 {
+		t.Fatalf("duplicate offer: ack=%d err=%v", ack.Acked, err)
+	}
+	// A hole (sender overflowed): the gap is recorded, the suffix restarts.
+	ack, err = m.HandleOffer(mkOffer(1, 5))
+	if err != nil || ack.Acked != 5 {
+		t.Fatalf("gapped offer: ack=%d err=%v", ack.Acked, err)
+	}
+	var st0 struct{ dups, gaps uint64 }
+	for _, st := range m.Status() {
+		if st.Domain == "alpha" {
+			st0.dups, st0.gaps = st.Duplicates, st.Gaps
+		}
+	}
+	if st0.dups != 2 || st0.gaps != 1 {
+		t.Fatalf("dups=%d gaps=%d, want 2/1", st0.dups, st0.gaps)
+	}
+	// A stale term is refused outright.
+	if _, err := m.HandleOffer(mkOffer(0, 6)); !errors.Is(err, ErrStaleTerm) {
+		t.Fatalf("stale-term offer: err=%v", err)
+	}
+	// A higher term supersedes the old replica wholesale: its sequence
+	// starts over.
+	ack, err = m.HandleOffer(mkOffer(2, 1))
+	if err != nil || ack.Acked != 1 {
+		t.Fatalf("new-term offer: ack=%d err=%v", ack.Acked, err)
+	}
+	st2, held := m.Takeover("alpha")
+	if !held || st2.Term != 2 || len(st2.Entries) != 1 || st2.Entries[0].Seq != 1 {
+		t.Fatalf("takeover after term bump: held=%v %+v", held, st2)
+	}
+}
+
+// TestManagerSnapshotResyncAfterOverflow pins the bounded-lag escalation:
+// when the log overflows (successor unreachable), the next successful
+// round ships a snapshot that covers the hole.
+func TestManagerSnapshotResyncAfterOverflow(t *testing.T) {
+	snap := func(domain string) ([]byte, error) { return []byte("full-state"), nil }
+	tr := &pipeTransport{peers: map[string]*Manager{}}
+	blocked := true
+	var mu sync.Mutex
+	tr.fail = func(o Offer) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if blocked {
+			return errors.New("partitioned")
+		}
+		return nil
+	}
+	a, err := NewManager(Config{Node: "A", Transport: tr, Snapshot: snap, Capacity: 16, Interval: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(a.Close)
+	b, err := NewManager(Config{Node: "B", Transport: tr, Interval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(b.Close)
+	tr.peers["B"] = b
+
+	a.Lead("alpha", 1)
+	a.SetSuccessor("alpha", "B")
+	// Overfill while the successor is unreachable: appends past the window
+	// are refused and counted.
+	for i := 0; i < 40; i++ {
+		a.Capture("alpha", "put", []any{i})
+	}
+	overflowed := false
+	for _, st := range a.Status() {
+		if st.Domain == "alpha" && st.Overflows > 0 {
+			overflowed = true
+		}
+	}
+	if !overflowed {
+		t.Fatal("log never overflowed under a dead successor")
+	}
+	// Heal: the streamer escalates to a snapshot resync covering the hole.
+	mu.Lock()
+	blocked = false
+	mu.Unlock()
+	waitFor(t, "snapshot resync", func() bool {
+		for _, st := range b.Status() {
+			if st.Domain == "alpha" && st.SnapshotsRecv > 0 {
+				return true
+			}
+		}
+		return false
+	})
+	st, held := b.Takeover("alpha")
+	if !held || string(st.Snapshot) != "full-state" {
+		t.Fatalf("post-overflow takeover: held=%v snap=%q", held, st.Snapshot)
+	}
+}
