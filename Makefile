@@ -137,11 +137,13 @@ cluster-smoke:
 # The state-handoff certification run: one deterministic test per handoff
 # path. Graceful release must move the domain's full state through the
 # snapshot barrier before the lease moves; a hard kill must recover it
-# from the streamed effect log alone (no snapshot hooks); and a zombie
-# leader's replication offer at a stale term must be refused.
+# from the streamed effect log alone (no snapshot hooks); a zombie
+# leader's replication offer at a stale term must be refused; a lease
+# re-acquired at an unchanged term must keep its effect log; and a
+# snapshot the taker cannot install must be counted as a catch-up gap.
 handoff-smoke:
 	$(GO) test ./internal/cluster/ -count=1 -timeout 120s \
-		-run 'TestClusterGracefulHandoffSnapshot|TestClusterHardKillLogCatchup|TestClusterStaleSyncOfferRefused'
+		-run 'TestClusterGracefulHandoffSnapshot|TestClusterHardKillLogCatchup|TestClusterStaleSyncOfferRefused|TestClusterSameTermReacquireKeepsReplication|TestClusterSnapshotWithoutRestoreCountsGap'
 	@echo "handoff-smoke: OK"
 
 check: tier1 lint race fuzz-smoke obs-smoke shadow-smoke cluster-smoke handoff-smoke

@@ -247,6 +247,14 @@ func Start(cfg Config, addr string) (*Node, error) {
 		return nil, err
 	}
 	if !cfg.DisableStateSync {
+		if (cfg.Snapshot == nil) != (cfg.Restore == nil) {
+			// One-sided configuration: a snapshot this node sends cannot be
+			// installed by a peer configured the same way (or vice versa) —
+			// takeovers then replay the suffix onto a blank baseline and
+			// count the discarded prefix as a catch-up gap.
+			n.logf("cluster %s: state sync configured with Snapshot=%v but Restore=%v; hooks should come in pairs",
+				cfg.ID, cfg.Snapshot != nil, cfg.Restore != nil)
+		}
 		mgr, err := statesync.NewManager(statesync.Config{
 			Node:      cfg.ID,
 			Transport: &syncTransport{n: n},
@@ -505,9 +513,16 @@ func (n *Node) reconcileOwnership(ring *naming.Ring) {
 
 		switch {
 		case held && ok && want == n.cfg.ID:
-			// Still ours by the ring: renew. A refused renewal means the
-			// lease moved on (expiry won the race) — drop and retry next
-			// beat through Acquire.
+			// Still ours by the ring: renew. Only a refused renewal
+			// (ErrStaleTerm) means the lease actually moved on — drop and
+			// retry next beat through Acquire. A transient naming failure
+			// proves nothing: the lease is most likely still live at our
+			// term, and dropping ownership would make the next beat
+			// re-acquire the SAME term with a fresh effect log, wedging
+			// replication (the successor's replica already tracks this
+			// term's sequence). Keep ownership and retry; localExpiry was
+			// not extended, so the safety margin still stops execution if
+			// the naming service stays unreachable.
 			stamp := time.Now()
 			err := n.namingDo(func(nc *naming.Client) error {
 				_, err := nc.RenewLease(domain, n.cfg.ID, curTerm, n.cfg.LeaseTTL)
@@ -517,13 +532,15 @@ func (n *Node) reconcileOwnership(ring *naming.Ring) {
 			if o, still := n.owned[domain]; still && o.term == curTerm {
 				if err == nil {
 					o.localExpiry = stamp.Add(n.cfg.LeaseTTL)
-				} else {
+				} else if errors.Is(err, naming.ErrStaleTerm) {
 					delete(n.owned, domain)
 				}
 			}
 			n.mu.Unlock()
-			if err != nil {
+			if errors.Is(err, naming.ErrStaleTerm) {
 				n.logf("cluster %s: lost lease on %s at term %d: %v", n.cfg.ID, domain, curTerm, err)
+			} else if err != nil {
+				n.logf("cluster %s: renew %s at term %d failed, retrying: %v", n.cfg.ID, domain, curTerm, err)
 			}
 		case held:
 			// The ring moved the domain elsewhere (membership changed):
@@ -555,16 +572,28 @@ func (n *Node) reconcileOwnership(ring *naming.Ring) {
 				continue
 			}
 			if n.sync != nil {
-				// Catch up BEFORE asserting ownership: fenced traffic is
-				// refused (and retried by routers) until the domain's
-				// replicated state is resumed here. Replay goes through the
-				// local component, so each effect is re-captured into the
-				// new term's log and re-replicated to our own successor.
-				n.sync.Lead(domain, lease.Term)
-				if succ, ok := ring.Without(n.cfg.ID).Owner(domain); ok {
-					n.sync.SetSuccessor(domain, succ)
+				if t, leading := n.sync.Leading(domain); leading && t == lease.Term {
+					// Same-term re-acquire: the lease never expired (we
+					// dropped it locally, e.g. across a transient renew
+					// failure) and AcquireLease extended our own live
+					// lease. The effect log, stream, and successor replica
+					// are all still coherent at this term — a fresh Lead
+					// would restart the sequence at 1 and every new entry
+					// would be refused downstream as a duplicate, and a
+					// catch-up would replay our own replicated effects onto
+					// our own live state. Keep everything as is.
+				} else {
+					// Catch up BEFORE asserting ownership: fenced traffic is
+					// refused (and retried by routers) until the domain's
+					// replicated state is resumed here. Replay goes through the
+					// local component, so each effect is re-captured into the
+					// new term's log and re-replicated to our own successor.
+					n.sync.Lead(domain, lease.Term)
+					if succ, ok := ring.Without(n.cfg.ID).Owner(domain); ok {
+						n.sync.SetSuccessor(domain, succ)
+					}
+					n.catchUp(domain, lease)
 				}
-				n.catchUp(domain, lease)
 			}
 			n.mu.Lock()
 			n.owned[domain] = &ownedDomain{term: lease.Term, localExpiry: stamp.Add(n.cfg.LeaseTTL)}

@@ -160,6 +160,157 @@ func TestClusterHardKillLogCatchup(t *testing.T) {
 	}
 }
 
+// TestClusterSameTermReacquireKeepsReplication reproduces the transient
+// renew blip: local ownership is dropped while the lease — and the
+// successor's replica — stay live at the current term, so the next beat
+// re-acquires the SAME term. The node must keep its effect log:
+// restarting the sequence at 1 would make the successor refuse every
+// later effect as a duplicate, silently killing replication for the rest
+// of the term and losing state at the next failover.
+func TestClusterSameTermReacquireKeepsReplication(t *testing.T) {
+	namingAddr := startNaming(t)
+	backends := map[string]*ledgerBackend{}
+	var nodes []*Node
+	for _, id := range []string{"r1", "r2", "r3"} {
+		b, n := startLedgerNode(t, id, namingAddr, func(cfg *Config) {
+			cfg.Snapshot, cfg.Restore = nil, nil // log-only: the log must carry everything
+		})
+		backends[id] = b
+		nodes = append(nodes, n)
+	}
+	owners := waitOwnership(t, nodes...)
+	owner := owners["alpha"]
+	var gateway *Node
+	for _, n := range nodes {
+		if n != owner {
+			gateway = n
+			break
+		}
+	}
+
+	ctx := context.Background()
+	const per = 10
+	for i := 0; i < per; i++ {
+		if _, err := gateway.Invoke(ctx, "alpha-put", fmt.Sprintf("a-r-%d", i)); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	waitSyncDrained(t, owner, "alpha", 3*time.Second)
+
+	// The blip: drop ownership locally without touching the lease or the
+	// replication stream — exactly what a transient renew failure leaves
+	// behind. The lease stays live, so the re-acquire extends it at the
+	// same term.
+	owner.mu.Lock()
+	term := owner.owned["alpha"].term
+	delete(owner.owned, "alpha")
+	owner.mu.Unlock()
+
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if got, ok := owner.owns("alpha"); ok {
+			if got != term {
+				t.Fatalf("re-acquired alpha at term %d, want the same term %d", got, term)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("owner never re-acquired alpha")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if seq := owner.sync.Seq("alpha"); seq < per {
+		t.Fatalf("effect sequence restarted on same-term re-acquire: seq=%d, want >= %d", seq, per)
+	}
+
+	// Replication keeps flowing after the re-acquire...
+	for i := per; i < 2*per; i++ {
+		if _, err := gateway.Invoke(ctx, "alpha-put", fmt.Sprintf("a-r-%d", i)); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	waitSyncDrained(t, owner, "alpha", 3*time.Second)
+
+	// ...and a hard failover resumes the COMPLETE state, including the
+	// effects admitted after the blip.
+	owner.Fail()
+	var survivors []*Node
+	for _, n := range nodes {
+		if n != owner {
+			survivors = append(survivors, n)
+		}
+	}
+	newOwner := liveOwnerOf(t, survivors, "alpha", 5*time.Second)
+	auth, unknown := backends[newOwner.ID()].snapshot()
+	if len(unknown) != 0 {
+		t.Fatalf("forged effects on %s: %v", newOwner.ID(), unknown)
+	}
+	for i := 0; i < 2*per; i++ {
+		id := fmt.Sprintf("a-r-%d", i)
+		if auth[id] != 1 {
+			t.Fatalf("effect %s count %d on new owner %s, want 1 (lost across the renew blip)",
+				id, auth[id], newOwner.ID())
+		}
+	}
+}
+
+// TestClusterSnapshotWithoutRestoreCountsGap certifies the audit signal
+// for a one-sided hook configuration: a handed-over snapshot the taker
+// cannot install (no Restore hook) must be counted as a catch-up gap —
+// the node serves from a blank baseline, and that must be visible, just
+// like a failed restore.
+func TestClusterSnapshotWithoutRestoreCountsGap(t *testing.T) {
+	namingAddr := startNaming(t)
+	var nodes []*Node
+	for _, id := range []string{"s1", "s2", "s3"} {
+		_, n := startLedgerNode(t, id, namingAddr, func(cfg *Config) {
+			cfg.Restore = nil // Snapshot stays set: baselines ship but cannot land
+		})
+		nodes = append(nodes, n)
+	}
+	owners := waitOwnership(t, nodes...)
+	victim := owners["alpha"]
+	var gateway *Node
+	for _, n := range nodes {
+		if n != victim {
+			gateway = n
+			break
+		}
+	}
+	ctx := context.Background()
+	for i := 0; i < 5; i++ {
+		if _, err := gateway.Invoke(ctx, "alpha-put", fmt.Sprintf("a-s-%d", i)); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+
+	victim.Close() // graceful: ships a snapshot the successor cannot install
+
+	var survivors []*Node
+	for _, n := range nodes {
+		if n != victim {
+			survivors = append(survivors, n)
+		}
+	}
+	newOwner := liveOwnerOf(t, survivors, "alpha", 5*time.Second)
+	found := false
+	for _, s := range newOwner.SyncStatus() {
+		if s.Domain != "alpha" {
+			continue
+		}
+		found = true
+		if s.Restored {
+			t.Fatal("takeover claims a restore without a Restore hook")
+		}
+		if s.CatchupGaps == 0 {
+			t.Fatal("discarded snapshot left no audit signal (no catch-up gap counted)")
+		}
+	}
+	if !found {
+		t.Fatal("new owner has no replication status for alpha")
+	}
+}
+
 // TestClusterStaleSyncOfferRefused certifies replication fencing: an offer
 // at a term not above what the receiver already leads the domain at is
 // refused with the plane's one stale-term sentinel — a zombie leader's

@@ -173,8 +173,16 @@ func (n *Node) catchUp(domain string, lease naming.DomainLease) {
 	gaps := st.Gaps
 	restored, applied := false, 0
 	if held {
-		if len(st.Snapshot) > 0 && n.cfg.Restore != nil {
-			if err := n.cfg.Restore(domain, st.Snapshot); err != nil {
+		if len(st.Snapshot) > 0 {
+			if n.cfg.Restore == nil {
+				// The previous owner handed over a baseline we cannot
+				// install: the entry suffix past SnapSeq replays onto a
+				// blank state. Count the gap so the discarded prefix is
+				// auditable, exactly like a failed restore.
+				gaps++
+				n.logf("cluster %s: takeover %s: snapshot through seq %d held but no Restore hook configured; replaying suffix onto a blank baseline",
+					n.cfg.ID, domain, st.SnapSeq)
+			} else if err := n.cfg.Restore(domain, st.Snapshot); err != nil {
 				n.logf("cluster %s: restore %s snapshot (seq %d): %v", n.cfg.ID, domain, st.SnapSeq, err)
 				gaps++
 			} else {

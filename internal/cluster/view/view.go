@@ -43,6 +43,10 @@ type SyncStatus struct {
 	SnapshotsSent uint64 `json:"snapshots_sent,omitempty"`
 	OfferErrors   uint64 `json:"offer_errors,omitempty"`
 	Overflows     uint64 `json:"overflows,omitempty"`
+	// Skipped counts lost sequences the streamer abandoned after an
+	// overflow with no snapshot hook to resync from: the receiver saw a
+	// gap instead of the stream wedging.
+	Skipped uint64 `json:"skipped,omitempty"`
 
 	ReplicaFrom    string `json:"replica_from,omitempty"`
 	ReplicaTerm    uint64 `json:"replica_term,omitempty"`

@@ -66,6 +66,7 @@ type Log struct {
 	head     atomic.Uint64 // last assigned sequence (0 = empty)
 	acked    atomic.Uint64 // acknowledged high-water mark; entries <= acked are reclaimable
 	overflow atomic.Uint64 // appends refused because the unacked window was full
+	skipped  atomic.Uint64 // lost sequences abandoned by SkipGap (no snapshot available)
 	gapped   atomic.Bool   // the log has lost an entry since the last resync
 }
 
@@ -130,6 +131,37 @@ func (l *Log) Ack(seq uint64) {
 	}
 }
 
+// SkipGap abandons the hole at the front of the unacknowledged window: a
+// refused append consumes a sequence whose slot is never published, so
+// the reader would otherwise stall at it forever. The acknowledged mark
+// advances to just before the next published sequence (or to head when
+// nothing further is published), the abandoned range is counted, and the
+// gapped flag clears. The streamer calls it only when no snapshot resync
+// is available — the lost range is then surfaced to the receiver as a
+// sequence gap instead of wedging replication for the rest of the term.
+// Single-reader, like ReadFrom. Returns how many sequences were abandoned.
+func (l *Log) SkipGap() uint64 {
+	from := l.acked.Load()
+	head := l.head.Load()
+	if from >= head {
+		return 0
+	}
+	skipTo := head
+	for seq := from + 1; seq <= head; seq++ {
+		if l.slots[seq&l.mask].ready.Load() == seq {
+			skipTo = seq - 1
+			break
+		}
+	}
+	if skipTo <= from {
+		return 0
+	}
+	l.Ack(skipTo)
+	l.skipped.Add(skipTo - from)
+	l.gapped.Store(false)
+	return skipTo - from
+}
+
 // LastSeq returns the last assigned sequence number.
 func (l *Log) LastSeq() uint64 { return l.head.Load() }
 
@@ -141,6 +173,9 @@ func (l *Log) Pending() uint64 { return l.head.Load() - l.acked.Load() }
 
 // Overflows returns how many appends were refused for a full window.
 func (l *Log) Overflows() uint64 { return l.overflow.Load() }
+
+// Skipped returns how many lost sequences SkipGap has abandoned.
+func (l *Log) Skipped() uint64 { return l.skipped.Load() }
 
 // Gapped reports whether the log has lost an entry since the last resync.
 func (l *Log) Gapped() bool { return l.gapped.Load() }

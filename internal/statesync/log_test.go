@@ -62,6 +62,46 @@ func TestLogOverflowBoundsLag(t *testing.T) {
 	}
 }
 
+// TestLogSkipGapResumesAfterOverflow pins the no-snapshot overflow
+// remedy: a refused append consumes a sequence whose slot is never
+// published, so the reader stalls at the hole — SkipGap abandons the lost
+// range (counted) and streaming resumes at the next published entry
+// instead of wedging for the rest of the term.
+func TestLogSkipGapResumesAfterOverflow(t *testing.T) {
+	l := NewLog("alpha", 16)
+	for i := 0; i < l.Capacity(); i++ {
+		if _, ok := l.Append(1, "put", nil); !ok {
+			t.Fatalf("append %d refused below capacity", i)
+		}
+	}
+	if _, ok := l.Append(1, "put", nil); ok { // seq 17: the hole
+		t.Fatal("append accepted past a full window")
+	}
+	l.Ack(uint64(l.Capacity())) // successor caught up on the published prefix
+	if _, ok := l.Append(1, "put", nil); !ok { // seq 18: window reopened
+		t.Fatal("append refused after the window drained")
+	}
+	// The reader stalls at the never-published seq 17...
+	if got := l.ReadFrom(l.Acked(), 100); len(got) != 0 {
+		t.Fatalf("read %d entries across an unpublished hole", len(got))
+	}
+	// ...until SkipGap abandons it: streaming resumes at 18.
+	if n := l.SkipGap(); n != 1 {
+		t.Fatalf("skipped %d sequences, want 1", n)
+	}
+	if l.Gapped() || l.Skipped() != 1 {
+		t.Fatalf("gapped=%v skipped=%d after skip", l.Gapped(), l.Skipped())
+	}
+	got := l.ReadFrom(l.Acked(), 100)
+	if len(got) != 1 || got[0].Seq != 18 {
+		t.Fatalf("read after skip: %+v", got)
+	}
+	l.Ack(got[0].Seq)
+	if p := l.Pending(); p != 0 {
+		t.Fatalf("pending %d after draining past the hole", p)
+	}
+}
+
 func TestLogWrapWithAcks(t *testing.T) {
 	l := NewLog("alpha", 16)
 	// Acknowledge as we go: many times the capacity flows through.

@@ -97,6 +97,13 @@ type stream struct {
 	log  *Log
 	term uint64
 
+	// flushMu serializes flushOne between the background streamLoop and a
+	// synchronous Handoff. Log.ReadFrom/Ack are single-reader: two
+	// concurrent flushers could advance acked under each other's stale
+	// read position and ship a torn or stale entry.
+	flushMu sync.Mutex
+	stalls  int // consecutive flush rounds stalled at a log hole (under flushMu)
+
 	mu        sync.Mutex
 	succ      string
 	needSnap  bool // successor changed (or gap with a snapshot available): resend the baseline
@@ -209,13 +216,30 @@ func (m *Manager) publishStreams(mutate func(map[string]*stream)) {
 }
 
 // Lead begins capturing and streaming effects for domain at term, with a
-// fresh log (a new leadership starts a new sequence).
+// fresh log (a new leadership starts a new sequence). Leading the same
+// domain at an unchanged term is a no-op: the lease was re-acquired
+// without ever expiring (e.g. after a transient renew failure), so the
+// live log — and the successor replica tracking its sequence — stay
+// valid; restarting the sequence at 1 would make every new entry look
+// like a duplicate downstream.
 func (m *Manager) Lead(domain string, term uint64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if s := (*m.streams.Load())[domain]; s != nil && s.term == term {
+		return
+	}
 	m.publishStreams(func(tab map[string]*stream) {
 		tab[domain] = &stream{log: NewLog(domain, m.cfg.Capacity), term: term}
 	})
+}
+
+// Leading reports whether this node is capturing effects for domain, and
+// at which term.
+func (m *Manager) Leading(domain string) (uint64, bool) {
+	if s := (*m.streams.Load())[domain]; s != nil {
+		return s.term, true
+	}
+	return 0, false
 }
 
 // Release stops leading domain (lease lost or handed over).
@@ -319,8 +343,12 @@ func (m *Manager) streamLoop() {
 
 // flushOne sends one offer for domain when there is anything pending (or
 // force). It returns the first error; transport failures are counted and
-// retried by the next round.
+// retried by the next round. Serialized per stream: the background
+// streamLoop and a synchronous Handoff may both flush the same domain,
+// and the log's read side is single-reader.
 func (m *Manager) flushOne(domain string, s *stream, force bool) error {
+	s.flushMu.Lock()
+	defer s.flushMu.Unlock()
 	s.mu.Lock()
 	succ := s.succ
 	needSnap := s.needSnap || (s.log.Gapped() && m.cfg.Snapshot != nil)
@@ -355,6 +383,25 @@ func (m *Manager) flushOne(domain string, s *stream, force bool) error {
 		from = offer.SnapSeq
 	}
 	offer.Entries = s.log.ReadFrom(from, m.cfg.Batch)
+	if offer.Snapshot == nil && len(offer.Entries) == 0 && s.log.Gapped() &&
+		s.log.Pending() > 0 && m.cfg.Snapshot == nil {
+		// Stalled at a hole left by a refused append, with no snapshot to
+		// escalate to. Give a concurrent in-flight append one round to
+		// publish its slot, then abandon the lost range: the receiver
+		// surfaces the sequence gap (HandleOffer counts it and restarts
+		// the suffix), instead of replication wedging for the rest of the
+		// term and every later append overflowing in turn.
+		if s.stalls++; s.stalls > 1 {
+			s.stalls = 0
+			if n := s.log.SkipGap(); n > 0 {
+				m.logf("statesync %s: domain %s: abandoned %d unreplicated effects (overflow, no snapshot hook)",
+					m.cfg.Node, domain, n)
+				offer.Entries = s.log.ReadFrom(s.log.Acked(), m.cfg.Batch)
+			}
+		}
+	} else {
+		s.stalls = 0
+	}
 	if offer.Snapshot == nil && len(offer.Entries) == 0 && !force {
 		return nil
 	}
@@ -581,6 +628,7 @@ func (m *Manager) Status() []view.SyncStatus {
 		st.SnapshotsSent = s.snapsSent
 		st.OfferErrors = s.offerErrs
 		st.Overflows = s.log.Overflows()
+		st.Skipped = s.log.Skipped()
 		s.mu.Unlock()
 	}
 	m.mu.Lock()

@@ -132,6 +132,120 @@ func TestManagerHandoffSnapshot(t *testing.T) {
 	}
 }
 
+// TestManagerLeadSameTermKeepsLog pins the idempotent re-lead: a lease
+// re-acquired at an unchanged term (the holder never lost it — e.g. a
+// transient renew failure dropped it locally) must keep the live log.
+// Restarting the sequence at 1 would make the successor's replica — which
+// already tracks this term's sequence — refuse every later effect as a
+// duplicate.
+func TestManagerLeadSameTermKeepsLog(t *testing.T) {
+	a, b, _ := newPair(t, nil)
+	a.Lead("alpha", 3)
+	a.SetSuccessor("alpha", "B")
+	const per = 5
+	for i := 0; i < per; i++ {
+		a.Capture("alpha", "put", []any{i})
+	}
+	waitFor(t, "replica to reach the head", func() bool { return replicaSeq(b, "alpha") == per })
+
+	a.Lead("alpha", 3) // same term: must be a no-op
+	if term, ok := a.Leading("alpha"); !ok || term != 3 {
+		t.Fatalf("leading=%v term=%d after same-term re-lead", ok, term)
+	}
+	if seq := a.Seq("alpha"); seq != per {
+		t.Fatalf("sequence restarted on same-term re-lead: seq=%d, want %d", seq, per)
+	}
+	// Replication keeps flowing: later captures extend the same sequence
+	// and land on the replica instead of being dropped as duplicates.
+	for i := per; i < 2*per; i++ {
+		a.Capture("alpha", "put", []any{i})
+	}
+	waitFor(t, "replica to advance past the re-lead", func() bool { return replicaSeq(b, "alpha") == 2*per })
+
+	a.Lead("alpha", 4) // a genuinely new leadership starts a fresh sequence
+	if seq := a.Seq("alpha"); seq != 0 {
+		t.Fatalf("new-term lead kept the old sequence: seq=%d", seq)
+	}
+}
+
+// TestManagerSkipsHoleWithoutSnapshot pins the no-snapshot overflow path:
+// the streamer abandons the lost range (surfacing a gap to the receiver)
+// instead of stalling at the hole forever — which would silently stop
+// replication for the rest of the term and wedge every later Handoff.
+func TestManagerSkipsHoleWithoutSnapshot(t *testing.T) {
+	tr := &pipeTransport{peers: map[string]*Manager{}}
+	blocked := true
+	var mu sync.Mutex
+	tr.fail = func(o Offer) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if blocked {
+			return errors.New("partitioned")
+		}
+		return nil
+	}
+	a, err := NewManager(Config{Node: "A", Transport: tr, Capacity: 16, Interval: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(a.Close)
+	b, err := NewManager(Config{Node: "B", Transport: tr, Interval: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(b.Close)
+	tr.peers["B"] = b
+
+	a.Lead("alpha", 1)
+	a.SetSuccessor("alpha", "B")
+	// Overfill while the successor is unreachable: appends past the window
+	// are refused, leaving a hole no snapshot can cover.
+	for i := 0; i < 40; i++ {
+		a.Capture("alpha", "put", []any{i})
+	}
+	overflowed := false
+	for _, st := range a.Status() {
+		if st.Domain == "alpha" && st.Overflows > 0 {
+			overflowed = true
+		}
+	}
+	if !overflowed {
+		t.Fatal("log never overflowed under a dead successor")
+	}
+	// Heal: the published prefix ships, then the streamer abandons the
+	// lost range and the lag drains instead of wedging.
+	mu.Lock()
+	blocked = false
+	mu.Unlock()
+	waitFor(t, "lag to drain past the hole", func() bool {
+		for _, st := range a.Status() {
+			if st.Domain == "alpha" {
+				return st.Lag == 0 && st.Skipped > 0
+			}
+		}
+		return false
+	})
+	// Later effects keep streaming, and the receiver records the gap.
+	for i := 40; i < 45; i++ {
+		a.Capture("alpha", "put", []any{i})
+	}
+	waitFor(t, "post-hole suffix to reach the replica", func() bool {
+		for _, st := range b.Status() {
+			if st.Domain == "alpha" {
+				return st.ReplicaSeq == 45 && st.Gaps > 0
+			}
+		}
+		return false
+	})
+	// A graceful handoff drains instead of spinning to its deadline.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	seq, err := a.Handoff(ctx, "alpha", "B")
+	if err != nil || seq != 45 {
+		t.Fatalf("handoff after overflow: seq=%d err=%v", seq, err)
+	}
+}
+
 // TestManagerStaleLeaderFencedOff pins replication fencing: a receiver
 // that itself leads the domain at the same (or higher) term refuses the
 // offer, and the sender treats the refusal as terminal.
