@@ -17,6 +17,12 @@
 #                      admission overhead baseline
 #   make bench-statesync — regenerate the committed BENCH_6.json state
 #                      handoff baseline (capture overhead + handoff latency)
+#   make bench-loop  — regenerate the committed BENCH_7.json closed-loop
+#                      batched admission baseline (TCP loop, shed, contended
+#                      + uncontended admission cells)
+#   make loop-smoke  — a -quick E19 pass into a scratch dir, asserting the
+#                      closed loop loses nothing (lost=0, residue=0), the
+#                      contention gate fires, and sheds carry retry hints
 #   make obs-smoke   — boot ticketd with -obs, drive load, assert /metrics
 #                      and /trace serve live non-empty data
 #   make shadow-smoke — boot ticketd with -shadow 1 (every admission
@@ -32,14 +38,16 @@
 #                      kill via effect-log catch-up, and stale-term
 #                      replication fencing
 #   make check       — tier1 + lint + race + fuzz-smoke + obs-smoke +
-#                      shadow-smoke + cluster-smoke + handoff-smoke
+#                      shadow-smoke + cluster-smoke + handoff-smoke +
+#                      loop-smoke
 
 GO ?= go
 FUZZTIME ?= 10s
 OBS_SMOKE_DIR := $(or $(TMPDIR),/tmp)/obs-smoke
 SHADOW_SMOKE_DIR := $(or $(TMPDIR),/tmp)/shadow-smoke
+LOOP_SMOKE_DIR := $(or $(TMPDIR),/tmp)/loop-smoke
 
-.PHONY: tier1 lint race fuzz-smoke bench bench-matrix bench-shadow bench-statesync obs-smoke shadow-smoke cluster-smoke handoff-smoke check
+.PHONY: tier1 lint race fuzz-smoke bench bench-matrix bench-shadow bench-statesync bench-loop loop-smoke obs-smoke shadow-smoke cluster-smoke handoff-smoke check
 
 tier1:
 	$(GO) build ./...
@@ -69,6 +77,23 @@ bench-shadow:
 
 bench-statesync:
 	$(GO) run ./cmd/ambench -statesync-json BENCH_6.json
+
+bench-loop:
+	$(GO) run ./cmd/ambench -loop-json BENCH_7.json
+
+# A fast E19 pass into a scratch dir. Not a performance claim — the quick
+# geometry is too small for stable ratios — but the correctness clauses
+# must hold at any scale: the closed loop completes every admission
+# (lost=0), the ticket buffer drains (residue=0), the contention gate's
+# mutex-free probe fires, and every shed response carries a retry hint.
+loop-smoke:
+	rm -rf $(LOOP_SMOKE_DIR) && mkdir -p $(LOOP_SMOKE_DIR)
+	$(GO) run ./cmd/ambench -quick -loop-json $(LOOP_SMOKE_DIR)/loop.json
+	grep -q '"lost": 0' $(LOOP_SMOKE_DIR)/loop.json || { echo "loop-smoke: closed loop lost admissions"; exit 1; }
+	grep -q '"residue": 0' $(LOOP_SMOKE_DIR)/loop.json || { echo "loop-smoke: ticket buffer residue at quiescence"; exit 1; }
+	grep -q '"mutex_bypasses": [1-9]' $(LOOP_SMOKE_DIR)/loop.json || { echo "loop-smoke: contention gate never bypassed"; exit 1; }
+	grep -q '"retry_after_ms_max": [1-9]' $(LOOP_SMOKE_DIR)/loop.json || { echo "loop-smoke: sheds carried no retry-after hint"; exit 1; }
+	@echo "loop-smoke: OK"
 
 fuzz-smoke:
 	$(GO) test ./internal/amrpc -run '^$$' -fuzz '^FuzzDecodeRequest$$' -fuzztime $(FUZZTIME)
@@ -146,4 +171,4 @@ handoff-smoke:
 		-run 'TestClusterGracefulHandoffSnapshot|TestClusterHardKillLogCatchup|TestClusterStaleSyncOfferRefused|TestClusterSameTermReacquireKeepsReplication|TestClusterSnapshotWithoutRestoreCountsGap'
 	@echo "handoff-smoke: OK"
 
-check: tier1 lint race fuzz-smoke obs-smoke shadow-smoke cluster-smoke handoff-smoke
+check: tier1 lint race fuzz-smoke obs-smoke shadow-smoke cluster-smoke handoff-smoke loop-smoke

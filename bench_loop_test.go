@@ -1,0 +1,123 @@
+package repro_test
+
+// Tier-1 guard for the committed closed-loop batched-admission baseline:
+// BENCH_7.json (the E19 report written by `make bench-loop`) must parse,
+// declare the current schema, and pin the PR-10 trajectory. Three claims
+// carry the weight: the contended guarded cell must show the full
+// admission ladder at least 1.3x over the fully unbatched mutex path; the
+// uncontended cell must show the rings taxing an idle fast path by at most
+// 5%; and the TCP closed loop must show the batched deployment holding
+// parity with the unbatched one (the contention gate's promise — on hosts
+// where the mutex never backs up, the ring stays out of the way instead of
+// taxing the loop with drain-for-me round trips). The honesty clauses —
+// zero lost admissions, zero buffer residue, balanced shed accounting —
+// make a wake-losing or receipt-leaking batch bug fail the build even if
+// the throughput numbers happen to look right.
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func TestLoopBaselineTrajectory(t *testing.T) {
+	data, err := os.ReadFile("BENCH_7.json")
+	if err != nil {
+		t.Fatalf("committed closed-loop baseline missing (run `make bench-loop`): %v", err)
+	}
+	var rep bench.LoopReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("BENCH_7.json does not parse: %v", err)
+	}
+	if rep.Schema != bench.LoopSchema {
+		t.Fatalf("schema = %q, want %q", rep.Schema, bench.LoopSchema)
+	}
+
+	// The headline trajectory: the shipped ladder (optimistic tier +
+	// gated rings) over the fully unbatched mutex-per-invocation path on
+	// the contended guarded cell, pinned at the BENCH_4 matrix's 8-proc
+	// geometry.
+	if rep.Contended.Procs != 8 {
+		t.Fatalf("contended cell ran at %d procs, want 8", rep.Contended.Procs)
+	}
+	if rep.Contended.Speedup < 1.3 {
+		t.Fatalf("contended ladder speedup = %.2fx, want >= 1.3x over the unbatched mutex path", rep.Contended.Speedup)
+	}
+	// Rings must be free when idle: an uncontended guarded caller is
+	// served by the optimistic tier and never touches a ring, so compiling
+	// the rings in may cost at most 5%.
+	if rep.Uncontended.Ratio <= 0 || rep.Uncontended.Ratio > 1.05 {
+		t.Fatalf("uncontended latency ratio (rings on / rings off) = %.3f, want (0, 1.05]", rep.Uncontended.Ratio)
+	}
+
+	// The closed loop: parity or better. The gate routes an op to the ring
+	// only when the domain mutex is observably held, so the batched
+	// deployment must not trail the unbatched one by more than the
+	// measurement's own jitter.
+	b, u := rep.Batched, rep.Unbatched
+	if b.OpsPerSec <= 0 || u.OpsPerSec <= 0 {
+		t.Fatalf("non-positive loop throughput: batched=%.0f unbatched=%.0f", b.OpsPerSec, u.OpsPerSec)
+	}
+	if b.OpsPerSec < 0.85*u.OpsPerSec {
+		t.Fatalf("batched closed loop = %.0f pairs/s vs unbatched %.0f: the rings are taxing the loop", b.OpsPerSec, u.OpsPerSec)
+	}
+	for _, v := range []struct {
+		name string
+		lv   bench.LoopVariant
+	}{{"batched", b}, {"unbatched", u}} {
+		if v.lv.P50Micros <= 0 || v.lv.P50Micros > v.lv.P99Micros {
+			t.Fatalf("%s latencies malformed: p50=%.0fus p99=%.0fus", v.name, v.lv.P50Micros, v.lv.P99Micros)
+		}
+		// The pipelined writer must coalesce: every flush carries at least
+		// one frame, and frames-per-flush >= 1 means the writev-shaped
+		// batching actually fired.
+		if v.lv.Flushes == 0 || v.lv.Flushes > v.lv.FlushFrames {
+			t.Fatalf("%s flush accounting malformed: flushes=%d frames=%d", v.name, v.lv.Flushes, v.lv.FlushFrames)
+		}
+	}
+
+	// Both halves of the contention gate must have fired in the batched
+	// variant: bypasses (the mutex was free, the plain path served the op)
+	// and real ring traffic (the mutex was held, the op batched), with the
+	// histogram accounting for every drain pass.
+	if b.Ring.MutexBypasses == 0 {
+		t.Fatal("gate never bypassed: the probe is not routing uncontended ops to the mutex path")
+	}
+	if b.Ring.Submitted == 0 || b.Ring.Batches == 0 {
+		t.Fatalf("rings never engaged under the closed loop: %+v", b.Ring)
+	}
+	var bucketed uint64
+	for _, n := range b.Ring.BatchSizes {
+		bucketed += n
+	}
+	if bucketed != b.Ring.Batches {
+		t.Fatalf("batch histogram holds %d passes, counters say %d", bucketed, b.Ring.Batches)
+	}
+	if u.Ring.Submitted != 0 {
+		t.Fatalf("unbatched variant touched a ring: %+v", u.Ring)
+	}
+
+	// The honesty clauses: every admission completed and the ticket buffer
+	// drained — a batch path that loses a wake or leaks a receipt shows up
+	// here, not in production.
+	if rep.Lost != 0 {
+		t.Fatalf("%d admissions never completed: a wake was lost or a receipt leaked", rep.Lost)
+	}
+	if rep.Residue != 0 {
+		t.Fatalf("ticket buffer held %d entries at quiescence", rep.Residue)
+	}
+
+	// The shed cell: refuse-before-park must both fire and not starve.
+	s := rep.Shed
+	if s.Shed == 0 || s.Served == 0 {
+		t.Fatalf("shed cell degenerate: served=%d shed=%d (want both nonzero)", s.Served, s.Shed)
+	}
+	if s.Attempts != s.Served+s.Shed {
+		t.Fatalf("shed accounting off: attempts=%d served=%d shed=%d", s.Attempts, s.Served, s.Shed)
+	}
+	if s.RetryAfterMSMax < 1 {
+		t.Fatalf("sheds carried no retry-after hint: max=%dms", s.RetryAfterMSMax)
+	}
+}

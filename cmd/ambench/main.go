@@ -10,6 +10,7 @@
 //	ambench -matrix-json BENCH_4.json  # E14 only: write the GOMAXPROCS matrix baseline
 //	ambench -shadow-json BENCH_5.json  # E15 only: write the shadow overhead baseline
 //	ambench -statesync-json BENCH_6.json  # E18 only: write the state handoff baseline
+//	ambench -loop-json BENCH_7.json  # E19 only: write the closed-loop batched admission baseline
 //
 // Passing BOTH -json and -obs-json is the canonical baseline run (what
 // `make bench` does): the contended variants of E12 and E13 are measured
@@ -39,6 +40,7 @@ func main() {
 		matrixPath = flag.String("matrix-json", "", "run the E14 GOMAXPROCS x workload matrix and write the JSON report to this path")
 		shadowPath = flag.String("shadow-json", "", "run the E15 shadow admission overhead family and write the JSON report to this path")
 		syncPath   = flag.String("statesync-json", "", "run the E18 state handoff family and write the JSON report to this path")
+		loopPath   = flag.String("loop-json", "", "run the E19 closed-loop batched admission family and write the JSON report to this path")
 	)
 	flag.Parse()
 
@@ -56,6 +58,9 @@ func main() {
 		return
 	case *syncPath != "":
 		writeJSONReport(*syncPath, func() (any, error) { return bench.Statesync(cfg) })
+		return
+	case *loopPath != "":
+		writeJSONReport(*loopPath, func() (any, error) { return bench.Loop(cfg) })
 		return
 	case *jsonPath != "" && *obsPath != "":
 		domRep, obsRep, err := bench.Baselines(cfg)

@@ -53,6 +53,8 @@ type options struct {
 	auditCap    int
 	readTO      time.Duration
 	maxLine     int
+	maxConc     int
+	shedMark    int
 	obsAddr     string
 	obsSample   int
 	obsTrace    int
@@ -73,7 +75,9 @@ func main() {
 	flag.IntVar(&o.auditCap, "audit", 1024, "audit trail capacity (0 disables)")
 	flag.DurationVar(&o.readTO, "read-timeout", 5*time.Minute, "per-connection inactivity deadline (0 disables)")
 	flag.IntVar(&o.maxLine, "max-line", 4*1024*1024, "max request frame size in bytes")
-	flag.StringVar(&o.obsAddr, "obs", "", "introspection HTTP address serving /metrics, /trace, /describe, /shadow, /cluster (empty disables)")
+	flag.IntVar(&o.maxConc, "max-conn-concurrency", 256, "bound on in-flight requests per connection (the worker pool)")
+	flag.IntVar(&o.shedMark, "shed-watermark", 0, "shed requests with CodeOverloaded when a method's ring + waiter depth reaches this (0 disables)")
+	flag.StringVar(&o.obsAddr, "obs", "", "introspection HTTP address serving /metrics, /trace, /describe, /shadow, /cluster, /ring (empty disables)")
 	flag.IntVar(&o.obsSample, "obs-sample", obs.DefaultSampleEvery, "trace 1 in N admissions in detail (<=1 traces all)")
 	flag.IntVar(&o.obsTrace, "obs-trace", obs.DefaultRingCapacity, "per-domain trace ring capacity")
 	flag.IntVar(&o.shadowEvery, "shadow", 0, "shadow admission: replay 1 in N live admissions against the reference semantics (0 disables)")
@@ -142,6 +146,29 @@ func run(o options) error {
 
 	// Serve either standalone (a plain amrpc server) or as one replica of
 	// the distributed admission plane.
+	serverOpts := []amrpc.ServerOption{
+		amrpc.WithReadTimeout(o.readTO),
+		amrpc.WithMaxLineBytes(o.maxLine),
+		amrpc.WithMaxConcurrentPerConn(o.maxConc),
+	}
+	if o.shedMark > 0 {
+		mod := g.Moderator()
+		wm := o.shedMark
+		serverOpts = append(serverOpts, amrpc.WithShedPolicy(func(component, method string) (int64, bool) {
+			p := mod.Pressure(method)
+			if p < wm {
+				return 0, false
+			}
+			// The retry hint grows with the overshoot, capped at a second:
+			// deeper backlog, longer backoff.
+			ra := int64(p - wm + 1)
+			if ra > 1000 {
+				ra = 1000
+			}
+			return ra, true
+		}))
+		log.Printf("admission-aware shedding on: refuse before parking at ring + waiter depth >= %d", wm)
+	}
 	var (
 		srv       *amrpc.Server
 		node      *cluster.Node
@@ -172,7 +199,7 @@ func run(o options) error {
 			Naming:        o.namingAddr,
 			LeaseTTL:      o.clusterTTL,
 			MemberTTL:     o.clusterTTL,
-			ServerOptions: []amrpc.ServerOption{amrpc.WithReadTimeout(o.readTO), amrpc.WithMaxLineBytes(o.maxLine)},
+			ServerOptions: serverOpts,
 			Logf:          log.Printf,
 		}, o.addr)
 		if err != nil {
@@ -187,7 +214,7 @@ func run(o options) error {
 		log.Printf("state replication on: owned domains stream guarded effects to their ring successor " +
 			"(watch per-domain lag with `ticketcli obs -view cluster`)")
 	} else {
-		srv = amrpc.NewServer(amrpc.WithReadTimeout(o.readTO), amrpc.WithMaxLineBytes(o.maxLine))
+		srv = amrpc.NewServer(serverOpts...)
 		if err := srv.Register(g.Proxy()); err != nil {
 			return err
 		}
@@ -205,6 +232,14 @@ func run(o options) error {
 		collector.Registry().GaugeFunc("obs_trace_drops",
 			"Trace events dropped by ring contention.",
 			func() float64 { return float64(collector.Drops()) })
+		if srv != nil {
+			collector.Registry().GaugeFunc("am_shed_total",
+				"Requests refused with CodeOverloaded by the admission-aware shed policy.",
+				func() float64 { return float64(srv.Stats().Sheds) })
+			collector.Registry().GaugeFunc("am_conn_rejected_total",
+				"Requests refused because a connection's work queue was full.",
+				func() float64 { return float64(srv.Stats().Rejected) })
+		}
 		obsLn, err = net.Listen("tcp", o.obsAddr)
 		if err != nil {
 			if srv != nil {

@@ -533,7 +533,7 @@ func (c *Client) callOnce(parent context.Context, component, method, token strin
 			return nil, fmt.Errorf("amrpc: %s.%s: %s: %w", component, method, resp.Err, ErrTransport)
 		}
 		if resp.Err != "" {
-			return nil, &RemoteError{Code: resp.Code, Msg: resp.Err}
+			return nil, &RemoteError{Code: resp.Code, Msg: resp.Err, RetryAfterMS: resp.RetryAfterMS}
 		}
 		if len(resp.Result) == 0 {
 			return nil, nil

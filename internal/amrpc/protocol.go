@@ -59,6 +59,10 @@ type response struct {
 	Result json.RawMessage `json:"result,omitempty"`
 	Err    string          `json:"err,omitempty"`
 	Code   string          `json:"code,omitempty"`
+	// RetryAfterMS accompanies CodeOverloaded: the server's hint for how
+	// long the client should back off before resubmitting. Zero means the
+	// server offered no hint.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
 	// Sum mirrors request.Sum: frame integrity for the return path.
 	Sum uint32 `json:"sum,omitempty"`
 }
@@ -146,7 +150,17 @@ const (
 	CodeBadRequest      = "bad-request"
 	CodeInternal        = "internal"
 	CodeStaleTerm       = "stale-term"
+	// CodeOverloaded marks a request the server refused before admission:
+	// either its connection's work queue was full, or the admission-aware
+	// shed policy judged the target domain too deep to park another
+	// caller. The response may carry a retry-after hint.
+	CodeOverloaded = "overloaded"
 )
+
+// ErrOverloaded is the sentinel behind CodeOverloaded: the server shed the
+// request before it reached the moderator, so no aspect saw it and no
+// guard state changed — always safe to retry after backing off.
+var ErrOverloaded = errors.New("amrpc: server overloaded")
 
 // RemoteError is an application error transported over the RPC boundary.
 // It unwraps to the framework sentinel matching its code, so errors.Is
@@ -154,6 +168,9 @@ const (
 type RemoteError struct {
 	Code string
 	Msg  string
+	// RetryAfterMS is the server's backoff hint on CodeOverloaded
+	// rejections; zero when the server offered none.
+	RetryAfterMS int64
 }
 
 // Error implements error.
@@ -180,6 +197,7 @@ var codeToSentinel = map[string]error{
 	CodeCancelled:       context.Canceled,
 	CodeDeadline:        context.DeadlineExceeded,
 	CodeStaleTerm:       naming.ErrStaleTerm,
+	CodeOverloaded:      ErrOverloaded,
 }
 
 // codeFor classifies a server-side error for the wire.
@@ -203,6 +221,8 @@ func codeFor(err error) string {
 		return CodeDeadline
 	case errors.Is(err, naming.ErrStaleTerm):
 		return CodeStaleTerm
+	case errors.Is(err, ErrOverloaded):
+		return CodeOverloaded
 	case errors.Is(err, aspect.ErrAborted):
 		return CodeAborted
 	default:

@@ -28,12 +28,23 @@ type Component interface {
 	Call(inv *aspect.Invocation) (any, error)
 }
 
+// ShedPolicy decides, before a request is dispatched to a worker, whether
+// the server should refuse it outright with CodeOverloaded. It is the hook
+// through which admission-aware load shedding reaches the transport: a
+// deployment wires in the moderator's ring + waiter depth (Pressure) and
+// sheds when a domain is already too deep to park another caller — the
+// request never reaches an aspect, so no guard state changes. The returned
+// retryAfterMS travels to the client as a backoff hint (0 = no hint).
+type ShedPolicy func(component, method string) (retryAfterMS int64, shed bool)
+
 // Server hosts guarded components behind a TCP listener. Construct with
 // NewServer, register components, then call Serve.
 type Server struct {
-	readTimeout  time.Duration
-	maxLineBytes int
-	stats        serverStats
+	readTimeout   time.Duration
+	maxLineBytes  int
+	maxConcurrent int
+	shed          ShedPolicy
+	stats         serverStats
 
 	mu         sync.Mutex
 	components map[string]Component
@@ -67,14 +78,33 @@ func WithMaxLineBytes(n int) ServerOption {
 	}
 }
 
+// WithMaxConcurrentPerConn bounds the worker pool serving one connection
+// (default 256). A pipelining client can keep at most n requests in flight
+// plus n queued; beyond that the server answers CodeOverloaded instead of
+// spawning goroutines, so one connection cannot exhaust the process.
+func WithMaxConcurrentPerConn(n int) ServerOption {
+	return func(s *Server) {
+		if n > 0 {
+			s.maxConcurrent = n
+		}
+	}
+}
+
+// WithShedPolicy installs the admission-aware shed hook. A nil policy (the
+// default) never sheds.
+func WithShedPolicy(p ShedPolicy) ServerOption {
+	return func(s *Server) { s.shed = p }
+}
+
 // NewServer creates an empty server.
 func NewServer(opts ...ServerOption) *Server {
 	s := &Server{
-		readTimeout:  5 * time.Minute,
-		maxLineBytes: 4 * 1024 * 1024,
-		components:   make(map[string]Component, 4),
-		listeners:    make(map[net.Listener]struct{}, 1),
-		conns:        make(map[net.Conn]struct{}, 16),
+		readTimeout:   5 * time.Minute,
+		maxLineBytes:  4 * 1024 * 1024,
+		maxConcurrent: 256,
+		components:    make(map[string]Component, 4),
+		listeners:     make(map[net.Listener]struct{}, 1),
+		conns:         make(map[net.Conn]struct{}, 16),
 	}
 	for _, opt := range opts {
 		opt(s)
@@ -105,9 +135,11 @@ func (s *Server) RegisterComponent(c Component) error {
 }
 
 // Serve accepts connections on ln until Close is called or the listener
-// fails. It blocks; run it on a goroutine you own. Each connection is
-// served by one goroutine; requests on a connection are processed
-// concurrently so a blocked invocation does not stall the pipe.
+// fails. It blocks; run it on a goroutine you own. Each connection runs a
+// reader, a bounded worker pool (MaxConcurrentPerConn) and a coalescing
+// writer: requests on a connection are processed concurrently so a blocked
+// invocation does not stall the pipe, but one pipelining client can never
+// spawn more than its cap of handler goroutines.
 func (s *Server) Serve(ln net.Listener) error {
 	// Serve owns ln from here on (like net/http): it is closed when Serve
 	// returns, so a Close racing with Serve's startup cannot leak an open
@@ -179,6 +211,18 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
+// flushBytes is the coalescing writer's flush threshold: responses queued
+// while a write was in progress are gathered into one buffer and written
+// with a single conn.Write once the buffer reaches this size or the queue
+// runs dry, whichever comes first.
+const flushBytes = 64 * 1024
+
+// serveConn runs one connection's pipeline: the reader goroutine (this
+// one) decodes frames and dispatches them to a bounded worker pool; a
+// dedicated writer goroutine coalesces completed responses into writev-
+// shaped flushes. Workers are spawned lazily up to MaxConcurrentPerConn,
+// so an idle or strictly sequential client costs one worker, while a
+// pipelining client is capped instead of spawning a goroutine per request.
 func (s *Server) serveConn(conn net.Conn) {
 	defer func() {
 		_ = conn.Close()
@@ -186,13 +230,9 @@ func (s *Server) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
-	// Handler goroutines of this connection are cancelled when the
-	// connection dies, so blocked invocations do not leak. Deferred calls
-	// run last-registered-first: Wait is registered before cancel so that
-	// cancellation releases any parked handler before we wait for it.
+	// Worker goroutines of this connection are cancelled when the
+	// connection dies, so blocked invocations do not leak.
 	ctx, cancel := context.WithCancel(context.Background())
-	var handlers sync.WaitGroup
-	defer handlers.Wait()
 	defer cancel()
 
 	// touch refreshes the inactivity deadline; reads and response writes
@@ -202,16 +242,74 @@ func (s *Server) serveConn(conn net.Conn) {
 			_ = conn.SetReadDeadline(time.Now().Add(s.readTimeout))
 		}
 	}
-	var writeMu sync.Mutex
-	write := func(resp response) {
-		b, err := sealResponse(&resp)
-		if err != nil {
-			return
+
+	// The writer: the only goroutine that touches conn for output. Each
+	// wake drains everything already queued into one buffer and issues one
+	// Write — k responses completing while a flush is in progress cost one
+	// syscall, not k.
+	respCh := make(chan response, s.maxConcurrent)
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		buf := make([]byte, 0, 16*1024)
+		appendFrame := func(resp *response) int {
+			b, err := sealResponse(resp)
+			if err != nil {
+				return 0
+			}
+			buf = append(buf, b...)
+			buf = append(buf, '\n')
+			return 1
 		}
-		writeMu.Lock()
-		defer writeMu.Unlock()
-		touch()
-		_, _ = conn.Write(append(b, '\n'))
+		open := true
+		for open {
+			resp, ok := <-respCh
+			if !ok {
+				return
+			}
+			buf = buf[:0]
+			frames := appendFrame(&resp)
+			for len(buf) < flushBytes {
+				select {
+				case r, more := <-respCh:
+					if !more {
+						open = false
+					} else {
+						frames += appendFrame(&r)
+					}
+				default:
+				}
+				if !open || len(respCh) == 0 {
+					break
+				}
+			}
+			if frames > 0 {
+				touch()
+				_, _ = conn.Write(buf)
+				s.stats.flushes.Add(1)
+				s.stats.flushFrames.Add(uint64(frames))
+			}
+		}
+	}()
+
+	// The bounded worker pool. Workers are spawned on demand while the
+	// queue has work nobody picked up, never beyond the cap; each exits
+	// when the queue closes.
+	workCh := make(chan *request, s.maxConcurrent)
+	var workers sync.WaitGroup
+	spawned := 0
+	spawnWorker := func() {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			for req := range workCh {
+				resp := s.handle(ctx, req)
+				if resp.Err != "" {
+					s.stats.errorReplies.Add(1)
+				}
+				respCh <- resp
+			}
+		}()
 	}
 
 	touch()
@@ -232,20 +330,51 @@ func (s *Server) serveConn(conn net.Conn) {
 				continue
 			}
 			s.stats.malformed.Add(1)
-			write(response{Err: "malformed request: " + err.Error(), Code: CodeBadRequest})
+			respCh <- response{Err: "malformed request: " + err.Error(), Code: CodeBadRequest}
 			continue
 		}
 		s.stats.requests.Add(1)
-		handlers.Add(1)
-		go func() {
-			defer handlers.Done()
-			resp := s.handle(ctx, req)
-			if resp.Err != "" {
-				s.stats.errorReplies.Add(1)
+		if s.shed != nil {
+			if retryAfter, shed := s.shed(req.Component, req.Method); shed {
+				s.stats.sheds.Add(1)
+				respCh <- response{
+					ID:           req.ID,
+					Err:          "overloaded: admission pressure",
+					Code:         CodeOverloaded,
+					RetryAfterMS: retryAfter,
+				}
+				continue
 			}
-			write(resp)
-		}()
+		}
+		if len(workCh) > 0 {
+			// Approximate: the request is about to wait behind others.
+			s.stats.queued.Add(1)
+		}
+		select {
+		case workCh <- req:
+			if spawned == 0 || (spawned < s.maxConcurrent && len(workCh) > 0) {
+				spawned++
+				spawnWorker()
+			}
+		default:
+			// Cap workers in flight + cap requests queued: the pipe is as
+			// full as this connection is allowed to make it.
+			s.stats.rejected.Add(1)
+			respCh <- response{
+				ID:   req.ID,
+				Err:  "overloaded: connection work queue full",
+				Code: CodeOverloaded,
+			}
+		}
 	}
+
+	// Reader done: release any parked invocation, let the workers drain
+	// what was already queued, then retire the writer.
+	cancel()
+	close(workCh)
+	workers.Wait()
+	close(respCh)
+	<-writerDone
 }
 
 // handle executes one request against the named component's proxy.

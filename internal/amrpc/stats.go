@@ -53,6 +53,11 @@ type serverStats struct {
 	checksumDrops atomic.Uint64
 	malformed     atomic.Uint64
 	errorReplies  atomic.Uint64
+	queued        atomic.Uint64
+	rejected      atomic.Uint64
+	sheds         atomic.Uint64
+	flushes       atomic.Uint64
+	flushFrames   atomic.Uint64
 }
 
 // ServerStats is a snapshot of a Server's wire counters. The state
@@ -71,6 +76,22 @@ type ServerStats struct {
 	// ErrorReplies counts requests answered with an application or
 	// routing error.
 	ErrorReplies uint64 `json:"error_replies"`
+	// Queued counts requests that entered a connection's work queue with
+	// at least one request already ahead of them (approximate: the depth
+	// is sampled at enqueue).
+	Queued uint64 `json:"queued"`
+	// Rejected counts requests refused with CodeOverloaded because their
+	// connection's work queue was full — the MaxConcurrentPerConn bound
+	// holding against a pipelining client.
+	Rejected uint64 `json:"rejected"`
+	// Sheds counts requests refused with CodeOverloaded by the
+	// admission-aware shed policy before reaching the moderator.
+	Sheds uint64 `json:"sheds"`
+	// Flushes counts coalesced response writes; FlushFrames counts the
+	// response frames they carried. FlushFrames/Flushes is the mean write
+	// batch — above 1 means the writer is saving syscalls.
+	Flushes     uint64 `json:"flushes"`
+	FlushFrames uint64 `json:"flush_frames"`
 }
 
 // Stats returns a snapshot of the server's wire counters.
@@ -81,6 +102,11 @@ func (s *Server) Stats() ServerStats {
 		ChecksumDrops: s.stats.checksumDrops.Load(),
 		Malformed:     s.stats.malformed.Load(),
 		ErrorReplies:  s.stats.errorReplies.Load(),
+		Queued:        s.stats.queued.Load(),
+		Rejected:      s.stats.rejected.Load(),
+		Sheds:         s.stats.sheds.Load(),
+		Flushes:       s.stats.flushes.Load(),
+		FlushFrames:   s.stats.flushFrames.Load(),
 	}
 }
 

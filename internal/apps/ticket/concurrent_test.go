@@ -1,0 +1,54 @@
+package ticket_test
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"testing"
+
+	"repro/internal/apps/ticket"
+)
+
+// TestGuardedProducerConsumerOverlap hammers the guarded component with
+// enough parallelism that one Open and one Assign genuinely overlap. The
+// paper's buffer guard serializes producers against producers and
+// consumers against consumers, but deliberately admits one of each at the
+// same time — so the functional component's two buffer ends must be safe
+// under exactly that pairing (ticket.go's Lamport construction). Before
+// size became atomic, this test failed under the race detector with the
+// two bodies racing on it, and the lost updates could surface as a
+// spurious ErrFull from a guarded (admitted!) Open.
+func TestGuardedProducerConsumerOverlap(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+
+	g, err := ticket.NewGuarded(ticket.GuardedConfig{Capacity: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				if _, err := g.Proxy().Invoke(ctx, ticket.MethodOpen, "id", "overlap"); err != nil {
+					t.Errorf("open: %v", err)
+					return
+				}
+				if _, err := g.Proxy().Invoke(ctx, ticket.MethodAssign); err != nil {
+					t.Errorf("assign: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := g.Server().Size(); got != 0 {
+		t.Fatalf("buffer holds %d tickets after balanced open/assign pairs", got)
+	}
+	if o, a := g.Server().Opened(), g.Server().Assigned(); o != 16*300 || a != 16*300 {
+		t.Fatalf("opened/assigned = %d/%d, want %d each", o, a, 16*300)
+	}
+}

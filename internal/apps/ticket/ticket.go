@@ -13,6 +13,7 @@ package ticket
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
 
 // Ticket is one trouble ticket.
@@ -31,16 +32,26 @@ var ErrEmpty = errors.New("ticket: buffer empty")
 
 // Server is the sequential functional component: a bounded ring buffer of
 // tickets. It is deliberately free of locks and guards — the paper's whole
-// point is that such interaction code lives in aspects, not here. It is
-// NOT safe for unguarded concurrent use.
+// point is that such interaction code lives in aspects, not here.
+//
+// The one concession to the admission protocol it lives under: the paper's
+// buffer guard (ActiveOpen == 0 / ActiveAssign == 0) serializes producers
+// against producers and consumers against consumers, but one Open and one
+// Assign may legitimately execute at the same time — the classic two-ended
+// ring buffer. The two ends therefore share nothing unsynchronized: tail is
+// written only by the (single) producer, head only by the (single)
+// consumer, and size is atomic — each end's Add is the release that
+// publishes its slot write to the other end, exactly Lamport's
+// single-producer/single-consumer construction. Beyond that pairing the
+// Server is NOT safe for unguarded concurrent use.
 type Server struct {
 	ring []Ticket
-	head int
-	tail int
-	size int
+	head int // consumer-owned
+	tail int // producer-owned
+	size atomic.Int64
 
-	opened   uint64
-	assigned uint64
+	opened   atomic.Uint64
+	assigned atomic.Uint64
 }
 
 // NewServer creates a ticket server with the given buffer capacity.
@@ -53,38 +64,42 @@ func NewServer(capacity int) (*Server, error) {
 
 // Open places a ticket into the buffer (the paper's open service).
 func (s *Server) Open(t Ticket) error {
-	if s.size == len(s.ring) {
+	// size < capacity proves the slot at tail is free, and the consumer's
+	// decrement that freed it also published its clear of that slot.
+	if s.size.Load() == int64(len(s.ring)) {
 		return ErrFull
 	}
 	s.ring[s.tail] = t
 	s.tail = (s.tail + 1) % len(s.ring)
-	s.size++
-	s.opened++
+	s.size.Add(1)
+	s.opened.Add(1)
 	return nil
 }
 
 // Assign retrieves the oldest ticket from the buffer (the paper's assign
 // service).
 func (s *Server) Assign() (Ticket, error) {
-	if s.size == 0 {
+	// size > 0 proves the slot at head is occupied, and the producer's
+	// increment that filled it also published its write of that slot.
+	if s.size.Load() == 0 {
 		return Ticket{}, ErrEmpty
 	}
 	t := s.ring[s.head]
 	s.ring[s.head] = Ticket{}
 	s.head = (s.head + 1) % len(s.ring)
-	s.size--
-	s.assigned++
+	s.size.Add(-1)
+	s.assigned.Add(1)
 	return t, nil
 }
 
 // Size returns the number of buffered tickets.
-func (s *Server) Size() int { return s.size }
+func (s *Server) Size() int { return int(s.size.Load()) }
 
 // Capacity returns the buffer capacity.
 func (s *Server) Capacity() int { return len(s.ring) }
 
 // Opened returns the total number of tickets ever opened.
-func (s *Server) Opened() uint64 { return s.opened }
+func (s *Server) Opened() uint64 { return s.opened.Load() }
 
 // Assigned returns the total number of tickets ever assigned.
-func (s *Server) Assigned() uint64 { return s.assigned }
+func (s *Server) Assigned() uint64 { return s.assigned.Load() }

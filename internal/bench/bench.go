@@ -110,6 +110,7 @@ var Experiments = []Experiment{
 	{"E14", E14Matrix},
 	{"E15", E15Shadow},
 	{"E18", E18Statesync},
+	{"E19", E19Loop},
 }
 
 // All runs the experiments whose ids are listed (every experiment when ids

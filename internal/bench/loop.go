@@ -1,0 +1,646 @@
+package bench
+
+// E19 — the closed-loop batched-admission family, written to BENCH_7.json
+// by `ambench -loop-json` (`make bench-loop`). Four measurements close the
+// loop on the PR-10 work (submission rings + pipelined amrpc):
+//
+//   - closed loop: real ticketcli-shaped clients drive a guarded ticket
+//     service over real localhost TCP at fixed concurrency, open+assign
+//     pairs against a capacity guard small enough that callers park. The
+//     batched variant (production defaults) is compared against the same
+//     deployment with WithBatchedAdmission(false); both record throughput,
+//     p50/p99 pair latency, the submission-ring batch histogram, and the
+//     pipelined server's flush coalescing counters. The honesty clause:
+//     every admission must complete and the ticket store must drain to
+//     zero — a batching bug that loses a wake or leaks a receipt shows up
+//     here as lost > 0 before any unit test notices.
+//   - shed: the same deployment with an admission-aware shed policy
+//     (watermark on Pressure = waiters + ring depth) under deliberate
+//     overdrive. Records the shed rate and the retry-after hints; the
+//     guard wants BOTH sheds and serves — refuse-before-park must kick in
+//     without starving the servable fraction.
+//   - contended: the in-process contended guarded cell at GOMAXPROCS=8 —
+//     the full admission ladder as shipped (seqlock optimistic tier first,
+//     rings absorbing contended spill) against the fully unbatched path
+//     (WithOptimisticAdmission(false) + WithBatchedAdmission(false)), i.e.
+//     one domain-mutex acquisition per invocation, the BENCH_4 contended
+//     family's reference discipline. Invocation records are reused so the
+//     admission mechanism is the only thing on the clock (pureThroughput's
+//     rationale). The committed claim is a ≥1.3x speedup.
+//   - uncontended: single-caller guarded admission latency with rings
+//     compiled in versus WithBatchedAdmission(false). Rings must be free
+//     when idle — an uncontended caller is served by the optimistic tier
+//     and never touches the ring — so the bound is parity within 5%.
+//
+// A flat-combining honesty note, recorded here because the committed
+// numbers come from whatever host runs `make bench-loop`: the ring's
+// mutex-amortization win needs genuinely parallel contention (cores
+// fighting over the lock's cache line). On a single-core host the OS never
+// overlaps critical sections, an uncontended mutex is one CAS, and a
+// drain-for-me handoff adds scheduling latency instead of removing cache
+// misses. That is exactly what the contention gate (ring.go) is for: every
+// ring-eligible op probes the mutex with TryLock first and rides the ring
+// only when the lock is observably held, so on a host where the mutex
+// never backs up the ring self-limits to near-zero traffic (visible as
+// mutex_bypasses dwarfing submitted in the closed-loop cell) and the
+// batched variant tracks the unbatched one instead of taxing it. The
+// contended cell therefore pins the ladder-vs-unbatched trajectory (which
+// must hold everywhere), not a ring-vs-mutex microarchitecture claim.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/amrpc"
+	"repro/internal/apps/ticket"
+	"repro/internal/aspect"
+	"repro/internal/moderator"
+)
+
+// LoopSchema identifies the BENCH_7.json format.
+const LoopSchema = "ambench/loop-v1"
+
+// Closed-loop parameters. Capacity is deliberately below the worker count
+// so opens park and the contended admission tiers (ring or mutex) carry
+// real traffic; conn concurrency bounds the server's per-connection worker
+// pool, exercised because every worker shares one pipelined connection.
+const (
+	loopWorkers         = 16
+	loopCapacity        = 4
+	loopConnConcurrency = 64
+	loopShedWorkers     = 32
+	loopShedWatermark   = 4
+)
+
+// LoopRing is the submission-ring slice of one closed-loop variant,
+// lifted from moderator.RingStats into stable JSON names.
+type LoopRing struct {
+	Submitted     uint64   `json:"submitted"`
+	Batches       uint64   `json:"batches"`
+	BatchedOps    uint64   `json:"batched_ops"`
+	MaxBatch      uint64   `json:"max_batch"`
+	Parks         uint64   `json:"parks"`
+	WakePasses    uint64   `json:"wake_passes"`
+	FullFallbacks uint64   `json:"full_fallbacks"`
+	MutexBypasses uint64   `json:"mutex_bypasses"`
+	BatchSizes    []uint64 `json:"batch_sizes"`
+}
+
+func newLoopRing(rs moderator.RingStats) LoopRing {
+	return LoopRing{
+		Submitted:     rs.Submitted,
+		Batches:       rs.Batches,
+		BatchedOps:    rs.BatchedOps,
+		MaxBatch:      rs.MaxBatch,
+		Parks:         rs.Parks,
+		WakePasses:    rs.WakePasses,
+		FullFallbacks: rs.FullFallbacks,
+		MutexBypasses: rs.MutexBypasses,
+		BatchSizes:    append([]uint64(nil), rs.BatchSizes[:]...),
+	}
+}
+
+// LoopVariant is one closed-loop deployment's measurements.
+type LoopVariant struct {
+	OpsPerSec   float64  `json:"ops_per_sec"` // open+assign pairs per second
+	P50Micros   float64  `json:"p50_micros"`  // per-pair round-trip latency
+	P99Micros   float64  `json:"p99_micros"`
+	Ring        LoopRing `json:"ring"`
+	Flushes     uint64   `json:"flushes"`      // writer wake-ups that hit the wire
+	FlushFrames uint64   `json:"flush_frames"` // frames carried by those flushes
+	Queued      uint64   `json:"queued"`       // requests that waited in the conn work queue
+}
+
+// LoopShed is the overdrive shed-policy phase.
+type LoopShed struct {
+	Watermark       int     `json:"watermark"`
+	Workers         int     `json:"workers"`
+	Attempts        uint64  `json:"attempts"`
+	Served          uint64  `json:"served"`
+	Shed            uint64  `json:"shed"`
+	ShedRatePct     float64 `json:"shed_rate_pct"`
+	RetryAfterMSMax int64   `json:"retry_after_ms_max"`
+}
+
+// LoopContended is the in-process contended guarded cell at 8 procs.
+type LoopContended struct {
+	Procs        int     `json:"procs"`
+	Methods      int     `json:"methods"`
+	Goroutines   int     `json:"goroutines"`
+	BatchedOps   float64 `json:"batched_ops_per_sec"`
+	UnbatchedOps float64 `json:"unbatched_ops_per_sec"`
+	Speedup      float64 `json:"speedup"`
+}
+
+// LoopUncontended is the single-caller guarded latency parity cell.
+type LoopUncontended struct {
+	BatchedNs   float64 `json:"batched_ns"`
+	UnbatchedNs float64 `json:"unbatched_ns"`
+	Ratio       float64 `json:"ratio"` // batched/unbatched, 1.0 = parity
+}
+
+// LoopReport is the JSON-serializable result of the E19 family.
+type LoopReport struct {
+	Schema          string      `json:"schema"`
+	NumCPU          int         `json:"num_cpu"`
+	GoMaxProcs      int         `json:"go_max_procs"`
+	Workers         int         `json:"workers"`
+	PairsPerWorker  int         `json:"pairs_per_worker"`
+	Capacity        int         `json:"capacity"`
+	ConnConcurrency int         `json:"conn_concurrency"`
+	Batched         LoopVariant `json:"batched"`
+	Unbatched       LoopVariant `json:"unbatched"`
+	// Lost is admissions minus completions summed over both variants at
+	// quiescence; Residue is the ticket stores' final sizes. Both must be
+	// zero: nothing parked forever, no receipt leaked, no effect dropped.
+	Lost        uint64          `json:"lost"`
+	Residue     int             `json:"residue"`
+	Shed        LoopShed        `json:"shed"`
+	Contended   LoopContended   `json:"contended"`
+	Uncontended LoopUncontended `json:"uncontended"`
+}
+
+// loopDeployment is one live closed-loop target: a guarded ticket service
+// behind a pipelined amrpc server, and one shared client connection.
+type loopDeployment struct {
+	g     *ticket.Guarded
+	srv   *amrpc.Server
+	stub  *amrpc.Stub
+	close func()
+}
+
+func newLoopDeployment(shed bool, modOpts ...moderator.Option) (*loopDeployment, error) {
+	g, err := newFrameworkTicket(loopCapacity, modOpts...)
+	if err != nil {
+		return nil, err
+	}
+	srvOpts := []amrpc.ServerOption{amrpc.WithMaxConcurrentPerConn(loopConnConcurrency)}
+	if shed {
+		mod := g.Moderator()
+		srvOpts = append(srvOpts, amrpc.WithShedPolicy(func(component, method string) (int64, bool) {
+			// Shed opens only: assigns are what drain the buffer, so
+			// refusing them would turn overload into livelock.
+			if method != ticket.MethodOpen {
+				return 0, false
+			}
+			p := mod.Pressure(method)
+			if p < loopShedWatermark {
+				return 0, false
+			}
+			ra := int64(p - loopShedWatermark + 1)
+			if ra > 1000 {
+				ra = 1000
+			}
+			return ra, true
+		}))
+	}
+	srv := amrpc.NewServer(srvOpts...)
+	if err := srv.Register(g.Proxy()); err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	var serveWg sync.WaitGroup
+	serveWg.Add(1)
+	go func() {
+		defer serveWg.Done()
+		_ = srv.Serve(ln)
+	}()
+	client, err := amrpc.Dial(ln.Addr().String())
+	if err != nil {
+		srv.Close()
+		serveWg.Wait()
+		return nil, err
+	}
+	return &loopDeployment{
+		g:    g,
+		srv:  srv,
+		stub: client.Component(ticket.ComponentName),
+		close: func() {
+			_ = client.Close()
+			srv.Close()
+			serveWg.Wait()
+		},
+	}, nil
+}
+
+// drivePairs runs the fixed-concurrency closed loop: workers goroutines,
+// each looping pairs open+assign round trips on the shared connection,
+// recording one latency sample per pair. Returns aggregate pairs/s.
+func (d *loopDeployment) drivePairs(workers, pairs int, samples *[]float64) (float64, error) {
+	ctx := context.Background()
+	errs := make(chan error, workers)
+	lats := make([][]float64, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		lats[w] = make([]float64, 0, pairs)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < pairs; i++ {
+				t0 := time.Now()
+				if _, err := d.stub.Invoke(ctx, ticket.MethodOpen, "t", "s"); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := d.stub.Invoke(ctx, ticket.MethodAssign); err != nil {
+					errs <- err
+					return
+				}
+				lats[w] = append(lats[w], float64(time.Since(t0).Nanoseconds())/1e3)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errs:
+		return 0, err
+	default:
+	}
+	for _, l := range lats {
+		*samples = append(*samples, l...)
+	}
+	return float64(workers*pairs) / elapsed.Seconds(), nil
+}
+
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(float64(len(sorted)) * p)
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// loopClosed measures the two closed-loop variants interleaved
+// (best-of-trials throughput, latency pooled over every trial) and
+// accumulates the lost/residue honesty counters.
+func loopClosed(cfg Config, rep *LoopReport) error {
+	trials := benchTrials
+	if cfg.Quick {
+		trials = 2
+	}
+	pairs := cfg.ops() / 40
+	if pairs < 50 {
+		pairs = 50
+	}
+	rep.Workers = loopWorkers
+	rep.PairsPerWorker = pairs
+	rep.Capacity = loopCapacity
+	rep.ConnConcurrency = loopConnConcurrency
+
+	type variant struct {
+		dep     *loopDeployment
+		out     *LoopVariant
+		samples []float64
+	}
+	batched, err := newLoopDeployment(false)
+	if err != nil {
+		return err
+	}
+	defer batched.close()
+	unbatched, err := newLoopDeployment(false, moderator.WithBatchedAdmission(false))
+	if err != nil {
+		return err
+	}
+	defer unbatched.close()
+	variants := []*variant{
+		{dep: batched, out: &rep.Batched},
+		{dep: unbatched, out: &rep.Unbatched},
+	}
+	for _, v := range variants { // warm-up
+		if _, err := v.dep.drivePairs(loopWorkers, 20, &[]float64{}); err != nil {
+			return err
+		}
+	}
+	for trial := 0; trial < trials; trial++ {
+		// Alternate drive order: the variant measured first in a trial eats
+		// the process's accumulated debt (GC, scheduler warm-up), a bias
+		// worth ~10% on a small host. Best-of picks each variant's
+		// favorable position.
+		ordered := []*variant{variants[trial%2], variants[1-trial%2]}
+		for _, v := range ordered {
+			ops, err := v.dep.drivePairs(loopWorkers, pairs, &v.samples)
+			if err != nil {
+				return err
+			}
+			if ops > v.out.OpsPerSec {
+				v.out.OpsPerSec = ops
+			}
+		}
+	}
+	for _, v := range variants {
+		sort.Float64s(v.samples)
+		v.out.P50Micros = percentile(v.samples, 0.50)
+		v.out.P99Micros = percentile(v.samples, 0.99)
+		v.out.Ring = newLoopRing(v.dep.g.Moderator().RingStats())
+		st := v.dep.srv.Stats()
+		v.out.Flushes = st.Flushes
+		v.out.FlushFrames = st.FlushFrames
+		v.out.Queued = st.Queued
+		ms := v.dep.g.Moderator().Stats()
+		rep.Lost += ms.Admissions - ms.Completions
+		rep.Residue += v.dep.g.Server().Size()
+	}
+	return nil
+}
+
+// loopShed overdrives a shedding deployment and records the refusal rate.
+func loopShed(cfg Config, rep *LoopReport) error {
+	dep, err := newLoopDeployment(true)
+	if err != nil {
+		return err
+	}
+	defer dep.close()
+	attemptsPer := cfg.ops() / 80
+	if attemptsPer < 25 {
+		attemptsPer = 25
+	}
+	ctx := context.Background()
+	var served, shed atomic.Uint64
+	var raMax atomic.Int64
+	errs := make(chan error, loopShedWorkers)
+	var wg sync.WaitGroup
+	for w := 0; w < loopShedWorkers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < attemptsPer; i++ {
+				_, err := dep.stub.Invoke(ctx, ticket.MethodOpen, "t", "s")
+				if err != nil {
+					var re *amrpc.RemoteError
+					if errors.Is(err, amrpc.ErrOverloaded) && errors.As(err, &re) {
+						shed.Add(1)
+						for {
+							cur := raMax.Load()
+							if re.RetryAfterMS <= cur || raMax.CompareAndSwap(cur, re.RetryAfterMS) {
+								break
+							}
+						}
+						continue
+					}
+					errs <- err
+					return
+				}
+				served.Add(1)
+				if _, err := dep.stub.Invoke(ctx, ticket.MethodAssign); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		return err
+	default:
+	}
+	total := served.Load() + shed.Load()
+	rep.Shed = LoopShed{
+		Watermark:       loopShedWatermark,
+		Workers:         loopShedWorkers,
+		Attempts:        total,
+		Served:          served.Load(),
+		Shed:            shed.Load(),
+		ShedRatePct:     float64(shed.Load()) / float64(total) * 100,
+		RetryAfterMSMax: raMax.Load(),
+	}
+	ms := dep.g.Moderator().Stats()
+	rep.Lost += ms.Admissions - ms.Completions
+	rep.Residue += dep.g.Server().Size()
+	return nil
+}
+
+// newLoopContendedModerator builds the E12 contended guard shape (one
+// always-admitting self-waking semaphore per method) with the given
+// admission tiers.
+func newLoopContendedModerator(methods int, opts ...moderator.Option) (*moderator.Moderator, error) {
+	m := moderator.New("bench-loop", opts...)
+	for i := 0; i < methods; i++ {
+		meth := fmt.Sprintf("m%d", i)
+		used := new(int)
+		guard := &aspect.Func{
+			AspectName: "sem-" + meth,
+			AspectKind: aspect.KindSynchronization,
+			Pre:        func(inv *aspect.Invocation) aspect.Verdict { *used++; return aspect.Resume },
+			Post:       func(inv *aspect.Invocation) { *used-- },
+			CancelFn:   func(inv *aspect.Invocation) { *used-- },
+			WakeList:   []string{meth},
+		}
+		if err := m.Register(meth, aspect.KindSynchronization, guard); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// loopContendedThroughput drives totalOps guarded admissions from
+// `goroutines` workers striped over `methods` methods, each worker reusing
+// ONE invocation record (pureThroughput's rationale: once the admission
+// path stops allocating, fresh records hand the faster variant's margin to
+// the garbage collector).
+func loopContendedThroughput(impl moderator.Admitter, methods, goroutines, totalOps int) (float64, error) {
+	perG := totalOps / goroutines
+	errs := make(chan error, goroutines)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for g := 0; g < goroutines; g++ {
+		inv := aspect.NewInvocation(context.Background(), "bench", fmt.Sprintf("m%d", g%methods), nil)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				adm, err := impl.Preactivation(inv)
+				if err != nil {
+					errs <- err
+					return
+				}
+				impl.Postactivation(inv, adm)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errs:
+		return 0, err
+	default:
+	}
+	return float64(perG*goroutines) / elapsed.Seconds(), nil
+}
+
+// loopContended measures the contended guarded cell: the shipped ladder
+// (optimistic + rings) vs the fully unbatched mutex-per-invocation path,
+// interleaved best-of-trials at GOMAXPROCS=8.
+func loopContended(cfg Config, rep *LoopReport) error {
+	const methods, goroutines = 8, 16
+	trials := benchTrials
+	if cfg.Quick {
+		trials = 2
+	}
+	ladder, err := newLoopContendedModerator(methods)
+	if err != nil {
+		return err
+	}
+	unbatched, err := newLoopContendedModerator(methods,
+		moderator.WithOptimisticAdmission(false), moderator.WithBatchedAdmission(false))
+	if err != nil {
+		return err
+	}
+	totalOps := cfg.ops() * 5
+	for _, impl := range []moderator.Admitter{ladder, unbatched} { // warm-up
+		if _, err := loopContendedThroughput(impl, methods, goroutines, 2000); err != nil {
+			return err
+		}
+	}
+	var best, bestU float64
+	for trial := 0; trial < trials; trial++ {
+		b, err := loopContendedThroughput(ladder, methods, goroutines, totalOps)
+		if err != nil {
+			return err
+		}
+		if b > best {
+			best = b
+		}
+		u, err := loopContendedThroughput(unbatched, methods, goroutines, totalOps)
+		if err != nil {
+			return err
+		}
+		if u > bestU {
+			bestU = u
+		}
+	}
+	rep.Contended = LoopContended{
+		Procs:        8,
+		Methods:      methods,
+		Goroutines:   goroutines,
+		BatchedOps:   best,
+		UnbatchedOps: bestU,
+		Speedup:      best / bestU,
+	}
+	return nil
+}
+
+// loopUncontended measures single-caller guarded latency with rings
+// enabled vs disabled — the parity bound proving the ring's existence
+// costs the fast path nothing (the optimistic tier serves both).
+func loopUncontended(cfg Config, rep *LoopReport) error {
+	trials := benchTrials
+	if cfg.Quick {
+		trials = 2
+	}
+	withRings, err := newGuardedFastModerator()
+	if err != nil {
+		return err
+	}
+	without, err := newGuardedFastModerator(moderator.WithBatchedAdmission(false))
+	if err != nil {
+		return err
+	}
+	impls := [2]moderator.Admitter{withRings, without}
+	for _, impl := range impls {
+		if _, err := latencyReuseOnce(impl, 2000); err != nil { // warm-up
+			return err
+		}
+	}
+	// Same short-round min-estimator as the matrix latency families.
+	rounds, perRound := trials*16, cfg.ops()/4
+	if perRound < 500 {
+		perRound = 500
+	}
+	best := [2]float64{}
+	for trial := 0; trial < rounds; trial++ {
+		for i, impl := range impls {
+			ns, err := latencyReuseOnce(impl, perRound)
+			if err != nil {
+				return err
+			}
+			if best[i] == 0 || ns < best[i] {
+				best[i] = ns
+			}
+		}
+	}
+	rep.Uncontended = LoopUncontended{
+		BatchedNs:   best[0],
+		UnbatchedNs: best[1],
+		Ratio:       best[0] / best[1],
+	}
+	return nil
+}
+
+// Loop runs the full E19 family and returns the JSON-serializable report.
+// GOMAXPROCS is pinned to 8 for the run (the committed cell the guard
+// names) and restored on return.
+func Loop(cfg Config) (LoopReport, error) {
+	rep := LoopReport{
+		Schema:     LoopSchema,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: 8,
+	}
+	prev := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(prev)
+	for _, phase := range []func(Config, *LoopReport) error{
+		loopClosed, loopShed, loopContended, loopUncontended,
+	} {
+		if err := phase(cfg, &rep); err != nil {
+			return rep, err
+		}
+	}
+	return rep, nil
+}
+
+// E19Loop renders the loop report as a standard experiment table.
+func E19Loop(cfg Config) (Table, error) {
+	rep, err := Loop(cfg)
+	if err != nil {
+		return Table{}, err
+	}
+	t := Table{
+		ID:     "E19",
+		Title:  "closed-loop batched admission over TCP: throughput, latency, shedding",
+		Header: []string{"measurement", "params", "batched", "unbatched", "ratio"},
+		Notes: fmt.Sprintf("GOMAXPROCS=8; %d workers x %d pairs over one pipelined conn, capacity %d; lost=%d residue=%d",
+			rep.Workers, rep.PairsPerWorker, rep.Capacity, rep.Lost, rep.Residue),
+	}
+	meanBatch := "—"
+	if rep.Batched.Ring.Batches > 0 {
+		meanBatch = fmt.Sprintf("%.2f", float64(rep.Batched.Ring.BatchedOps)/float64(rep.Batched.Ring.Batches))
+	}
+	t.Rows = append(t.Rows,
+		[]string{"closed-loop pairs/s", fmt.Sprintf("%dw", rep.Workers),
+			fmtOps(rep.Batched.OpsPerSec), fmtOps(rep.Unbatched.OpsPerSec),
+			fmt.Sprintf("%.2fx", rep.Batched.OpsPerSec/rep.Unbatched.OpsPerSec)},
+		[]string{"pair latency p50/p99", "per pair",
+			fmt.Sprintf("%.0f/%.0fus", rep.Batched.P50Micros, rep.Batched.P99Micros),
+			fmt.Sprintf("%.0f/%.0fus", rep.Unbatched.P50Micros, rep.Unbatched.P99Micros), "—"},
+		[]string{"ring batches (mean size)", fmt.Sprintf("max %d", rep.Batched.Ring.MaxBatch),
+			fmt.Sprintf("%d (%s)", rep.Batched.Ring.Batches, meanBatch), "0", "—"},
+		[]string{"writer flushes (frames)", "64KiB coalesce",
+			fmt.Sprintf("%d (%d)", rep.Batched.Flushes, rep.Batched.FlushFrames),
+			fmt.Sprintf("%d (%d)", rep.Unbatched.Flushes, rep.Unbatched.FlushFrames), "—"},
+		[]string{"shed rate under overdrive", fmt.Sprintf("%dw wm=%d", rep.Shed.Workers, rep.Shed.Watermark),
+			fmt.Sprintf("%.1f%% (%d/%d)", rep.Shed.ShedRatePct, rep.Shed.Shed, rep.Shed.Attempts),
+			"—", "—"},
+		[]string{"contended guarded ops/s", fmt.Sprintf("%dm/%dg procs=8", rep.Contended.Methods, rep.Contended.Goroutines),
+			fmtOps(rep.Contended.BatchedOps), fmtOps(rep.Contended.UnbatchedOps),
+			fmt.Sprintf("%.2fx", rep.Contended.Speedup)},
+		[]string{"uncontended guarded ns/op", "1 caller",
+			fmtNs(rep.Uncontended.BatchedNs), fmtNs(rep.Uncontended.UnbatchedNs),
+			fmt.Sprintf("%.2fx", rep.Uncontended.Ratio)},
+	)
+	return t, nil
+}

@@ -367,10 +367,10 @@ func latencyReuseOnce(impl moderator.Admitter, n int) (float64, error) {
 // newGuardedFastModerator builds a sharded moderator whose single method
 // carries the guarded-fast shape: a NonBlocking audit, one self-waking
 // capacity guard (never blocking for a single caller), and a NonBlocking
-// metrics tail. With optimistic=false the same stack is forced onto the
-// domain-mutex path on every admission.
-func newGuardedFastModerator(optimistic bool) (*moderator.Moderator, error) {
-	m := moderator.New("bench-guarded", moderator.WithOptimisticAdmission(optimistic))
+// metrics tail. With WithOptimisticAdmission(false) the same stack is
+// forced onto the domain-mutex path on every admission.
+func newGuardedFastModerator(opts ...moderator.Option) (*moderator.Moderator, error) {
+	m := moderator.New("bench-guarded", opts...)
 	used := 0
 	regs := []struct {
 		kind aspect.Kind
@@ -467,7 +467,7 @@ func matrixPureLatency(cfg Config, trials, procs int) (MatrixCell, error) {
 func matrixGuardedFast(cfg Config, trials, procs int) (MatrixCell, error) {
 	var impls [2]moderator.Admitter
 	for i, optimistic := range []bool{true, false} {
-		impl, err := newGuardedFastModerator(optimistic)
+		impl, err := newGuardedFastModerator(moderator.WithOptimisticAdmission(optimistic))
 		if err != nil {
 			return MatrixCell{}, err
 		}

@@ -631,7 +631,10 @@ func runDiffSchedule(t *testing.T, seed int64, mode WakeMode) {
 	runDiffScheduleCfg(t, seed, mode, nil)
 }
 
-func runDiffScheduleCfg(t *testing.T, seed int64, mode WakeMode, tweak func(*diffConfig)) {
+// runDiffScheduleCfg replays one schedule and returns the sharded side's
+// ring counters so batched-family callers can assert the rings engaged.
+// extra options apply to the sharded implementation only.
+func runDiffScheduleCfg(t *testing.T, seed int64, mode WakeMode, tweak func(*diffConfig), extra ...Option) RingStats {
 	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
 	cfg := newDiffConfig(mode, rng)
@@ -639,7 +642,7 @@ func runDiffScheduleCfg(t *testing.T, seed int64, mode WakeMode, tweak func(*dif
 		tweak(&cfg)
 	}
 
-	a := newDiffScenario(t, "sharded", New("diff", WithWakeMode(mode)), cfg)
+	a := newDiffScenario(t, "sharded", New("diff", append([]Option{WithWakeMode(mode)}, extra...)...), cfg)
 	b := newDiffScenario(t, "reference", NewReference("diff", WithWakeMode(mode)), cfg)
 
 	ops := genSchedule(rng, cfg, 20+rng.Intn(21))
@@ -808,6 +811,7 @@ func runDiffScheduleCfg(t *testing.T, seed int64, mode WakeMode, tweak func(*dif
 		t.Fatalf("seed %d: hook traces diverge:\nsharded:   %v\nreference: %v",
 			seed, a.traces, b.traces)
 	}
+	return a.impl.(*Moderator).RingStats()
 }
 
 func diffScheduleCount() int {
@@ -852,6 +856,36 @@ func TestDifferentialOracleGuardedFast(t *testing.T) {
 	}
 }
 
+// TestDifferentialOracleBatched is the batched-admission oracle family:
+// the sharded side runs with optimistic admission OFF, so every guarded
+// begin that PR 7 would have committed through the seqlock submits through
+// its domain's ring instead. Schedules therefore mix ring arrivals, mutex
+// re-entries (waiters resumed off a drainer's carried verdict) and the
+// pure lock-free fast path — against the Reference, which has no ring at
+// all. Beyond zero divergences, the run asserts the rings actually carried
+// traffic, so a silent routing regression cannot pass. The contention gate
+// is off: the oracle pins the semantics of ops that DO ride the ring, and
+// a lockstep schedule rarely has the mutex observably held at probe time.
+func TestDifferentialOracleBatched(t *testing.T) {
+	t.Parallel()
+	guardHeavy := func(cfg *diffConfig) {
+		cfg.beginMethods = append(cfg.beginMethods, "kappa", "alpha", "kappa")
+	}
+	var submitted, batches uint64
+	for i := 0; i < diffScheduleCount(); i++ {
+		mode := WakeSingle
+		if i%2 == 1 {
+			mode = WakeBroadcast
+		}
+		rs := runDiffScheduleCfg(t, int64(0xBA7C4)+int64(i), mode, guardHeavy, WithOptimisticAdmission(false), WithRingContentionGate(false))
+		submitted += rs.Submitted
+		batches += rs.Batches
+	}
+	if submitted == 0 || batches == 0 {
+		t.Fatalf("batched oracle family never engaged the rings: submitted=%d batches=%d", submitted, batches)
+	}
+}
+
 // TestDifferentialOracleQuick drives the same lockstep oracle through
 // testing/quick with arbitrary generated seeds; a failing seed appears in
 // the subtest name for replay.
@@ -889,6 +923,35 @@ func TestDifferentialConcurrentLedgers(t *testing.T) {
 		ref := runConcurrentWorkload(t, seed, func() Admitter { return NewReference("conc") })
 		if shard != ref {
 			t.Fatalf("seed %d: concurrent ledgers diverge: sharded=%+v reference=%+v", seed, shard, ref)
+		}
+	}
+}
+
+// TestDifferentialConcurrentLedgersBatched reruns the metamorphic tier
+// with optimistic admission off on the sharded side: the full-speed
+// 64-goroutine workload drives real multi-op batches through the rings
+// (concurrent submitters pile up behind one drainer), and the outcome
+// ledgers must still match the Reference exactly. The contention gate is
+// off so every guarded op rides the ring no matter how probe timing falls
+// out on the host — the engagement assertion below stays deterministic.
+func TestDifferentialConcurrentLedgersBatched(t *testing.T) {
+	t.Parallel()
+	seeds := []int64{11, 12, 13}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		var m *Moderator
+		shard := runConcurrentWorkload(t, seed, func() Admitter {
+			m = New("conc", WithOptimisticAdmission(false), WithRingContentionGate(false))
+			return m
+		})
+		ref := runConcurrentWorkload(t, seed, func() Admitter { return NewReference("conc") })
+		if shard != ref {
+			t.Fatalf("seed %d: batched concurrent ledgers diverge: sharded=%+v reference=%+v", seed, shard, ref)
+		}
+		if rs := m.RingStats(); rs.Submitted == 0 || rs.Batches == 0 {
+			t.Fatalf("seed %d: batched ledger run never engaged the rings: %+v", seed, rs)
 		}
 	}
 }

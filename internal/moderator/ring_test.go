@@ -1,0 +1,382 @@
+package moderator
+
+// Tests for the batched admission path (ring.go): the wake-coalescing
+// regression (a batch admitting k waiters issues ONE coalesced wake pass,
+// not k broadcasts, and strands nobody — the PR 2 stranded-caller bug
+// class, re-pinned on the batch path), the ring Block handoff, the
+// full-ring mutex fallback, the option gate, and a contended soak
+// asserting the ring actually engages and balances.
+
+import (
+	"context"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/aspect"
+)
+
+// gateStack registers an all-or-nothing gate guard on method "m": parked
+// callers block while the gate is closed and ALL admit once it opens. The
+// guard declares its wake span, so the plan is targeted and optimistic.
+func gateStack(t *testing.T, m Admitter) (setOpen func(bool)) {
+	t.Helper()
+	var mu sync.Mutex
+	open := true
+	gate := &aspect.Func{
+		AspectName: "gate", AspectKind: aspect.KindSynchronization,
+		Pre: func(*aspect.Invocation) aspect.Verdict {
+			mu.Lock()
+			defer mu.Unlock()
+			if !open {
+				return aspect.Block
+			}
+			return aspect.Resume
+		},
+		WakeList: []string{"m"},
+	}
+	if err := m.Register("m", aspect.KindSynchronization, gate); err != nil {
+		t.Fatal(err)
+	}
+	return func(v bool) {
+		mu.Lock()
+		open = v
+		mu.Unlock()
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// TestRingWakeCoalescing is the wake-coalescing regression: j callers park
+// on a closed gate, the gate opens, and then a single drain batch
+// completes k admitted invocations. The batch must issue exactly ONE
+// broadcast of the method's queue — not k — and every parked caller must
+// admit (nobody stranded). The parking phase doubles as the Block-handoff
+// check: every parker after the first arrives with waiters > 0, routes
+// through the ring, and parks on the drainer's carried verdict.
+func TestRingWakeCoalescing(t *testing.T) {
+	const k, j = 8, 4
+	// Gate off: the parkers submit one at a time with the mutex free, so
+	// the gated default would serve them from the mutex path; this test
+	// pins ring semantics, not routing (TestRingGate* pin the routing).
+	m := New("ring", WithRingContentionGate(false))
+	setOpen := gateStack(t, m)
+
+	// Admit k invocations while the gate is open; their completions form
+	// the batch under test.
+	invs := make([]*aspect.Invocation, k)
+	adms := make([]*Admission, k)
+	for i := range invs {
+		invs[i] = aspect.NewInvocation(context.Background(), "ring", "m", nil)
+		adm, err := m.Preactivation(invs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		adms[i] = adm
+	}
+
+	// Close the gate and park j callers, sequentially so each one's
+	// routing is deterministic: the first hands off from the optimistic
+	// path, the rest see waiters > 0 and hand off from the ring.
+	setOpen(false)
+	var admitted atomic.Int64
+	var wg sync.WaitGroup
+	waiterAdms := make([]*Admission, j)
+	waiterInvs := make([]*aspect.Invocation, j)
+	for i := 0; i < j; i++ {
+		waiterInvs[i] = aspect.NewInvocation(context.Background(), "ring", "m", nil)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			adm, err := m.Preactivation(waiterInvs[i])
+			if err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			waiterAdms[i] = adm
+			admitted.Add(1)
+		}(i)
+		want := i + 1
+		waitFor(t, "caller to park", func() bool { return m.Waiting("m") == want })
+	}
+	if got := m.RingStats().Parks; got != j-1 {
+		t.Fatalf("ring Block handoffs = %d, want %d (every parker after the first)", got, j-1)
+	}
+
+	setOpen(true)
+
+	broadcastsBefore := queueBroadcasts(m, "m")
+	before := m.RingStats()
+
+	// Complete all k receipts in ONE batch: hold the drainer election,
+	// enqueue the post-ops, drain once.
+	d := m.domains.Load().byMethod["m"]
+	r := d.ring
+	for !r.draining.CompareAndSwap(0, 1) {
+	}
+	for i := 0; i < k; i++ {
+		// Mirror the Postactivation prologue the manual injection skips.
+		d.completions.Add(1)
+		op := ringOpPool.Get().(*ringOp)
+		op.kind, op.inv, op.plan, op.adm = ringPost, invs[i], adms[i].plan, adms[i]
+		if !r.enqueue(op) {
+			t.Fatalf("enqueue %d refused", i)
+		}
+	}
+	m.drainRing(d)
+	r.draining.Store(0)
+
+	after := m.RingStats()
+	if got := after.PostOps - before.PostOps; got != k {
+		t.Fatalf("batched post-ops = %d, want %d", got, k)
+	}
+	if got := after.Batches - before.Batches; got != 1 {
+		t.Fatalf("drain passes = %d, want 1", got)
+	}
+	if got := after.WakePasses - before.WakePasses; got != 1 {
+		t.Fatalf("coalesced wake passes = %d, want 1", got)
+	}
+	if after.MaxBatch < k {
+		t.Fatalf("max batch = %d, want >= %d", after.MaxBatch, k)
+	}
+
+	// The load-bearing assertion: k completions, ONE broadcast.
+	if got := queueBroadcasts(m, "m") - broadcastsBefore; got != 1 {
+		t.Fatalf("broadcasts for %d batched completions = %d, want 1 coalesced pass", k, got)
+	}
+
+	// And nobody stranded: every parked caller admits.
+	wg.Wait()
+	if got := admitted.Load(); got != j {
+		t.Fatalf("admitted waiters = %d, want %d", got, j)
+	}
+	for i := 0; i < j; i++ {
+		m.Postactivation(waiterInvs[i], waiterAdms[i])
+	}
+	st := m.Stats()
+	if st.Admissions != k+j || st.Completions != k+j {
+		t.Fatalf("stats = %+v, want %d admissions and completions", st, k+j)
+	}
+}
+
+// queueBroadcasts sums Broadcasts over the method's queues.
+func queueBroadcasts(m *Moderator, method string) uint64 {
+	var n uint64
+	for name, qs := range m.QueueStats() {
+		if strings.HasPrefix(name, method+"/") {
+			n += qs.Broadcasts
+		}
+	}
+	return n
+}
+
+// TestRingFullFallsBackToMutex pins the overflow contract: a full
+// submission ring refuses the enqueue and the caller admits through the
+// plain mutex path — the ring bounds memory, never admission.
+func TestRingFullFallsBackToMutex(t *testing.T) {
+	// Optimistic and the contention gate off so an uncontended guarded
+	// admission routes straight to the ring.
+	m := New("ring", WithOptimisticAdmission(false), WithRingContentionGate(false))
+	setOpen := gateStack(t, m)
+	setOpen(true)
+
+	d := m.domains.Load().byMethod["m"]
+	if d == nil {
+		t.Fatal("no domain for m")
+	}
+	r := d.ring
+	for i := 0; i < ringSize; i++ {
+		if !r.enqueue(&ringOp{}) {
+			t.Fatalf("enqueue %d refused before the ring was full", i)
+		}
+	}
+	if r.enqueue(&ringOp{}) {
+		t.Fatal("enqueue accepted into a full ring")
+	}
+
+	inv := aspect.NewInvocation(context.Background(), "ring", "m", nil)
+	adm, err := m.Preactivation(inv)
+	if err != nil {
+		t.Fatalf("admission with a full ring: %v", err)
+	}
+	if m.RingStats().FullFallbacks == 0 {
+		t.Fatal("full-ring fallback not counted")
+	}
+	// Post-activation must spill to the mutex path too (ring still full).
+	m.Postactivation(inv, adm)
+	if st := m.Stats(); st.Admissions != 1 || st.Completions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestBatchedAdmissionDisabled pins the option gate: with batching off, a
+// contended run must never touch a submission ring.
+func TestBatchedAdmissionDisabled(t *testing.T) {
+	m := New("ring", WithBatchedAdmission(false))
+	occupancy := optSemStack(t, m)
+	const callers = 8
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < 50; n++ {
+				inv := aspect.NewInvocation(context.Background(), "opt", "m", nil)
+				adm, err := m.Preactivation(inv)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				m.Postactivation(inv, adm)
+			}
+		}()
+	}
+	wg.Wait()
+	if rs := m.RingStats(); rs != (RingStats{}) {
+		t.Fatalf("ring engaged while disabled: %+v", rs)
+	}
+	if got := occupancy(); got != 0 {
+		t.Fatalf("semaphore leaked %d admissions", got)
+	}
+	if st := m.Stats(); st.Admissions != callers*50 || st.Completions != callers*50 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestRingContendedSoak drives a contended capacity-1 semaphore hard
+// enough that batching must engage, then audits the balance: every
+// admission completed, the guard is empty, and the batch accounting is
+// internally consistent. Each admission is held across a yield so callers
+// overlap even on a single processor. The contention gate is off so ring
+// engagement does not depend on how often the host preempts a mutex
+// holder mid-critical-section (on one processor, possibly never).
+func TestRingContendedSoak(t *testing.T) {
+	m := New("ring", WithRingContentionGate(false))
+	occupancy := optSemStack(t, m)
+	const callers, rounds = 16, 60
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < rounds; n++ {
+				inv := aspect.NewInvocation(context.Background(), "opt", "m", nil)
+				adm, err := m.Preactivation(inv)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				runtime.Gosched()
+				m.Postactivation(inv, adm)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := occupancy(); got != 0 {
+		t.Fatalf("semaphore leaked %d admissions", got)
+	}
+	st := m.Stats()
+	if st.Admissions != callers*rounds || st.Completions != callers*rounds {
+		t.Fatalf("stats = %+v, want %d admissions and completions", st, callers*rounds)
+	}
+	rs := m.RingStats()
+	if rs.Submitted == 0 || rs.Batches == 0 {
+		t.Fatalf("contended soak never batched: %+v", rs)
+	}
+	if rs.BatchedOps != rs.PreOps+rs.PostOps {
+		t.Fatalf("batch accounting off: %+v", rs)
+	}
+	if rs.Depth != 0 {
+		t.Fatalf("ring not drained at quiescence: depth %d", rs.Depth)
+	}
+	var bucketed uint64
+	for _, b := range rs.BatchSizes {
+		bucketed += b
+	}
+	if bucketed != rs.Batches {
+		t.Fatalf("histogram holds %d batches, counters say %d", bucketed, rs.Batches)
+	}
+}
+
+// TestRingGateBypassesUncontendedMutex pins the contention gate's cheap
+// half: with nobody inside the domain mutex, a ring-eligible admission
+// (optimistic off, so nothing shields the ring) probes the lock, finds it
+// free, and is served by the plain mutex path — the ring carries nothing
+// and both hops count a bypass.
+func TestRingGateBypassesUncontendedMutex(t *testing.T) {
+	m := New("ring", WithOptimisticAdmission(false))
+	setOpen := gateStack(t, m)
+	setOpen(true)
+
+	inv := aspect.NewInvocation(context.Background(), "ring", "m", nil)
+	adm, err := m.Preactivation(inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Postactivation(inv, adm)
+
+	rs := m.RingStats()
+	if rs.Submitted != 0 {
+		t.Fatalf("uncontended ops rode the ring: %+v", rs)
+	}
+	if rs.MutexBypasses != 2 {
+		t.Fatalf("mutex bypasses = %d, want 2 (one pre, one post)", rs.MutexBypasses)
+	}
+	if st := m.Stats(); st.Admissions != 1 || st.Completions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestRingGateEngagesWhileMutexHeld pins the gate's other half: a
+// ring-eligible admission that probes while the domain mutex is held must
+// enqueue and be served by a drain. The test holds the mutex directly, so
+// engagement does not depend on the scheduler ever preempting a holder.
+func TestRingGateEngagesWhileMutexHeld(t *testing.T) {
+	m := New("ring", WithOptimisticAdmission(false))
+	setOpen := gateStack(t, m)
+	setOpen(true)
+
+	d := m.domains.Load().byMethod["m"]
+	if d == nil {
+		t.Fatal("no domain for m")
+	}
+	d.mu.Lock()
+	inv := aspect.NewInvocation(context.Background(), "ring", "m", nil)
+	var adm *Admission
+	done := make(chan error, 1)
+	go func() {
+		a, err := m.Preactivation(inv)
+		adm = a
+		done <- err
+	}()
+	// The submitter fails its probe, enqueues, self-elects drainer, and
+	// blocks acquiring the mutex this test holds.
+	waitFor(t, "failed probe to enqueue", func() bool { return d.ring.submitted.Load() == 1 })
+	d.mu.Unlock()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	rs := m.RingStats()
+	if rs.Submitted != 1 || rs.Batches == 0 || rs.PreOps != 1 {
+		t.Fatalf("held-mutex admission did not batch: %+v", rs)
+	}
+	// The mutex is free again, so the completion's probe bypasses.
+	m.Postactivation(inv, adm)
+	if st := m.Stats(); st.Admissions != 1 || st.Completions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

@@ -1,0 +1,75 @@
+package obs
+
+// Submission-ring observability: a watched source that exposes batched
+// admission counters (the production Moderator) gets am_ring_* and
+// am_batch_size series at every /metrics scrape, and the per-component
+// snapshot is served at /ring. Everything here sums relaxed atomics on
+// the pull side; the admission path pays nothing for being observed.
+
+import (
+	"fmt"
+
+	"repro/internal/moderator"
+)
+
+// ringSource is optionally implemented by sources with per-domain batched
+// submission rings (the production Moderator).
+type ringSource interface {
+	RingStats() moderator.RingStats
+}
+
+// batchBucketLabel names log₂ bucket i: bucket i counts batches of size in
+// [2^i, 2^(i+1)), the last bucket open-ended.
+func batchBucketLabel(i, total int) string {
+	lo := 1 << uint(i)
+	if i == total-1 {
+		return fmt.Sprintf("%d+", lo)
+	}
+	hi := 1<<uint(i+1) - 1
+	if lo == hi {
+		return fmt.Sprintf("%d", lo)
+	}
+	return fmt.Sprintf("%d-%d", lo, hi)
+}
+
+func collectRing(name string, rs ringSource, emit EmitFunc) {
+	comp := L("component", name)
+	r := rs.RingStats()
+	emit("am_ring_depth", "Invocations currently enqueued in submission rings (exact).", []Label{comp}, float64(r.Depth))
+	emit("am_ring_submitted_total", "Guarded invocations that entered a submission ring.", []Label{comp}, float64(r.Submitted))
+	emit("am_ring_batches_total", "Drain passes performed by elected drainers.", []Label{comp}, float64(r.Batches))
+	emit("am_ring_batched_ops_total", "Operations evaluated inside drain batches.", []Label{comp}, float64(r.BatchedOps))
+	emit("am_ring_pre_ops_total", "Pre-activations evaluated inside drain batches.", []Label{comp}, float64(r.PreOps))
+	emit("am_ring_post_ops_total", "Post-activations evaluated inside drain batches.", []Label{comp}, float64(r.PostOps))
+	emit("am_ring_parks_total", "Ring submissions handed off to park on a carried verdict.", []Label{comp}, float64(r.Parks))
+	emit("am_ring_wake_passes_total", "Coalesced wake passes issued by drainers.", []Label{comp}, float64(r.WakePasses))
+	emit("am_ring_full_fallbacks_total", "Submissions refused by a full ring (served by the mutex path).", []Label{comp}, float64(r.FullFallbacks))
+	emit("am_ring_mutex_bypasses_total", "Contention probes that found the domain mutex free (served by the mutex path).", []Label{comp}, float64(r.MutexBypasses))
+	emit("am_ring_max_batch", "Largest batch drained in one pass.", []Label{comp}, float64(r.MaxBatch))
+	for i, n := range r.BatchSizes {
+		emit("am_batch_size", "Drain batch sizes (log2 buckets).",
+			[]Label{comp, L("bucket", batchBucketLabel(i, len(r.BatchSizes)))}, float64(n))
+	}
+}
+
+// RingComponent is one component's submission-ring snapshot in /ring.
+type RingComponent struct {
+	Component string              `json:"component"`
+	Stats     moderator.RingStats `json:"stats"`
+}
+
+// RingDump is the /ring response body.
+type RingDump struct {
+	Components []RingComponent `json:"components"`
+}
+
+// RingSnapshot builds the introspection snapshot served at /ring.
+func (c *Collector) RingSnapshot() RingDump {
+	dump := RingDump{Components: []RingComponent{}}
+	for _, s := range c.watched() {
+		if rs, ok := s.(ringSource); ok {
+			dump.Components = append(dump.Components, RingComponent{Component: s.Name(), Stats: rs.RingStats()})
+		}
+	}
+	return dump
+}
